@@ -1,0 +1,74 @@
+// Reproduces paper Exp-5 (Table IV): efficiency evaluation. Offline time
+// is the transformer-bank + GAN training; online time is the S2/S3
+// synthesis loop. Run at bench scale; the paper's absolute numbers (hours
+// on a MacBook at full scale with d_model=256 transformers) differ, but
+// the shape must hold: offline >> online, offline grows with the number of
+// textual columns, online grows with the number of entities.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace serd::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Exp-5 (Table IV): efficiency evaluation (bench scale)");
+  std::printf("%-16s | %9s | %9s | %8s | %10s | %6s\n", "Dataset",
+              "Offline(s)", "Online(s)", "TextCols", "|A|+|B| syn",
+              "rej/acc");
+  PrintRule(85);
+
+  for (DatasetKind kind : kAllKinds) {
+    Pipeline p = RunPipeline(kind);
+    int text_cols = 0;
+    for (const auto& col : p.real.schema().columns()) {
+      text_cols += col.type == ColumnType::kText;
+    }
+    int rejected = p.serd_report.rejected_by_discriminator +
+                   p.serd_report.rejected_by_distribution;
+    std::printf("%-16s | %9.2f | %9.2f | %8d | %10zu | %3d/%-3d\n",
+                p.real.name.c_str(), p.serd_report.offline_seconds,
+                p.serd_report.online_seconds, text_cols,
+                p.serd.a.size() + p.serd.b.size(), rejected,
+                p.serd_report.accepted_entities);
+  }
+  PrintRule(85);
+  std::printf(
+      "Paper reference (Table IV, full scale): offline 3.5-9.8 hours,\n"
+      "online 1.6-79 minutes. At bench scale the transformers are tiny\n"
+      "(DESIGN.md), so offline shrinks far more than online does; the\n"
+      "shape preserved here is online time ~ #synthesized entities (next\n"
+      "sweep) and offline time ~ text-column training volume.\n");
+
+  // Online-time scaling sweep on one dataset (entities vs seconds).
+  std::printf("\nOnline-time scaling (DBLP-ACM, target sizes sweep):\n");
+  for (size_t target : {20u, 40u, 80u}) {
+    auto real = datagen::Generate(DatasetKind::kDblpAcm,
+                                  {.seed = 9, .scale = 0.04});
+    SerdOptions opts = BenchSerdOptions(9);
+    opts.target_a = target;
+    opts.target_b = target;
+    std::vector<std::vector<std::string>> corpora;
+    size_t i = 0;
+    for (const auto& col : real.schema().columns()) {
+      if (col.type != ColumnType::kText) continue;
+      corpora.push_back(datagen::BackgroundCorpus(DatasetKind::kDblpAcm,
+                                                  col.name, 120, 71 + i++));
+    }
+    auto background =
+        datagen::BackgroundEntities(DatasetKind::kDblpAcm, 100, 73);
+    SerdSynthesizer synth(real, opts);
+    SERD_CHECK(synth.Fit(corpora, background).ok());
+    (void)synth.Synthesize();
+    std::printf("  %3zu + %3zu entities -> online %.2f s\n", target, target,
+                synth.report().online_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace serd::bench
+
+int main() {
+  serd::bench::Run();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the performance-sensitive
+// substrates, including the ablation DESIGN.md calls out: incremental GMM
+// maintenance (paper Eqs. 8-9) vs full sufficient-statistics recompute.
+#include <benchmark/benchmark.h>
+
+#include "core/cached_sim.h"
+#include "datagen/generators.h"
+#include "gmm/gmm.h"
+#include "gmm/incremental.h"
+#include "gmm/o_distribution.h"
+#include "text/edit_distance.h"
+#include "text/qgram.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+std::vector<Vec> ClusterData(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      data.push_back({rng.Gaussian(0.9, 0.05), rng.Gaussian(0.85, 0.05),
+                      rng.Gaussian(0.8, 0.05), rng.Gaussian(0.9, 0.05)});
+    } else {
+      data.push_back({rng.Gaussian(0.1, 0.05), rng.Gaussian(0.1, 0.05),
+                      rng.Gaussian(0.2, 0.05), rng.Gaussian(0.7, 0.05)});
+    }
+  }
+  return data;
+}
+
+void BM_QgramJaccard(benchmark::State& state) {
+  std::string a = "Adaptable Query Optimization and Evaluation in Temporal "
+                  "Middleware";
+  std::string b = "adaptable query optimization and evaluation in temporal "
+                  "middleware systems";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QgramJaccard(a, b, 3));
+  }
+}
+BENCHMARK(BM_QgramJaccard);
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a(static_cast<size_t>(state.range(0)), 'a');
+  std::string b(static_cast<size_t>(state.range(0)), 'b');
+  for (size_t i = 0; i < b.size(); i += 3) b[i] = 'a';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimilarityVector(benchmark::State& state) {
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 1, .scale = 0.02});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.SimilarityVector(
+        ds.a.row(i % ds.a.size()), ds.b.row(i % ds.b.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_SimilarityVector);
+
+void BM_CachedSimilarityVector(benchmark::State& state) {
+  // The digest-cached path used by S3 labeling and the rejection test.
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 1, .scale = 0.02});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  CachedSimilarity cached(spec);
+  std::vector<CachedSimilarity::Digest> da, db;
+  for (const auto& r : ds.a.rows()) da.push_back(cached.MakeDigest(r));
+  for (const auto& r : ds.b.rows()) db.push_back(cached.MakeDigest(r));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cached.SimilarityVector(da[i % da.size()], db[i % db.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CachedSimilarityVector);
+
+void BM_GmmFitEM(benchmark::State& state) {
+  auto data = ClusterData(static_cast<int>(state.range(0)), 3);
+  GmmFitOptions opts;
+  opts.num_restarts = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gmm::FitEM(data, 2, opts));
+  }
+}
+BENCHMARK(BM_GmmFitEM)->Arg(200)->Arg(1000);
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  // Paper Eq. 8-9 path: fold a small delta into cached statistics.
+  auto data = ClusterData(static_cast<int>(state.range(0)), 5);
+  auto fit = Gmm::FitEM(data, 2, GmmFitOptions{});
+  IncrementalGmm inc(fit.value(), data);
+  auto delta_points = ClusterData(16, 7);
+  for (auto _ : state) {
+    auto delta = inc.ComputeDelta(delta_points);
+    benchmark::DoNotOptimize(inc.PreviewModel(delta));
+  }
+}
+BENCHMARK(BM_IncrementalUpdate)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_FullRecomputeBaseline(benchmark::State& state) {
+  // The naive alternative: rebuild sufficient statistics from all points
+  // each time an entity is added. The incremental path must win by ~n/16.
+  auto data = ClusterData(static_cast<int>(state.range(0)), 5);
+  auto fit = Gmm::FitEM(data, 2, GmmFitOptions{});
+  auto delta_points = ClusterData(16, 7);
+  for (auto _ : state) {
+    std::vector<Vec> all = data;
+    all.insert(all.end(), delta_points.begin(), delta_points.end());
+    IncrementalGmm rebuilt(fit.value(), all);
+    benchmark::DoNotOptimize(rebuilt.model());
+  }
+}
+BENCHMARK(BM_FullRecomputeBaseline)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_JsdEstimate(benchmark::State& state) {
+  auto data = ClusterData(400, 9);
+  auto m = Gmm::FitEM(data, 2, GmmFitOptions{});
+  ODistribution p(0.3, m.value(), m.value());
+  ODistribution q(0.4, m.value(), m.value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateJsd(p, q, static_cast<int>(state.range(0)), 1));
+  }
+}
+BENCHMARK(BM_JsdEstimate)->Arg(64)->Arg(256);
+
+void BM_GmmSample(benchmark::State& state) {
+  auto data = ClusterData(400, 11);
+  auto m = Gmm::FitEM(data, 2, GmmFitOptions{});
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Sample(&rng));
+  }
+}
+BENCHMARK(BM_GmmSample);
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,75 @@
+// Scenario: before publishing a surrogate dataset, the data owner audits
+// its privacy. Demonstrates:
+//   - Hitting Rate and DCR (paper Exp-4 metrics) for SERD vs the
+//     EMBench-style perturbation release,
+//   - DP accounting: the (epsilon, delta) actually spent by the
+//     transformer-bank training, and the noise multiplier needed to hit
+//     the paper's (epsilon=1, delta=1e-5) budget.
+#include <cstdio>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+#include "dp/accountant.h"
+#include "embench/embench.h"
+#include "eval/privacy.h"
+
+using namespace serd;
+using datagen::DatasetKind;
+
+int main() {
+  ERDataset real = datagen::Generate(DatasetKind::kRestaurant,
+                                     {.seed = 6, .scale = 0.15});
+  std::printf("Real restaurant table: %zu entities, %zu duplicate pairs\n",
+              real.a.size(), real.matches.size());
+
+  std::vector<std::vector<std::string>> corpora = {
+      datagen::BackgroundCorpus(DatasetKind::kRestaurant, "name", 120, 61),
+      datagen::BackgroundCorpus(DatasetKind::kRestaurant, "address", 120, 62),
+  };
+  Table background =
+      datagen::BackgroundEntities(DatasetKind::kRestaurant, 100, 63);
+
+  SerdOptions options;
+  options.seed = 71;
+  options.string_bank.num_buckets = 5;
+  options.string_bank.train.epochs = 2;
+  options.string_bank.random_pair_samples = 400;
+  // Explicit DP budget for the transformer training.
+  options.string_bank.train.dp.enabled = true;
+  options.string_bank.train.dp.clip_norm = 1.0;
+  options.string_bank.train.dp.noise_multiplier = 1.1;
+  options.gan.epochs = 8;
+
+  SerdSynthesizer synthesizer(real, options);
+  SERD_CHECK(synthesizer.Fit(corpora, background).ok());
+  ERDataset serd_release = std::move(synthesizer.Synthesize()).value();
+  ERDataset embench_release = SynthesizeEmbench(real);
+
+  const auto& spec = synthesizer.spec();
+  PrivacyOptions popts;
+  popts.similarity_threshold = 0.9;
+  auto serd_privacy = EvaluatePrivacy(real, serd_release, spec, popts);
+  auto embench_privacy = EvaluatePrivacy(real, embench_release, spec, popts);
+
+  std::printf("\nPrivacy audit (threshold 0.9):\n");
+  std::printf("  %-22s  HittingRate=%6.3f%%  DCR=%.3f\n", "SERD release",
+              serd_privacy.hitting_rate_percent, serd_privacy.dcr);
+  std::printf("  %-22s  HittingRate=%6.3f%%  DCR=%.3f\n", "EMBench release",
+              embench_privacy.hitting_rate_percent, embench_privacy.dcr);
+  std::printf("  (paper Table III shape: SERD hits ~0 with high DCR; "
+              "EMBench hits often with low DCR)\n");
+
+  std::printf("\nDP accounting:\n");
+  std::printf("  mean DP epsilon spent across trained transformer buckets: "
+              "%.3f (delta=1e-5)\n",
+              synthesizer.report().mean_bank_epsilon);
+  for (double target : {0.5, 1.0, 4.0}) {
+    auto sigma = RdpAccountant::NoiseForTarget(0.1, 200, target, 1e-5);
+    if (sigma.ok()) {
+      std::printf("  to reach (%.1f, 1e-5)-DP at q=0.1 over 200 steps, use "
+                  "noise multiplier >= %.2f\n",
+                  target, sigma.value());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: a bibliography provider wants to release a surrogate of its
+// internal DBLP/ACM-style matching dataset so external teams can develop
+// ER matchers against it. This example runs the full workflow the paper
+// motivates:
+//   - synthesize E_syn with SERD,
+//   - train a matcher on E_syn (as the external team would),
+//   - ship the matcher back and evaluate it on the *real* test set,
+//   - compare against a matcher trained on the real data directly.
+#include <cstdio>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+#include "eval/metrics.h"
+#include "matcher/random_forest.h"
+
+using namespace serd;
+using datagen::DatasetKind;
+
+int main() {
+  ERDataset real =
+      datagen::Generate(DatasetKind::kDblpAcm, {.seed = 3, .scale = 0.05});
+  std::printf("Internal dataset: |A|=%zu |B|=%zu matches=%zu\n",
+              real.a.size(), real.b.size(), real.matches.size());
+
+  std::vector<std::vector<std::string>> corpora = {
+      datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "title", 140, 21),
+      datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "authors", 140, 22),
+  };
+  Table background =
+      datagen::BackgroundEntities(DatasetKind::kDblpAcm, 100, 23);
+
+  SerdOptions options;
+  options.seed = 31;
+  options.string_bank.num_buckets = 5;
+  options.string_bank.train.epochs = 2;
+  options.string_bank.random_pair_samples = 500;
+  options.gan.epochs = 10;
+
+  SerdSynthesizer synthesizer(real, options);
+  SERD_CHECK(synthesizer.Fit(corpora, background).ok());
+  ERDataset released = std::move(synthesizer.Synthesize()).value();
+  std::printf("Released surrogate: |A|=%zu |B|=%zu matches=%zu\n\n",
+              released.a.size(), released.b.size(), released.matches.size());
+
+  // In-house: train/test split on the real data.
+  Rng rng(5);
+  auto real_pairs = BuildLabeledPairs(real, 8.0, &rng);
+  LabeledPairSet real_train, real_test;
+  SplitPairs(real_pairs, 0.4, &rng, &real_train, &real_test);
+
+  const auto& spec = synthesizer.spec();
+  FeatureExtractor fx(spec);
+
+  RandomForest in_house;
+  auto prf_real = TrainAndEvaluate(&in_house, fx, real, real_train, fx, real,
+                                   real_test);
+
+  // External team: only sees the released surrogate.
+  auto released_spec = SimilaritySpec::FromTables(
+      released.schema(), {&released.a, &released.b});
+  FeatureExtractor released_fx(released_spec);
+  auto released_pairs = synthesizer.LabelPairs(released, 8.0, &rng);
+  RandomForest external;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  released_fx.ExtractAll(released, released_pairs, &x, &y);
+  external.Train(x, y);
+  auto prf_syn = EvaluateMatcher(external, fx, real, real_test);
+
+  std::printf("Matcher trained on REAL data,      tested on real test set: %s\n",
+              prf_real.ToString().c_str());
+  std::printf("Matcher trained on RELEASED data,  tested on real test set: %s\n",
+              prf_syn.ToString().c_str());
+  std::printf("\nF1 gap: %.2f points (paper: < 6 points at full scale)\n",
+              100.0 * (prf_real.f1 - prf_syn.f1));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: synthesize a privacy-preserving surrogate for a small ER
+// dataset in ~30 lines of API.
+//
+//   1. Obtain (or generate) a real ER dataset E_real = (A, B, M).
+//   2. Provide background data from the same domain (disjoint from the
+//      active domain) for the transformer banks and the GAN.
+//   3. Fit() learns the M-/N-distributions and trains the offline models;
+//      Synthesize() produces E_syn.
+#include <cstdio>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+
+using namespace serd;
+using datagen::DatasetKind;
+
+int main() {
+  // A small scholarly-publications ER dataset (DBLP-ACM analog).
+  ERDataset real =
+      datagen::Generate(DatasetKind::kDblpAcm, {.seed = 1, .scale = 0.03});
+  std::printf("Real dataset: |A|=%zu |B|=%zu matches=%zu\n", real.a.size(),
+              real.b.size(), real.matches.size());
+
+  // Background data: same domain, disjoint from the active domain.
+  std::vector<std::vector<std::string>> corpora = {
+      datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "title", 100, 11),
+      datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "authors", 100, 12),
+  };
+  Table background = datagen::BackgroundEntities(DatasetKind::kDblpAcm, 80, 13);
+
+  // Configure SERD; defaults follow the paper (alpha=1, beta=0.6, 10
+  // buckets); model sizes here are CPU-quick.
+  SerdOptions options;
+  options.seed = 7;
+  options.string_bank.num_buckets = 5;
+  options.string_bank.num_candidates = 3;
+  options.string_bank.train.epochs = 2;
+  options.string_bank.random_pair_samples = 300;
+  options.gan.epochs = 8;
+  options.max_reject_retries = 2;
+
+  SerdSynthesizer synthesizer(real, options);
+  Status fit = synthesizer.Fit(corpora, background);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+
+  auto synthesized = synthesizer.Synthesize();
+  if (!synthesized.ok()) {
+    std::fprintf(stderr, "Synthesize failed: %s\n",
+                 synthesized.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Synthesized:  |A|=%zu |B|=%zu matches=%zu\n",
+              synthesized->a.size(), synthesized->b.size(),
+              synthesized->matches.size());
+  std::printf("Offline %.1fs, online %.1fs, rejected %d entities, "
+              "JSD(O_real, O_syn)=%.4f\n",
+              synthesizer.report().offline_seconds,
+              synthesizer.report().online_seconds,
+              synthesizer.report().rejected_by_discriminator +
+                  synthesizer.report().rejected_by_distribution,
+              synthesizer.report().jsd_real_vs_syn);
+
+  std::printf("\nFirst synthesized entities:\n");
+  for (size_t i = 0; i < std::min<size_t>(3, synthesized->a.size()); ++i) {
+    const Entity& e = synthesized->a.row(i);
+    std::printf("  [%s]", e.id.c_str());
+    for (const auto& v : e.values) std::printf(" | %s", v.c_str());
+    std::printf("\n");
+  }
+
+  // Persist the release as CSV.
+  (void)WriteCsvFile("/tmp/serd_quickstart_a.csv", synthesized->a.ToCsv());
+  (void)WriteCsvFile("/tmp/serd_quickstart_b.csv", synthesized->b.ToCsv());
+  std::printf("\nWrote /tmp/serd_quickstart_{a,b}.csv\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef SERD_COMMON_CHECK_H_
+#define SERD_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace serd {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the SERD_CHECK macros; invariant violations are programming
+/// errors, not recoverable conditions (recoverable conditions use Status).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "SERD_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  /// Exposes an lvalue reference so the macro's `&` and `<<` chains can bind.
+  CheckFailure& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in SERD_CHECK produce void on both branches while still
+/// supporting `SERD_CHECK(cond) << "extra context"`. The `&` operator has
+/// lower precedence than `<<`, so the whole streamed chain is evaluated
+/// before being voidified (the classic glog trick).
+struct Voidifier {
+  void operator&(CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace serd
+
+/// Aborts with a message if `cond` is false. Usage:
+///   SERD_CHECK(n > 0) << "need at least one sample, got " << n;
+#define SERD_CHECK(cond)                                            \
+  (cond) ? (void)0                                                  \
+         : ::serd::internal_check::Voidifier() &                    \
+               ::serd::internal_check::CheckFailure(__FILE__, __LINE__, #cond) \
+                   .self()
+
+#define SERD_CHECK_EQ(a, b) SERD_CHECK((a) == (b))
+#define SERD_CHECK_NE(a, b) SERD_CHECK((a) != (b))
+#define SERD_CHECK_LT(a, b) SERD_CHECK((a) < (b))
+#define SERD_CHECK_LE(a, b) SERD_CHECK((a) <= (b))
+#define SERD_CHECK_GT(a, b) SERD_CHECK((a) > (b))
+#define SERD_CHECK_GE(a, b) SERD_CHECK((a) >= (b))
+
+#endif  // SERD_COMMON_CHECK_H_

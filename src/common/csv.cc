@@ -1,0 +1,154 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace serd {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string_view field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+        } else {
+          field.push_back('"');
+        }
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
+        end_record();
+        ++i;
+        break;
+      case '\n':
+        end_record();
+        ++i;
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  // Final record without trailing newline.
+  if (field_started || !field.empty() || !current.empty()) {
+    end_record();
+  }
+
+  if (records.empty()) {
+    return Status::InvalidArgument("empty CSV document");
+  }
+
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != doc.header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV row %zu has %zu fields, header has %zu", r,
+                    records[r].size(), doc.header.size()));
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  for (size_t i = 0; i < doc.header.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendField(doc.header[i], &out);
+  }
+  out.push_back('\n');
+  for (const auto& row : doc.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(row[i], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsv(doc);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace serd

@@ -1,0 +1,36 @@
+#ifndef SERD_COMMON_CSV_H_
+#define SERD_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace serd {
+
+/// A parsed CSV document: a header row plus data rows. All fields are kept
+/// as strings; typed interpretation happens at the data-model layer.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text (double-quote quoting, embedded commas,
+/// embedded quotes doubled, embedded newlines inside quotes). The first
+/// record is treated as the header. Returns InvalidArgument on unterminated
+/// quotes or rows whose field count differs from the header.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV, quoting fields that need it.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Writes a document to disk; returns IOError on failure.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace serd
+
+#endif  // SERD_COMMON_CSV_H_

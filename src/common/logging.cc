@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+namespace serd {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal_log {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+}  // namespace internal_log
+}  // namespace serd

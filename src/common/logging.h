@@ -1,0 +1,42 @@
+#ifndef SERD_COMMON_LOGGING_H_
+#define SERD_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace serd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// One log statement; flushes to stderr with a level tag on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace serd
+
+#define SERD_LOG(level)                                     \
+  ::serd::internal_log::LogMessage(::serd::LogLevel::level, \
+                                   __FILE__, __LINE__)
+
+#endif  // SERD_COMMON_LOGGING_H_

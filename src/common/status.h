@@ -1,0 +1,130 @@
+#ifndef SERD_COMMON_STATUS_H_
+#define SERD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace serd {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-system Status idiom (RocksDB / Arrow): public APIs do not throw;
+/// they return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIOError,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"…).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::InvalidArgument(...);`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    SERD_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Requires ok(); aborts otherwise.
+  const T& value() const& {
+    SERD_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    SERD_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    SERD_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates an error Status from an expression, RocksDB-style.
+#define SERD_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::serd::Status _serd_status = (expr);         \
+    if (!_serd_status.ok()) return _serd_status;  \
+  } while (false)
+
+}  // namespace serd
+
+#endif  // SERD_COMMON_STATUS_H_

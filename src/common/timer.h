@@ -1,0 +1,29 @@
+#ifndef SERD_COMMON_TIMER_H_
+#define SERD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace serd {
+
+/// Wall-clock stopwatch used by the efficiency benchmarks (paper Table IV).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_COMMON_TIMER_H_

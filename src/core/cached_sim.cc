@@ -1,0 +1,81 @@
+#include "core/cached_sim.h"
+
+#include <cmath>
+
+#include "text/qgram.h"
+
+namespace serd {
+
+CachedSimilarity::CachedSimilarity(const SimilaritySpec& spec)
+    : spec_(&spec) {}
+
+CachedSimilarity::Digest CachedSimilarity::MakeDigest(
+    const Entity& entity) const {
+  const size_t l = spec_->schema().num_columns();
+  SERD_CHECK_EQ(entity.values.size(), l);
+  Digest d;
+  d.grams.resize(l);
+  d.numeric.assign(l, 0.0);
+  d.numeric_ok.assign(l, false);
+  d.empty.assign(l, false);
+  for (size_t c = 0; c < l; ++c) {
+    const std::string& v = entity.values[c];
+    d.empty[c] = v.empty();
+    switch (spec_->schema().column(c).type) {
+      case ColumnType::kText:
+      case ColumnType::kCategorical:
+        d.grams[c] = QgramSet(v, 3);
+        break;
+      case ColumnType::kNumeric:
+      case ColumnType::kDate: {
+        double parsed;
+        if (spec_->ParseValue(c, v, &parsed)) {
+          d.numeric[c] = parsed;
+          d.numeric_ok[c] = true;
+        }
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+Vec CachedSimilarity::SimilarityVector(const Digest& a,
+                                       const Digest& b) const {
+  const size_t l = spec_->schema().num_columns();
+  Vec x(l);
+  for (size_t c = 0; c < l; ++c) {
+    if (a.empty[c] && b.empty[c]) {
+      x[c] = 1.0;
+      continue;
+    }
+    if (a.empty[c] || b.empty[c]) {
+      x[c] = 0.0;
+      continue;
+    }
+    switch (spec_->schema().column(c).type) {
+      case ColumnType::kText:
+      case ColumnType::kCategorical:
+        x[c] = JaccardOfSortedSets(a.grams[c], b.grams[c]);
+        break;
+      case ColumnType::kNumeric:
+      case ColumnType::kDate: {
+        if (!a.numeric_ok[c] || !b.numeric_ok[c]) {
+          x[c] = 0.0;
+          break;
+        }
+        double range = spec_->Range(c);
+        if (range <= 0.0) {
+          x[c] = a.numeric[c] == b.numeric[c] ? 1.0 : 0.0;
+          break;
+        }
+        double s = 1.0 - std::fabs(a.numeric[c] - b.numeric[c]) / range;
+        x[c] = std::max(0.0, std::min(1.0, s));
+        break;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace serd

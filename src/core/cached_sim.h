@@ -1,0 +1,45 @@
+#ifndef SERD_CORE_CACHED_SIM_H_
+#define SERD_CORE_CACHED_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "data/similarity.h"
+#include "data/table.h"
+
+namespace serd {
+
+/// Similarity computation with per-entity caches. Computing a similarity
+/// vector from scratch rebuilds q-gram sets and re-parses numerics for
+/// both entities; the S3 labeling pass and the rejection test evaluate one
+/// entity against many partners, so caching the per-entity column
+/// representations turns O(pairs * strlen) gram builds into O(entities).
+class CachedSimilarity {
+ public:
+  explicit CachedSimilarity(const SimilaritySpec& spec);
+
+  /// Pre-digested representation of one entity.
+  struct Digest {
+    /// Sorted 3-gram sets for text/categorical columns (empty otherwise).
+    std::vector<std::vector<std::string>> grams;
+    /// Parsed value and validity flag for numeric/date columns.
+    std::vector<double> numeric;
+    std::vector<bool> numeric_ok;
+    std::vector<bool> empty;
+  };
+
+  Digest MakeDigest(const Entity& entity) const;
+
+  /// Similarity vector between two digests (same semantics as
+  /// SimilaritySpec::SimilarityVector).
+  Vec SimilarityVector(const Digest& a, const Digest& b) const;
+
+  const SimilaritySpec& spec() const { return *spec_; }
+
+ private:
+  const SimilaritySpec* spec_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_CORE_CACHED_SIM_H_

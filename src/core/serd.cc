@@ -1,0 +1,469 @@
+#include "core/serd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace serd {
+
+SerdSynthesizer::SerdSynthesizer(const ERDataset& real, SerdOptions options)
+    : real_(&real), options_(std::move(options)) {
+  spec_ = SimilaritySpec::FromTables(real.schema(), {&real.a, &real.b});
+  cached_sim_ = std::make_unique<CachedSimilarity>(spec_);
+}
+
+Status SerdSynthesizer::Fit(
+    const std::vector<std::vector<std::string>>& background_text_corpora,
+    const Table& background_entities) {
+  WallTimer timer;
+  Rng rng(options_.seed);
+
+  // ----- S1: learn the M- and N-distributions from E_real. -----
+  LabeledPairSet pairs =
+      BuildLabeledPairs(*real_, options_.neg_pairs_per_match, &rng);
+  std::vector<Vec> x_pos, x_neg;
+  ComputeSimilarityVectors(*real_, spec_, pairs, &x_pos, &x_neg);
+  if (x_pos.empty() || x_neg.empty()) {
+    return Status::FailedPrecondition(
+        "real dataset must contain both matching and non-matching pairs");
+  }
+  auto m_fit = Gmm::FitWithAic(x_pos, options_.gmm);
+  SERD_RETURN_IF_ERROR(m_fit.status());
+  auto n_fit = Gmm::FitWithAic(x_neg, options_.gmm);
+  SERD_RETURN_IF_ERROR(n_fit.status());
+  double pi = static_cast<double>(x_pos.size()) /
+              static_cast<double>(x_pos.size() + x_neg.size());
+  o_real_ = ODistribution(pi, m_fit.value(), n_fit.value());
+  report_.m_components = static_cast<int>(m_fit->num_components());
+  report_.n_components = static_cast<int>(n_fit->num_components());
+
+  // ----- Offline: one transformer bank per text column. -----
+  const Schema& schema = spec_.schema();
+  size_t text_columns = 0;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type == ColumnType::kText) ++text_columns;
+  }
+  if (background_text_corpora.size() != text_columns) {
+    return Status::InvalidArgument(
+        "need one background corpus per text column");
+  }
+
+  banks_.clear();
+  banks_.resize(schema.num_columns());
+  size_t corpus_idx = 0;
+  double total_eps = 0.0;
+  int eps_count = 0;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type != ColumnType::kText) continue;
+    StringBankOptions bank_opts = options_.string_bank;
+    bank_opts.train.seed = options_.seed + 7919ULL * (c + 1);
+    auto sim = [this, c](const std::string& a, const std::string& b) {
+      return spec_.ColumnSimilarity(c, a, b);
+    };
+    auto bank = std::make_unique<StringSynthesisBank>(bank_opts, sim);
+    Rng bank_rng(options_.seed + 104729ULL * (c + 1));
+    SERD_RETURN_IF_ERROR(
+        bank->Train(background_text_corpora[corpus_idx], &bank_rng));
+    if (bank->stats().mean_epsilon > 0.0) {
+      total_eps += bank->stats().mean_epsilon;
+      ++eps_count;
+    }
+    banks_[c] = std::move(bank);
+    ++corpus_idx;
+  }
+  report_.mean_bank_epsilon = eps_count > 0 ? total_eps / eps_count : 0.0;
+
+  // ----- Offline: GAN over background entity encodings. -----
+  if (!(background_entities.schema() == schema)) {
+    return Status::InvalidArgument(
+        "background entities must share the dataset schema");
+  }
+  if (background_entities.empty()) {
+    return Status::InvalidArgument("background entities table is empty");
+  }
+  encoder_ = std::make_unique<EntityEncoder>(spec_, options_.encoder);
+  std::vector<std::vector<float>> features;
+  features.reserve(background_entities.size());
+  for (const auto& row : background_entities.rows()) {
+    features.push_back(encoder_->Encode(row));
+  }
+  gan_ = std::make_unique<EntityGan>(encoder_->feature_dim(), options_.gan);
+  gan_->Train(features);
+
+  decode_pools_.assign(schema.num_columns(), {});
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    decode_pools_[c] = background_entities.ColumnValues(c);
+    if (decode_pools_[c].empty()) decode_pools_[c].push_back("");
+  }
+
+  report_.offline_seconds = timer.Seconds();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Entity SerdSynthesizer::SynthesizeFrom(const Entity& e, const Vec& x,
+                                       Rng* rng) const {
+  const Schema& schema = spec_.schema();
+  Entity out;
+  out.values.resize(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const double target = std::clamp(x[c], 0.0, 1.0);
+    switch (schema.column(c).type) {
+      case ColumnType::kNumeric:
+      case ColumnType::kDate: {
+        // Closed form (paper: e'[C] = e[C] +- (1 - x[C]) * range).
+        double base;
+        double lo = spec_.stats()[c].min_value;
+        double hi = spec_.stats()[c].max_value;
+        double range = spec_.Range(c);
+        if (!spec_.ParseValue(c, e.values[c], &base)) {
+          base = rng->Uniform(lo, hi);
+        }
+        double delta = (1.0 - target) * range;
+        double candidate =
+            rng->Bernoulli(0.5) ? base + delta : base - delta;
+        if (candidate < lo || candidate > hi) {
+          candidate = rng->Bernoulli(0.5) ? base + delta : base - delta;
+          candidate = std::clamp(candidate, lo, hi);
+        }
+        out.values[c] = spec_.FormatValue(c, candidate);
+        break;
+      }
+      case ColumnType::kCategorical: {
+        // Closest existing value to the target similarity; ties within a
+        // small margin are broken uniformly for variety.
+        const auto& domain = spec_.stats()[c].domain;
+        if (domain.empty()) {
+          out.values[c] = e.values[c];
+          break;
+        }
+        double best_err = 2.0;
+        for (const auto& v : domain) {
+          best_err = std::min(
+              best_err,
+              std::fabs(spec_.ColumnSimilarity(c, e.values[c], v) - target));
+        }
+        std::vector<const std::string*> near;
+        for (const auto& v : domain) {
+          double err =
+              std::fabs(spec_.ColumnSimilarity(c, e.values[c], v) - target);
+          if (err <= best_err + 0.02) near.push_back(&v);
+        }
+        out.values[c] = *near[rng->UniformInt(near.size())];
+        break;
+      }
+      case ColumnType::kText: {
+        SERD_CHECK(banks_[c] != nullptr);
+        out.values[c] = banks_[c]->Synthesize(e.values[c], target, rng);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Entity SerdSynthesizer::ColdStartEntity(Rng* rng) const {
+  SERD_CHECK(gan_ != nullptr && encoder_ != nullptr);
+  std::vector<float> features = gan_->GenerateFeatures(rng);
+  Entity e = encoder_->Decode(features, decode_pools_);
+  e.id = "seed";
+  return e;
+}
+
+bool SerdSynthesizer::RejectedByDiscriminator(const Entity& e) const {
+  if (gan_ == nullptr || !gan_->trained()) return false;
+  double score = gan_->DiscriminatorScore(encoder_->Encode(e));
+  return score < options_.beta;
+}
+
+Result<ERDataset> SerdSynthesizer::Synthesize() {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Fit() must succeed before Synthesize()");
+  }
+  WallTimer timer;
+  Rng rng(options_.seed ^ 0x51e2d5ULL);
+
+  const size_t na = options_.target_a > 0 ? options_.target_a : real_->a.size();
+  const size_t nb = options_.target_b > 0 ? options_.target_b : real_->b.size();
+  SERD_CHECK(na > 0 && nb > 0);
+
+  ERDataset syn;
+  syn.name = real_->name + "-SERD" +
+             (options_.enable_rejection ? "" : "-");
+  syn.a = Table(spec_.schema());
+  syn.b = Table(spec_.schema());
+
+  std::vector<CachedSimilarity::Digest> a_digests, b_digests;
+  a_digests.reserve(na);
+  b_digests.reserve(nb);
+
+  auto append_entity = [&](bool to_a, Entity e) -> size_t {
+    Table& t = to_a ? syn.a : syn.b;
+    auto& digests = to_a ? a_digests : b_digests;
+    e.id = (to_a ? "sa" : "sb") + std::to_string(t.size());
+    digests.push_back(cached_sim_->MakeDigest(e));
+    t.Append(std::move(e));
+    return t.size() - 1;
+  };
+
+  // Bootstrap with one GAN-generated A-entity (paper step S2 start).
+  append_entity(true, ColdStartEntity(&rng));
+  ++report_.accepted_entities;
+
+  // O_syn tracking state (paper Section V, case 2).
+  std::vector<Vec> warm_pos, warm_neg;
+  std::unique_ptr<IncrementalGmm> m_syn, n_syn;
+  size_t syn_pos_count = 0, syn_neg_count = 0;
+  double current_jsd = 0.0;
+  const uint64_t jsd_seed = options_.seed ^ 0x15d0ULL;
+  auto current_o_syn = [&]() {
+    double pi_syn =
+        static_cast<double>(syn_pos_count) /
+        static_cast<double>(std::max<size_t>(1, syn_pos_count + syn_neg_count));
+    pi_syn = std::clamp(pi_syn, 0.001, 0.999);
+    return ODistribution(pi_syn, m_syn->model(), n_syn->model());
+  };
+
+  // Labels for sampled pairs (step S2-4).
+  struct LinkedPair {
+    size_t a_idx, b_idx;
+    bool match;
+  };
+  std::vector<LinkedPair> linked;
+
+  // Arm-sampling rate for S2-2 (see SerdOptions::match_link_rate).
+  double link_rate = options_.match_link_rate;
+  if (link_rate <= 0.0) {
+    link_rate = static_cast<double>(real_->matches.size()) /
+                static_cast<double>(na + nb);
+    link_rate = std::clamp(link_rate, 0.02, 0.9);
+  }
+  auto sample_vector = [&](Rng* r) {
+    ODistribution::SampleResult out;
+    out.from_match = r->Bernoulli(link_rate);
+    out.x = out.from_match ? o_real_.m_distribution().Sample(r)
+                           : o_real_.n_distribution().Sample(r);
+    for (double& v : out.x) v = std::clamp(v, 0.0, 1.0);
+    return out;
+  };
+
+  size_t guard = 0;
+  const size_t max_iterations = 60 * (na + nb) + 1000;
+  while ((syn.a.size() < na || syn.b.size() < nb) &&
+         guard++ < max_iterations) {
+    // --- S2-1: choose the source entity e. ---
+    bool a_full = syn.a.size() >= na;
+    bool b_full = syn.b.size() >= nb;
+    bool e_from_a;
+    if (a_full) {
+      e_from_a = true;  // e' must go to B
+    } else if (b_full) {
+      e_from_a = false;  // e' must go to A
+    } else {
+      size_t total = syn.a.size() + syn.b.size();
+      e_from_a = rng.UniformInt(total) < syn.a.size();
+    }
+    const Table& source_table = e_from_a ? syn.a : syn.b;
+    const auto& source_digests = e_from_a ? a_digests : b_digests;
+    if (source_table.empty()) continue;
+    size_t e_idx = rng.UniformInt(source_table.size());
+    const Entity& e = source_table.row(e_idx);
+
+    // --- S2-2 + S2-3 with rejection retries. ---
+    Entity e_new;
+    bool is_match = false;
+    std::vector<Vec> delta_pos, delta_neg;
+    bool accepted = false;
+    for (int attempt = 0; attempt <= options_.max_reject_retries;
+         ++attempt) {
+      auto sample = sample_vector(&rng);
+      Entity candidate = SynthesizeFrom(e, sample.x, &rng);
+
+      if (options_.enable_rejection && RejectedByDiscriminator(candidate)) {
+        ++report_.rejected_by_discriminator;
+        continue;
+      }
+
+      // Induced pairs between the candidate and (a sample of) T_e
+      // (paper Remark (1): sample t partners).
+      auto digest = cached_sim_->MakeDigest(candidate);
+      delta_pos.clear();
+      delta_neg.clear();
+      size_t partners = source_table.size();
+      size_t t_cap = static_cast<size_t>(
+          std::max(1, options_.rejection_partner_sample));
+      for (size_t s = 0; s < std::min(partners, t_cap); ++s) {
+        size_t idx = partners <= t_cap ? s : rng.UniformInt(partners);
+        Vec v = cached_sim_->SimilarityVector(source_digests[idx], digest);
+        (o_real_.LabelAsMatch(v) ? delta_pos : delta_neg)
+            .push_back(std::move(v));
+      }
+
+      if (options_.enable_rejection && m_syn != nullptr &&
+          n_syn != nullptr) {
+        // Preview the updated O_syn and apply the paper's Eq. 10 test.
+        auto dp = m_syn->ComputeDelta(delta_pos);
+        auto dn = n_syn->ComputeDelta(delta_neg);
+        Gmm m_preview = m_syn->PreviewModel(dp);
+        Gmm n_preview = n_syn->PreviewModel(dn);
+        double pi_new =
+            static_cast<double>(syn_pos_count + delta_pos.size()) /
+            static_cast<double>(std::max<size_t>(
+                1, syn_pos_count + syn_neg_count + delta_pos.size() +
+                       delta_neg.size()));
+        pi_new = std::clamp(pi_new, 0.001, 0.999);
+        ODistribution o_syn_new(pi_new, m_preview, n_preview);
+        double jsd_new =
+            EstimateJsd(o_syn_new, o_real_, options_.jsd_samples, jsd_seed);
+        if (jsd_new > options_.alpha * current_jsd && attempt <
+            options_.max_reject_retries) {
+          ++report_.rejected_by_distribution;
+          continue;
+        }
+        if (jsd_new > options_.alpha * current_jsd) {
+          ++report_.forced_accepts;
+        }
+        // Accept: commit the deltas.
+        m_syn->Commit(dp);
+        n_syn->Commit(dn);
+        syn_pos_count += delta_pos.size();
+        syn_neg_count += delta_neg.size();
+        current_jsd = jsd_new;
+      } else {
+        // Warmup: accumulate vectors until enough to fit O_syn.
+        for (auto& v : delta_pos) warm_pos.push_back(std::move(v));
+        for (auto& v : delta_neg) warm_neg.push_back(std::move(v));
+      }
+
+      e_new = std::move(candidate);
+      is_match = sample.from_match;
+      accepted = true;
+      break;
+    }
+    if (!accepted) {
+      // All retries rejected by the discriminator: accept the last
+      // synthesis unconditionally to guarantee progress.
+      auto sample = sample_vector(&rng);
+      e_new = SynthesizeFrom(e, sample.x, &rng);
+      is_match = sample.from_match;
+      ++report_.forced_accepts;
+    }
+
+    // --- S2-4: add e' to the opposite table and record the label. ---
+    size_t new_idx = append_entity(!e_from_a, std::move(e_new));
+    ++report_.accepted_entities;
+    if (e_from_a) {
+      linked.push_back({e_idx, new_idx, is_match});
+    } else {
+      linked.push_back({new_idx, e_idx, is_match});
+    }
+
+    // Initialize the O_syn trackers once warmed up.
+    if (options_.enable_rejection && m_syn == nullptr &&
+        static_cast<size_t>(report_.accepted_entities) >=
+            options_.o_syn_warmup &&
+        warm_pos.size() >= 4 && warm_neg.size() >= 4) {
+      GmmFitOptions syn_fit = options_.gmm;
+      syn_fit.max_components = std::max(report_.m_components, 1);
+      auto m0 = Gmm::FitWithAic(warm_pos, syn_fit);
+      syn_fit.max_components = std::max(report_.n_components, 1);
+      auto n0 = Gmm::FitWithAic(warm_neg, syn_fit);
+      if (m0.ok() && n0.ok()) {
+        m_syn = std::make_unique<IncrementalGmm>(m0.value(), warm_pos);
+        n_syn = std::make_unique<IncrementalGmm>(n0.value(), warm_neg);
+        syn_pos_count = warm_pos.size();
+        syn_neg_count = warm_neg.size();
+        current_jsd =
+            EstimateJsd(current_o_syn(), o_real_, options_.jsd_samples,
+                        jsd_seed);
+      }
+    }
+  }
+
+  // --- S2-4 bookkeeping: explicit matching links. ---
+  for (const auto& lp : linked) {
+    if (lp.match) syn.matches.push_back({lp.a_idx, lp.b_idx});
+  }
+
+  // --- S3: label remaining pairs by posterior (paper Section IV-C). ---
+  std::unordered_set<uint64_t> known;
+  for (const auto& lp : linked) {
+    known.insert(static_cast<uint64_t>(lp.a_idx) * syn.b.size() + lp.b_idx);
+  }
+  const size_t total_pairs = syn.a.size() * syn.b.size();
+  const size_t label_cap =
+      options_.max_label_pairs == 0
+          ? total_pairs
+          : std::min(total_pairs, options_.max_label_pairs);
+  if (label_cap >= total_pairs) {
+    for (size_t i = 0; i < syn.a.size(); ++i) {
+      for (size_t j = 0; j < syn.b.size(); ++j) {
+        uint64_t key = static_cast<uint64_t>(i) * syn.b.size() + j;
+        if (known.count(key)) continue;
+        Vec x = cached_sim_->SimilarityVector(a_digests[i], b_digests[j]);
+        if (o_real_.LabelAsMatch(x)) syn.matches.push_back({i, j});
+      }
+    }
+  } else {
+    // Deterministic stride subsample of the cross product.
+    double stride = static_cast<double>(total_pairs) / label_cap;
+    for (size_t k = 0; k < label_cap; ++k) {
+      size_t flat = static_cast<size_t>(k * stride);
+      size_t i = flat / syn.b.size();
+      size_t j = flat % syn.b.size();
+      uint64_t key = static_cast<uint64_t>(i) * syn.b.size() + j;
+      if (known.count(key)) continue;
+      Vec x = cached_sim_->SimilarityVector(a_digests[i], b_digests[j]);
+      if (o_real_.LabelAsMatch(x)) syn.matches.push_back({i, j});
+    }
+  }
+
+  if (m_syn != nullptr && n_syn != nullptr) {
+    report_.jsd_real_vs_syn = EstimateJsd(current_o_syn(), o_real_,
+                                          options_.jsd_samples, jsd_seed);
+  }
+  report_.online_seconds = timer.Seconds();
+  if (options_.verbose) {
+    SERD_LOG(kInfo) << syn.name << ": accepted=" << report_.accepted_entities
+                    << " rej_disc=" << report_.rejected_by_discriminator
+                    << " rej_dist=" << report_.rejected_by_distribution
+                    << " jsd=" << report_.jsd_real_vs_syn;
+  }
+  return syn;
+}
+
+LabeledPairSet SerdSynthesizer::LabelPairs(const ERDataset& syn,
+                                           double neg_per_pos,
+                                           Rng* rng) const {
+  return BuildLabeledPairs(syn, neg_per_pos, rng);
+}
+
+Result<double> SerdSynthesizer::EvaluateSyntheticJsd(const ERDataset& syn,
+                                                     int jsd_samples,
+                                                     uint64_t seed) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Fit() must succeed first");
+  }
+  Rng rng(seed);
+  LabeledPairSet pairs = BuildLabeledPairs(syn, options_.neg_pairs_per_match,
+                                           &rng);
+  std::vector<Vec> x_pos, x_neg;
+  ComputeSimilarityVectors(syn, spec_, pairs, &x_pos, &x_neg);
+  if (x_pos.empty() || x_neg.empty()) {
+    return Status::FailedPrecondition(
+        "synthesized dataset lacks matching or non-matching pairs");
+  }
+  auto m_fit = Gmm::FitWithAic(x_pos, options_.gmm);
+  SERD_RETURN_IF_ERROR(m_fit.status());
+  auto n_fit = Gmm::FitWithAic(x_neg, options_.gmm);
+  SERD_RETURN_IF_ERROR(n_fit.status());
+  double pi = static_cast<double>(x_pos.size()) /
+              static_cast<double>(x_pos.size() + x_neg.size());
+  ODistribution o_syn(pi, m_fit.value(), n_fit.value());
+  return EstimateJsd(o_syn, o_real_, jsd_samples, seed ^ 0x9e37ULL);
+}
+
+}  // namespace serd

@@ -1,0 +1,173 @@
+#ifndef SERD_CORE_SERD_H_
+#define SERD_CORE_SERD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cached_sim.h"
+#include "data/er_dataset.h"
+#include "gan/entity_gan.h"
+#include "gmm/incremental.h"
+#include "gmm/o_distribution.h"
+#include "seq2seq/model_bank.h"
+
+namespace serd {
+
+/// All knobs of the SERD pipeline. Defaults follow the paper's settings
+/// (Section VII): alpha = 1, beta = 0.6, 10 similarity intervals, 10
+/// candidate strings; model/corpus sizes are CPU-scale (DESIGN.md).
+struct SerdOptions {
+  // --- S1: distribution learning ---
+  GmmFitOptions gmm;
+  /// Non-matching pairs sampled per matching pair when estimating the
+  /// N-distribution (the full cross product is quadratic).
+  double neg_pairs_per_match = 10.0;
+
+  // --- S2: synthesis loop ---
+  size_t target_a = 0;  ///< 0 = |A_real|
+  size_t target_b = 0;  ///< 0 = |B_real|
+  /// Probability that S2-2 samples the similarity vector from the
+  /// M-distribution (i.e., that the new entity is linked as a match). The
+  /// paper uses the mixture weight pi, but pi is relative to the labeled
+  /// pair sample, not to entity insertions; to make |M_syn| track |M_real|
+  /// the link rate must be |M_real| / (n_a + n_b). 0 (the default) selects
+  /// that automatic rate (clamped to [0.02, 0.9]); set explicitly to
+  /// override (e.g. to the raw pi for a paper-literal run).
+  double match_link_rate = 0.0;
+  bool enable_rejection = true;  ///< false reproduces the SERD- baseline
+  double alpha = 1.0;   ///< distribution-rejection slack (paper Eq. 10)
+  double beta = 0.6;    ///< discriminator acceptance threshold
+  int max_reject_retries = 4;   ///< re-synthesis attempts before forcing
+  int rejection_partner_sample = 24;  ///< t of paper Remark (1)
+  int jsd_samples = 192;        ///< Monte-Carlo draws per JSD estimate
+  size_t o_syn_warmup = 12;     ///< entities accepted before O_syn tracking
+
+  // --- string synthesis (Section VI) ---
+  StringBankOptions string_bank;
+
+  // --- GAN (cold start + rejection case 1) ---
+  GanConfig gan;
+  EntityEncoderOptions encoder;
+
+  // --- S3: labeling ---
+  /// Cap on cross pairs examined in the final labeling pass (0 = all).
+  size_t max_label_pairs = 250000;
+
+  uint64_t seed = 2024;
+  bool verbose = false;
+};
+
+/// Outcome statistics of one synthesis run (feeds Tables III-IV and the
+/// ablation benches).
+struct SerdReport {
+  double offline_seconds = 0.0;  ///< transformer banks + GAN training
+  double online_seconds = 0.0;   ///< the S2/S3 synthesis loop
+  int accepted_entities = 0;
+  int rejected_by_discriminator = 0;
+  int rejected_by_distribution = 0;
+  int forced_accepts = 0;        ///< retries exhausted
+  double mean_bank_epsilon = 0.0;  ///< mean DP epsilon across string banks
+  double jsd_real_vs_syn = 0.0;    ///< JSD(O_real, O_syn) at the end
+  int m_components = 0;          ///< AIC-selected component counts
+  int n_components = 0;
+};
+
+/// The SERD synthesizer (paper Algorithm overview, Section III):
+///   S1 learn the M-/N-distributions of E_real as GMMs (EM + AIC),
+///   S2 iteratively sample (entity, similarity vector) and synthesize a
+///      new entity per column type, with GAN-discriminator and
+///      JSD-distribution rejection,
+///   S3 label remaining pairs by GMM posterior.
+///
+/// Privacy architecture (paper Figure 2): Fit() consumes only
+/// (a) similarity vectors of E_real — not entity values — and
+/// (b) background corpora/entities disjoint from the active domain, on
+/// which the transformers are trained with DP-SGD. The single exception,
+/// as in the paper, is the categorical value domain (paper Section IV-B1
+/// iterates e'[C_i] over the existing categorical values).
+class SerdSynthesizer {
+ public:
+  SerdSynthesizer(const ERDataset& real, SerdOptions options);
+
+  /// S1 plus offline model training. `background_text_corpora` holds one
+  /// corpus per *text* column, in schema order of the text columns;
+  /// `background_entities` is a table of same-schema entities from the
+  /// background domain (GAN training and cold-start decode pools).
+  Status Fit(const std::vector<std::vector<std::string>>&
+                 background_text_corpora,
+             const Table& background_entities);
+
+  /// S2 + S3. Requires Fit() to have succeeded.
+  Result<ERDataset> Synthesize();
+
+  const SerdReport& report() const { return report_; }
+  const ODistribution& o_real() const { return o_real_; }
+  const SimilaritySpec& spec() const { return spec_; }
+
+  /// Toggles rejection (paper Section V) without refitting the offline
+  /// models, so SERD and the SERD- baseline share one Fit() (their offline
+  /// phase is identical by construction). Resets the run statistics.
+  void set_enable_rejection(bool enabled) {
+    options_.enable_rejection = enabled;
+    SerdReport fresh;
+    fresh.offline_seconds = report_.offline_seconds;
+    fresh.mean_bank_epsilon = report_.mean_bank_epsilon;
+    fresh.m_components = report_.m_components;
+    fresh.n_components = report_.n_components;
+    report_ = fresh;
+  }
+
+  /// Offline models (for the Exp-1 user-study harness; null before Fit).
+  const EntityGan* gan() const { return gan_.get(); }
+  const EntityEncoder* encoder() const { return encoder_.get(); }
+
+  /// Labels an arbitrary pair set of a synthesized dataset by the GMM
+  /// posterior (used to build matcher training data from E_syn).
+  LabeledPairSet LabelPairs(const ERDataset& syn, double neg_per_pos,
+                            Rng* rng) const;
+
+  /// Post-hoc, trajectory-independent distribution quality measure:
+  /// samples labeled pairs from `syn`, fits fresh M-/N-GMMs to their
+  /// similarity vectors, and returns the Monte-Carlo JSD against O_real.
+  /// This is what the paper's Eq. 3 objective actually asks of the final
+  /// dataset (the online tracker in Synthesize() is an incremental
+  /// approximation used only for the rejection decision).
+  Result<double> EvaluateSyntheticJsd(const ERDataset& syn,
+                                      int jsd_samples = 512,
+                                      uint64_t seed = 12345) const;
+
+ private:
+  struct PendingEntity {
+    Entity entity;
+    CachedSimilarity::Digest digest;
+  };
+
+  /// Synthesizes e' from e so that sim(e, e') ≈ x (paper Section IV-B1).
+  Entity SynthesizeFrom(const Entity& e, const Vec& x, Rng* rng) const;
+
+  /// Cold start (paper Section IV-B2): GAN features decoded against the
+  /// background pools.
+  Entity ColdStartEntity(Rng* rng) const;
+
+  /// Case-1 rejection: discriminator score < beta.
+  bool RejectedByDiscriminator(const Entity& e) const;
+
+  const ERDataset* real_;
+  SerdOptions options_;
+  SimilaritySpec spec_;
+  std::unique_ptr<CachedSimilarity> cached_sim_;
+
+  ODistribution o_real_;
+  std::vector<std::unique_ptr<StringSynthesisBank>> banks_;  // per column (null for non-text)
+  std::unique_ptr<EntityEncoder> encoder_;
+  std::unique_ptr<EntityGan> gan_;
+  std::vector<std::vector<std::string>> decode_pools_;
+
+  bool fitted_ = false;
+  SerdReport report_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_CORE_SERD_H_

@@ -1,0 +1,113 @@
+#include "data/dataset_io.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace serd {
+namespace {
+
+Result<ColumnType> ParseColumnType(const std::string& s) {
+  if (s == "numeric") return ColumnType::kNumeric;
+  if (s == "categorical") return ColumnType::kCategorical;
+  if (s == "date") return ColumnType::kDate;
+  if (s == "text") return ColumnType::kText;
+  return Status::InvalidArgument("unknown column type: " + s);
+}
+
+}  // namespace
+
+Status SaveDataset(const ERDataset& dataset, const std::string& dir) {
+  // schema.csv
+  CsvDocument schema_doc;
+  schema_doc.header = {"name", "type", "self_join"};
+  for (const auto& col : dataset.schema().columns()) {
+    schema_doc.rows.push_back(
+        {col.name, ColumnTypeName(col.type),
+         dataset.self_join ? "1" : "0"});
+  }
+  SERD_RETURN_IF_ERROR(WriteCsvFile(dir + "/schema.csv", schema_doc));
+
+  SERD_RETURN_IF_ERROR(
+      WriteCsvFile(dir + "/tableA.csv", dataset.a.ToCsv()));
+  if (!dataset.self_join) {
+    SERD_RETURN_IF_ERROR(
+        WriteCsvFile(dir + "/tableB.csv", dataset.b.ToCsv()));
+  }
+
+  CsvDocument matches_doc;
+  matches_doc.header = {"idA", "idB"};
+  for (const auto& m : dataset.matches) {
+    if (m.a_idx >= dataset.a.size() || m.b_idx >= dataset.b.size()) {
+      return Status::InvalidArgument("match references an invalid row");
+    }
+    matches_doc.rows.push_back(
+        {dataset.a.row(m.a_idx).id, dataset.b.row(m.b_idx).id});
+  }
+  return WriteCsvFile(dir + "/matches.csv", matches_doc);
+}
+
+Result<ERDataset> LoadDataset(const std::string& dir,
+                              const std::string& name) {
+  auto schema_doc = ReadCsvFile(dir + "/schema.csv");
+  SERD_RETURN_IF_ERROR(schema_doc.status());
+  if (schema_doc->header != std::vector<std::string>({"name", "type",
+                                                      "self_join"})) {
+    return Status::InvalidArgument("bad schema.csv header");
+  }
+  std::vector<ColumnSpec> columns;
+  bool self_join = false;
+  for (const auto& row : schema_doc->rows) {
+    auto type = ParseColumnType(row[1]);
+    SERD_RETURN_IF_ERROR(type.status());
+    columns.push_back({row[0], type.value()});
+    self_join = row[2] == "1";
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema.csv has no columns");
+  }
+  Schema schema(std::move(columns));
+
+  ERDataset dataset;
+  dataset.name = name;
+  dataset.self_join = self_join;
+
+  auto a_doc = ReadCsvFile(dir + "/tableA.csv");
+  SERD_RETURN_IF_ERROR(a_doc.status());
+  auto a = Table::FromCsv(schema, a_doc.value());
+  SERD_RETURN_IF_ERROR(a.status());
+  dataset.a = std::move(a).value();
+
+  if (self_join) {
+    dataset.b = dataset.a;
+  } else {
+    auto b_doc = ReadCsvFile(dir + "/tableB.csv");
+    SERD_RETURN_IF_ERROR(b_doc.status());
+    auto b = Table::FromCsv(schema, b_doc.value());
+    SERD_RETURN_IF_ERROR(b.status());
+    dataset.b = std::move(b).value();
+  }
+
+  std::unordered_map<std::string, size_t> a_index, b_index;
+  for (size_t i = 0; i < dataset.a.size(); ++i) {
+    a_index[dataset.a.row(i).id] = i;
+  }
+  for (size_t i = 0; i < dataset.b.size(); ++i) {
+    b_index[dataset.b.row(i).id] = i;
+  }
+
+  auto matches_doc = ReadCsvFile(dir + "/matches.csv");
+  SERD_RETURN_IF_ERROR(matches_doc.status());
+  for (const auto& row : matches_doc->rows) {
+    auto ia = a_index.find(row[0]);
+    auto ib = b_index.find(row[1]);
+    if (ia == a_index.end() || ib == b_index.end()) {
+      return Status::InvalidArgument("match references unknown id: " +
+                                     row[0] + "," + row[1]);
+    }
+    dataset.matches.push_back({ia->second, ib->second});
+  }
+  return dataset;
+}
+
+}  // namespace serd

@@ -1,0 +1,29 @@
+#ifndef SERD_DATA_DATASET_IO_H_
+#define SERD_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/er_dataset.h"
+
+namespace serd {
+
+/// On-disk layout of an ER dataset release (the artifact a data owner
+/// actually publishes):
+///   <dir>/tableA.csv     id column + schema columns
+///   <dir>/tableB.csv     (omitted for self-join datasets)
+///   <dir>/matches.csv    columns: idA, idB (entity ids, not row indexes)
+///   <dir>/schema.csv     columns: name, type
+/// Ids are used instead of row indexes so the files remain meaningful if
+/// a consumer re-sorts the tables.
+///
+/// Writes `dataset` under `dir` (the directory must exist).
+Status SaveDataset(const ERDataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset. `name` labels the
+/// loaded dataset in reports.
+Result<ERDataset> LoadDataset(const std::string& dir,
+                              const std::string& name);
+
+}  // namespace serd
+
+#endif  // SERD_DATA_DATASET_IO_H_

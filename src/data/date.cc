@@ -1,0 +1,66 @@
+#include "data/date.h"
+
+#include <cstdio>
+
+namespace serd {
+namespace {
+
+// Howard Hinnant's civil-day algorithms.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, int64_t* m, int64_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+Result<int64_t> ParseDateToDays(std::string_view s) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') {
+    return Status::InvalidArgument("date not in YYYY-MM-DD form: " +
+                                   std::string(s));
+  }
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!IsDigit(s[i])) {
+      return Status::InvalidArgument("non-digit in date: " + std::string(s));
+    }
+  }
+  int64_t y = (s[0] - '0') * 1000 + (s[1] - '0') * 100 + (s[2] - '0') * 10 +
+              (s[3] - '0');
+  int64_t m = (s[5] - '0') * 10 + (s[6] - '0');
+  int64_t d = (s[8] - '0') * 10 + (s[9] - '0');
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("month/day out of range: " +
+                                   std::string(s));
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDaysAsDate(int64_t days) {
+  int64_t y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02lld-%02lld",
+                static_cast<long long>(y), static_cast<long long>(m),
+                static_cast<long long>(d));
+  return buf;
+}
+
+}  // namespace serd

@@ -1,0 +1,21 @@
+#ifndef SERD_DATA_DATE_H_
+#define SERD_DATA_DATE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace serd {
+
+/// Parses "YYYY-MM-DD" into a day count since 1970-01-01 (proleptic
+/// Gregorian, civil-day algorithm). Returns InvalidArgument on malformed
+/// input or out-of-range month/day.
+Result<int64_t> ParseDateToDays(std::string_view s);
+
+/// Formats a day count back to "YYYY-MM-DD".
+std::string FormatDaysAsDate(int64_t days);
+
+}  // namespace serd
+
+#endif  // SERD_DATA_DATE_H_

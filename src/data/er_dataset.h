@@ -1,0 +1,90 @@
+#ifndef SERD_DATA_ER_DATASET_H_
+#define SERD_DATA_ER_DATASET_H_
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/similarity.h"
+#include "data/table.h"
+
+namespace serd {
+
+/// An index pair (row in A, row in B).
+struct PairRef {
+  size_t a_idx;
+  size_t b_idx;
+
+  bool operator==(const PairRef& o) const {
+    return a_idx == o.a_idx && b_idx == o.b_idx;
+  }
+};
+
+/// An ER dataset E = (A, B, M, N) (paper Section II-A). M holds the
+/// matching pairs; every other cross pair is non-matching. `name` labels
+/// the dataset in reports; `self_join` marks one-table datasets
+/// (Restaurant) where A and B are the same relation and the diagonal pair
+/// (i, i) is excluded from N.
+struct ERDataset {
+  std::string name;
+  Table a;
+  Table b;
+  std::vector<PairRef> matches;
+  bool self_join = false;
+
+  const Schema& schema() const { return a.schema(); }
+
+  /// Number of cross pairs excluding the diagonal for self-joins.
+  size_t NumTotalPairs() const;
+
+  /// True if (i, j) is in M (linear scan; callers needing many lookups
+  /// should build MatchSet()).
+  bool IsMatch(size_t a_idx, size_t b_idx) const;
+
+  /// Match keys packed as a_idx * |B| + b_idx for O(1) lookups.
+  std::unordered_set<uint64_t> MatchSet() const;
+
+  uint64_t PairKey(size_t a_idx, size_t b_idx) const {
+    return static_cast<uint64_t>(a_idx) * b.size() + b_idx;
+  }
+};
+
+/// A labeled entity pair for matcher training/testing.
+struct LabeledPair {
+  size_t a_idx;
+  size_t b_idx;
+  bool match;
+};
+
+/// A concrete labeled pair sample (train or test split) over a dataset.
+struct LabeledPairSet {
+  std::vector<LabeledPair> pairs;
+
+  size_t NumMatches() const;
+};
+
+/// Builds a labeled pair set: all matching pairs plus `neg_per_pos`
+/// sampled non-matching pairs per match (capped by availability). Half of
+/// the negatives are sampled uniformly; the other half are "hard"
+/// negatives that share a blocking signal (q-gram overlap on the first
+/// text column) with some entity, mimicking the blocked candidate sets ER
+/// systems train on. Self-join diagonals are excluded.
+LabeledPairSet BuildLabeledPairs(const ERDataset& dataset, double neg_per_pos,
+                                 Rng* rng);
+
+/// Splits a labeled pair set into train/test with the given test fraction,
+/// stratified by label so both splits keep the match ratio.
+void SplitPairs(const LabeledPairSet& all, double test_fraction, Rng* rng,
+                LabeledPairSet* train, LabeledPairSet* test);
+
+/// Similarity vectors X+ (matches) and X- (non-matches) of a labeled set.
+void ComputeSimilarityVectors(const ERDataset& dataset,
+                              const SimilaritySpec& spec,
+                              const LabeledPairSet& pairs,
+                              std::vector<Vec>* x_pos, std::vector<Vec>* x_neg);
+
+}  // namespace serd
+
+#endif  // SERD_DATA_ER_DATASET_H_

@@ -1,0 +1,97 @@
+#include "data/similarity.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/date.h"
+#include "text/qgram.h"
+
+namespace serd {
+
+SimilaritySpec::SimilaritySpec(Schema schema, std::vector<ColumnStats> stats)
+    : schema_(std::move(schema)), stats_(std::move(stats)) {
+  SERD_CHECK_EQ(schema_.num_columns(), stats_.size());
+}
+
+SimilaritySpec SimilaritySpec::FromTables(
+    const Schema& schema, const std::vector<const Table*>& tables) {
+  return SimilaritySpec(schema, ComputeColumnStats(schema, tables));
+}
+
+bool SimilaritySpec::ParseValue(size_t col, const std::string& raw,
+                                double* out) const {
+  const ColumnType type = schema_.column(col).type;
+  SERD_CHECK(type == ColumnType::kNumeric || type == ColumnType::kDate);
+  if (raw.empty()) return false;
+  if (type == ColumnType::kDate) {
+    auto days = ParseDateToDays(raw);
+    if (!days.ok()) return false;
+    *out = static_cast<double>(days.value());
+    return true;
+  }
+  char* end = nullptr;
+  double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string SimilaritySpec::FormatValue(size_t col, double v) const {
+  const ColumnType type = schema_.column(col).type;
+  if (type == ColumnType::kDate) {
+    return FormatDaysAsDate(static_cast<int64_t>(std::llround(v)));
+  }
+  // Integer columns (years, counts) round and render without a decimal
+  // point; other values keep two decimals (prices).
+  if (stats_[col].integral) v = std::round(v);
+  double rounded = std::round(v);
+  if (std::fabs(v - rounded) < 1e-9) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(rounded));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+double SimilaritySpec::Range(size_t col) const {
+  return stats_[col].max_value - stats_[col].min_value;
+}
+
+double SimilaritySpec::ColumnSimilarity(size_t col, const std::string& va,
+                                        const std::string& vb) const {
+  SERD_CHECK_LT(col, schema_.num_columns());
+  const ColumnType type = schema_.column(col).type;
+  if (va.empty() && vb.empty()) return 1.0;
+  if (va.empty() || vb.empty()) return 0.0;
+  switch (type) {
+    case ColumnType::kNumeric:
+    case ColumnType::kDate: {
+      double x, y;
+      if (!ParseValue(col, va, &x) || !ParseValue(col, vb, &y)) return 0.0;
+      double range = Range(col);
+      if (range <= 0.0) return x == y ? 1.0 : 0.0;
+      double s = 1.0 - std::fabs(x - y) / range;
+      return std::max(0.0, std::min(1.0, s));
+    }
+    case ColumnType::kCategorical:
+    case ColumnType::kText:
+      return QgramJaccard(va, vb, 3);
+  }
+  return 0.0;
+}
+
+Vec SimilaritySpec::SimilarityVector(const Entity& a, const Entity& b) const {
+  SERD_CHECK_EQ(a.values.size(), schema_.num_columns());
+  SERD_CHECK_EQ(b.values.size(), schema_.num_columns());
+  Vec x(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    x[c] = ColumnSimilarity(c, a.values[c], b.values[c]);
+  }
+  return x;
+}
+
+}  // namespace serd

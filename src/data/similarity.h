@@ -1,0 +1,61 @@
+#ifndef SERD_DATA_SIMILARITY_H_
+#define SERD_DATA_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace serd {
+
+/// Computes per-column similarities and full similarity vectors between
+/// entities, following the paper's experimental settings (Section VII):
+///  - categorical & textual columns: 3-gram Jaccard,
+///  - numeric columns: 1 - |c1-c2| / (max(C) - min(C)),
+///  - date columns: as numeric over day counts.
+///
+/// The spec is bound to column statistics (min/max over A ∪ B and
+/// categorical domains) computed once from the real dataset.
+class SimilaritySpec {
+ public:
+  SimilaritySpec() = default;
+  SimilaritySpec(Schema schema, std::vector<ColumnStats> stats);
+
+  /// Builds a spec with stats computed over the given tables.
+  static SimilaritySpec FromTables(const Schema& schema,
+                                   const std::vector<const Table*>& tables);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<ColumnStats>& stats() const { return stats_; }
+  size_t dimension() const { return schema_.num_columns(); }
+
+  /// Similarity of the values `va`, `vb` on column `col`, in [0, 1].
+  /// Unparsable numeric/date values and empty-vs-nonempty pairs yield 0;
+  /// two empty values yield 1.
+  double ColumnSimilarity(size_t col, const std::string& va,
+                          const std::string& vb) const;
+
+  /// The similarity vector x_(a,b) = (f_i(a[C_i], b[C_i]))_i.
+  Vec SimilarityVector(const Entity& a, const Entity& b) const;
+
+  /// Parses a numeric or date column value into its double representation
+  /// (day count for dates). Returns false on failure.
+  bool ParseValue(size_t col, const std::string& raw, double* out) const;
+
+  /// Formats a double back to a column value (date columns render as
+  /// YYYY-MM-DD; numeric columns render with minimal digits).
+  std::string FormatValue(size_t col, double v) const;
+
+  /// max - min for a numeric/date column (>= 0; 0 means constant column).
+  double Range(size_t col) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_DATA_SIMILARITY_H_

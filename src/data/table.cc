@@ -1,0 +1,127 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "data/date.h"
+
+namespace serd {
+
+void Table::Append(Entity entity) {
+  SERD_CHECK_EQ(entity.values.size(), schema_.num_columns())
+      << "row width mismatch for entity " << entity.id;
+  rows_.push_back(std::move(entity));
+}
+
+std::vector<std::string> Table::ColumnValues(size_t col) const {
+  SERD_CHECK_LT(col, schema_.num_columns());
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r.values[col]);
+  return out;
+}
+
+CsvDocument Table::ToCsv() const {
+  CsvDocument doc;
+  doc.header.push_back("id");
+  for (const auto& c : schema_.columns()) doc.header.push_back(c.name);
+  for (const auto& r : rows_) {
+    std::vector<std::string> row;
+    row.reserve(r.values.size() + 1);
+    row.push_back(r.id);
+    for (const auto& v : r.values) row.push_back(v);
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+Result<Table> Table::FromCsv(const Schema& schema, const CsvDocument& doc) {
+  if (doc.header.empty() || doc.header[0] != "id") {
+    return Status::InvalidArgument("CSV must start with an 'id' column");
+  }
+  if (doc.header.size() != schema.num_columns() + 1) {
+    return Status::InvalidArgument("CSV column count does not match schema");
+  }
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (doc.header[i + 1] != schema.column(i).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     doc.header[i + 1]);
+    }
+  }
+  Table t(schema);
+  for (const auto& row : doc.rows) {
+    Entity e;
+    e.id = row[0];
+    e.values.assign(row.begin() + 1, row.end());
+    t.Append(std::move(e));
+  }
+  return t;
+}
+
+namespace {
+
+bool ParseColumnValue(ColumnType type, const std::string& raw, double* out) {
+  if (raw.empty()) return false;
+  if (type == ColumnType::kDate) {
+    auto days = ParseDateToDays(raw);
+    if (!days.ok()) return false;
+    *out = static_cast<double>(days.value());
+    return true;
+  }
+  char* end = nullptr;
+  double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<ColumnStats> ComputeColumnStats(
+    const Schema& schema, const std::vector<const Table*>& tables) {
+  std::vector<ColumnStats> stats(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnType type = schema.column(c).type;
+    if (type == ColumnType::kNumeric || type == ColumnType::kDate) {
+      bool seen = false;
+      bool integral = true;
+      double lo = 0.0, hi = 0.0;
+      for (const Table* t : tables) {
+        for (const auto& row : t->rows()) {
+          double v;
+          if (!ParseColumnValue(type, row.values[c], &v)) continue;
+          if (v != std::floor(v)) integral = false;
+          if (!seen) {
+            lo = hi = v;
+            seen = true;
+          } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+        }
+      }
+      if (!seen) {
+        lo = 0.0;
+        hi = 1.0;
+        integral = false;
+      }
+      stats[c].min_value = lo;
+      stats[c].max_value = hi;
+      stats[c].integral = seen && integral;
+    } else if (type == ColumnType::kCategorical) {
+      std::vector<std::string> domain;
+      for (const Table* t : tables) {
+        for (const auto& row : t->rows()) {
+          if (!row.values[c].empty()) domain.push_back(row.values[c]);
+        }
+      }
+      std::sort(domain.begin(), domain.end());
+      domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+      stats[c].domain = std::move(domain);
+    }
+  }
+  return stats;
+}
+
+}  // namespace serd

@@ -1,0 +1,78 @@
+#ifndef SERD_DATA_TABLE_H_
+#define SERD_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace serd {
+
+/// One entity (row). Values are stored as strings; typed interpretation
+/// (numeric parse, date parse) is driven by the schema.
+struct Entity {
+  std::string id;
+  std::vector<std::string> values;  ///< one value per schema column
+
+  const std::string& value(size_t col) const { return values[col]; }
+};
+
+/// A relation: a schema plus rows. Tables are value types (copyable);
+/// the synthesis loop clones and extends them freely.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Entity& row(size_t i) const {
+    SERD_CHECK_LT(i, rows_.size());
+    return rows_[i];
+  }
+  Entity& mutable_row(size_t i) {
+    SERD_CHECK_LT(i, rows_.size());
+    return rows_[i];
+  }
+  const std::vector<Entity>& rows() const { return rows_; }
+
+  /// Appends a row; aborts if the value count does not match the schema.
+  void Append(Entity entity);
+
+  /// All values of one column (used for categorical domains and corpora).
+  std::vector<std::string> ColumnValues(size_t col) const;
+
+  /// Converts to/from CSV ("id" column first, then schema columns).
+  CsvDocument ToCsv() const;
+  static Result<Table> FromCsv(const Schema& schema, const CsvDocument& doc);
+
+ private:
+  Schema schema_;
+  std::vector<Entity> rows_;
+};
+
+/// Per-column statistics used by similarity functions and synthesis:
+/// min/max for numeric and date columns (computed over A ∪ B, as the paper
+/// does for `year`), and the value domain for categorical columns.
+struct ColumnStats {
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// True when every parsed value of a numeric column is an integer
+  /// (years, counts); synthesized values are then rounded to integers.
+  bool integral = false;
+  std::vector<std::string> domain;  ///< distinct values (categorical only)
+};
+
+/// Computes column statistics over the union of the rows of `tables`.
+/// Numeric values that fail to parse are ignored for min/max purposes;
+/// a column with no parsable value gets [0, 1].
+std::vector<ColumnStats> ComputeColumnStats(
+    const Schema& schema, const std::vector<const Table*>& tables);
+
+}  // namespace serd
+
+#endif  // SERD_DATA_TABLE_H_

@@ -1,0 +1,209 @@
+#include "datagen/vocab_data.h"
+
+namespace serd::datagen {
+
+std::vector<std::string_view> WordPool::Active() const {
+  size_t n = static_cast<size_t>(all.size() * active_fraction);
+  return std::vector<std::string_view>(all.begin(), all.begin() + n);
+}
+
+std::vector<std::string_view> WordPool::Background() const {
+  size_t n = static_cast<size_t>(all.size() * active_fraction);
+  return std::vector<std::string_view>(all.begin() + n, all.end());
+}
+
+namespace {
+
+// NOTE: pools deliberately exceed what the generators strictly need —
+// the combinatorial space keeps hitting-rate collisions (Table III) rare.
+
+const std::vector<std::string_view> kTitleNouns = {
+    "queries", "joins", "indexes", "transactions", "streams", "graphs",
+    "views", "workloads", "caches", "partitions", "schemas", "tuples",
+    "aggregates", "predicates", "cardinalities", "histograms", "sketches",
+    "logs", "snapshots", "replicas", "cursors", "buffers", "tables",
+    "clusters", "embeddings", "matchers", "pipelines", "operators",
+    "optimizers", "planners", "executors", "wrappers", "mediators",
+    "crawlers", "annotations", "provenance", "lineage", "constraints",
+    "dependencies", "duplicates", "records", "entities", "blocks",
+    "signatures", "filters", "bitmaps", "tries", "bounds", "samples",
+    "summaries", "windows", "lattices", "hierarchies", "taxonomies",
+};
+
+const std::vector<std::string_view> kTitleAdjectives = {
+    "adaptive", "scalable", "efficient", "incremental", "distributed",
+    "parallel", "approximate", "robust", "generalised", "temporal",
+    "probabilistic", "declarative", "interactive", "streaming", "secure",
+    "private", "learned", "automatic", "hybrid", "elastic", "versioned",
+    "columnar", "vectorized", "transactional", "consistent", "durable",
+    "compressed", "succinct", "lazy", "eager", "speculative", "unified",
+    "federated", "semantic", "holistic", "progressive", "self-tuning",
+    "cost-based", "rule-based", "cache-aware", "disk-resident", "in-memory",
+};
+
+const std::vector<std::string_view> kTitleTopics = {
+    "query optimization", "entity resolution", "data integration",
+    "data cleaning", "schema matching", "record linkage",
+    "similarity search", "duplicate detection", "crowdsourcing",
+    "data synthesis", "privacy preservation", "keyword search",
+    "stream processing", "graph analytics", "machine learning",
+    "data exploration", "visualization", "provenance tracking",
+    "concurrency control", "recovery", "replication", "load balancing",
+    "sampling", "cardinality estimation", "selectivity estimation",
+    "top-k processing", "skyline computation", "spatial indexing",
+    "temporal databases", "main-memory systems", "column stores",
+    "knowledge bases", "information extraction", "truth discovery",
+};
+
+const std::vector<std::string_view> kFirstNames = {
+    "Christian", "Donald",  "Alfons",   "Giedrius", "Richard", "Jennifer",
+    "Michael",   "Susan",   "David",    "Maria",    "Peter",   "Laura",
+    "Thomas",    "Anna",    "Robert",   "Karen",    "James",   "Linda",
+    "William",   "Barbara", "Joseph",   "Nancy",    "Charles", "Helen",
+    "Daniel",    "Sandra",  "Matthew",  "Ruth",     "Anthony", "Sharon",
+    "Mark",      "Michelle", "Steven",  "Carol",    "Andrew",  "Amanda",
+    "Henrik",    "Ingrid",  "Sven",     "Astrid",   "Lars",    "Greta",
+    "Pierre",    "Amelie",  "Jean",     "Claire",   "Luc",     "Margot",
+    "Giovanni",  "Chiara",  "Marco",    "Elena",    "Paolo",   "Lucia",
+    "Hiroshi",   "Yuki",    "Kenji",    "Sakura",   "Takeshi", "Naoko",
+    "Wolfgang",  "Heidi",   "Klaus",    "Ursula",   "Dieter",  "Monika",
+};
+
+const std::vector<std::string_view> kLastNames = {
+    "Jensen",     "Snodgrass", "Kossmann",  "Kemper",    "Wiesner",
+    "Slivinskas", "Bernstein", "Stonebraker", "Gray",    "Codd",
+    "Ullman",     "Widom",     "Garcia",    "Molina",    "DeWitt",
+    "Naughton",   "Carey",     "Franklin",  "Hellerstein", "Chaudhuri",
+    "Narasayya",  "Agrawal",   "Srikant",   "Faloutsos", "Han",
+    "Pei",        "Wang",      "Li",        "Zhang",     "Chen",
+    "Liu",        "Yang",      "Huang",     "Zhao",      "Wu",
+    "Zhou",       "Xu",        "Sun",       "Ma",        "Gao",
+    "Abadi",      "Madden",    "Balazinska", "Suciu",    "Koutris",
+    "Ioannidis",  "Gehrke",    "Kleinberg", "Tamer",     "Ozsu",
+    "Lehner",     "Neumann",   "Kersten",   "Boncz",     "Manegold",
+    "Grohe",      "Vardi",     "Libkin",    "Barcelo",   "Arenas",
+};
+
+// full_0, abbr_0, full_1, abbr_1, ...
+const std::vector<std::string_view> kVenuePairs = {
+    "International Conference on Management of Data", "SIGMOD Conference",
+    "Very Large Data Bases", "VLDB",
+    "International Conference on Data Engineering", "ICDE",
+    "ACM Transactions on Database Systems", "ACM Trans. Database Syst.",
+    "ACM SIGMOD Record", "SIGMOD Record",
+    "International Conference on Extending Database Technology", "EDBT",
+    "Conference on Innovative Data Systems Research", "CIDR",
+    "International Conference on Database Theory", "ICDT",
+    "IEEE Transactions on Knowledge and Data Engineering", "TKDE",
+    "The VLDB Journal", "VLDB J.",
+};
+
+const std::vector<std::string_view> kRestaurantNameWords = {
+    "Forest",  "Family",  "Golden",  "Dragon",  "Palace",  "Garden",
+    "Harbor",  "Sunset",  "Corner",  "Village", "Royal",   "Lucky",
+    "Silver",  "Spoon",   "Olive",   "Grove",   "Blue",    "Lagoon",
+    "Red",     "Lantern", "Jade",    "House",   "Pearl",   "River",
+    "Old",     "Mill",    "Iron",    "Skillet", "Copper",  "Kettle",
+    "Wild",    "Sage",    "Honey",   "Bee",     "Maple",   "Leaf",
+    "Stone",   "Hearth",  "Little",  "Italy",   "Grand",   "Bazaar",
+    "Morning", "Star",    "Evening", "Moon",    "Crystal", "Bay",
+    "Rustic",  "Table",   "Urban",   "Fork",    "Velvet",  "Rose",
+};
+
+const std::vector<std::string_view> kCuisines = {
+    "italian",  "chinese", "mexican",  "french",   "japanese", "thai",
+    "indian",   "greek",   "american", "spanish",  "korean",   "vietnamese",
+    "lebanese", "turkish", "ethiopian", "peruvian", "brazilian", "moroccan",
+};
+
+const std::vector<std::string_view> kCities = {
+    "new york",      "los angeles", "chicago",   "houston",  "phoenix",
+    "philadelphia",  "san antonio", "san diego", "dallas",   "austin",
+    "san francisco", "seattle",     "denver",    "boston",   "atlanta",
+    "miami",         "portland",    "detroit",   "memphis",  "baltimore",
+};
+
+const std::vector<std::string_view> kStreetNames = {
+    "broadway",        "main street",     "5th avenue",   "oak street",
+    "park avenue",     "2nd street",      "maple avenue", "cedar lane",
+    "washington blvd", "lincoln road",    "sunset blvd",  "river road",
+    "lake shore drive", "market street",  "union square", "elm street",
+    "6th street",      "columbus avenue", "pine street",  "hill road",
+};
+
+const std::vector<std::string_view> kBrands = {
+    "Asus",    "Lenovo",   "Dell",     "Acer",    "Samsung", "Sony",
+    "Toshiba", "Logitech", "Canon",    "Epson",   "Philips", "Panasonic",
+    "Garmin",  "Netgear",  "Belkin",   "Corsair", "Kingston", "Sandisk",
+    "Seagate", "Fujitsu",  "Brother",  "Sharp",   "Vizio",   "Haier",
+};
+
+const std::vector<std::string_view> kProductNouns = {
+    "laptop",    "monitor",    "keyboard", "mouse",     "printer",
+    "router",    "headphones", "speaker",  "webcam",    "tablet",
+    "projector", "scanner",    "charger",  "dock",      "adapter",
+    "hard drive", "flash drive", "memory card", "camera", "microphone",
+};
+
+const std::vector<std::string_view> kProductQualifiers = {
+    "wireless",   "bluetooth",  "portable", "gaming",    "ultra slim",
+    "mechanical", "ergonomic",  "compact",  "high speed", "noise cancelling",
+    "full hd",    "4k",         "dual band", "rechargeable", "backlit",
+    "waterproof", "solid state", "curved",  "touchscreen", "all-in-one",
+};
+
+const std::vector<std::string_view> kSongWords = {
+    "Home",    "Holiday", "Raining", "Midnight", "Summer",  "Heart",
+    "Dream",   "Fire",    "Golden",  "River",    "Dancing", "Shadow",
+    "Light",   "Forever", "Tonight", "Morning",  "Ocean",   "Thunder",
+    "Silver",  "Wild",    "Broken",  "Angel",    "Stars",   "Highway",
+    "Memory",  "Stranger", "Echo",   "Velvet",   "Winter",  "Desert",
+    "Crimson", "Paradise", "Wonder", "Gravity",  "Horizon", "Mirror",
+};
+
+const std::vector<std::string_view> kArtistWords = {
+    "The",      "Brothers", "Sisters", "Band",    "Crew",    "Collective",
+    "Midnight", "Electric", "Neon",    "Velvet",  "Crystal", "Wandering",
+    "Foxes",    "Wolves",   "Ravens",  "Sparrows", "Tigers", "Owls",
+    "Drifters", "Dreamers", "Rebels",  "Pilots",  "Sailors", "Nomads",
+};
+
+const std::vector<std::string_view> kGenres = {
+    "Pop",     "Rock",       "Country", "Hip-Hop", "Jazz",    "Blues",
+    "Folk",    "Electronic", "R&B",     "Soul",    "Indie",   "Classical",
+};
+
+const std::vector<std::string_view> kLabels = {
+    "Sunrise Records",   "Bluebird Music",  "Northern Lights Audio",
+    "Riverstone Entertainment", "Golden Gate Records", "Harbor Lane Music",
+    "Silver Arrow Studios", "Red Maple Recordings", "Moonlit Avenue Music",
+    "Crystal Peak Records",
+};
+
+}  // namespace
+
+const std::vector<std::string_view>& TitleNouns() { return kTitleNouns; }
+const std::vector<std::string_view>& TitleAdjectives() {
+  return kTitleAdjectives;
+}
+const std::vector<std::string_view>& TitleTopics() { return kTitleTopics; }
+const std::vector<std::string_view>& FirstNames() { return kFirstNames; }
+const std::vector<std::string_view>& LastNames() { return kLastNames; }
+const std::vector<std::string_view>& VenuePairs() { return kVenuePairs; }
+const std::vector<std::string_view>& RestaurantNameWords() {
+  return kRestaurantNameWords;
+}
+const std::vector<std::string_view>& Cuisines() { return kCuisines; }
+const std::vector<std::string_view>& Cities() { return kCities; }
+const std::vector<std::string_view>& StreetNames() { return kStreetNames; }
+const std::vector<std::string_view>& Brands() { return kBrands; }
+const std::vector<std::string_view>& ProductNouns() { return kProductNouns; }
+const std::vector<std::string_view>& ProductQualifiers() {
+  return kProductQualifiers;
+}
+const std::vector<std::string_view>& SongWords() { return kSongWords; }
+const std::vector<std::string_view>& ArtistWords() { return kArtistWords; }
+const std::vector<std::string_view>& Genres() { return kGenres; }
+const std::vector<std::string_view>& Labels() { return kLabels; }
+
+}  // namespace serd::datagen

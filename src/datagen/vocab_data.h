@@ -1,0 +1,51 @@
+#ifndef SERD_DATAGEN_VOCAB_DATA_H_
+#define SERD_DATAGEN_VOCAB_DATA_H_
+
+#include <string_view>
+#include <vector>
+
+namespace serd::datagen {
+
+/// Word pools backing the synthetic dataset generators. Each pool is split
+/// into an *active* prefix (used to build the "real" datasets) and a
+/// *background* suffix (used only for transformer/GAN training corpora) so
+/// that background data is disjoint from the active domain, mirroring the
+/// paper's privacy setup (Figure 2: A', B' have no overlap with A, B).
+struct WordPool {
+  const std::vector<std::string_view>& all;
+  double active_fraction;  ///< first share is active, the rest background
+
+  std::vector<std::string_view> Active() const;
+  std::vector<std::string_view> Background() const;
+};
+
+// --- scholarly publications (DBLP-ACM analog) ---
+const std::vector<std::string_view>& TitleNouns();
+const std::vector<std::string_view>& TitleAdjectives();
+const std::vector<std::string_view>& TitleTopics();
+const std::vector<std::string_view>& FirstNames();
+const std::vector<std::string_view>& LastNames();
+/// Venue list: pairs of (full name, abbreviation) flattened as
+/// full_0, abbr_0, full_1, abbr_1, ...
+const std::vector<std::string_view>& VenuePairs();
+
+// --- restaurants ---
+const std::vector<std::string_view>& RestaurantNameWords();
+const std::vector<std::string_view>& Cuisines();
+const std::vector<std::string_view>& Cities();
+const std::vector<std::string_view>& StreetNames();
+
+// --- electronics products (Walmart-Amazon analog) ---
+const std::vector<std::string_view>& Brands();
+const std::vector<std::string_view>& ProductNouns();
+const std::vector<std::string_view>& ProductQualifiers();
+
+// --- music (iTunes-Amazon analog) ---
+const std::vector<std::string_view>& SongWords();
+const std::vector<std::string_view>& ArtistWords();
+const std::vector<std::string_view>& Genres();
+const std::vector<std::string_view>& Labels();
+
+}  // namespace serd::datagen
+
+#endif  // SERD_DATAGEN_VOCAB_DATA_H_

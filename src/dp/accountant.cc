@@ -1,0 +1,98 @@
+#include "dp/accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace serd {
+namespace {
+
+/// log(a + b) given log a and log b.
+double LogAdd(double log_a, double log_b) {
+  if (log_a == -std::numeric_limits<double>::infinity()) return log_b;
+  if (log_b == -std::numeric_limits<double>::infinity()) return log_a;
+  double hi = std::max(log_a, log_b);
+  return hi + std::log1p(std::exp(std::min(log_a, log_b) - hi));
+}
+
+/// log C(n, k) via lgamma.
+double LogBinomial(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+RdpAccountant::RdpAccountant(double sampling_rate, double noise_multiplier)
+    : q_(sampling_rate), sigma_(noise_multiplier) {
+  SERD_CHECK(q_ > 0.0 && q_ <= 1.0) << "sampling rate must be in (0,1]";
+  SERD_CHECK_GT(sigma_, 0.0);
+  for (int a = 2; a <= 64; ++a) orders_.push_back(a);
+  for (int a = 72; a <= 256; a += 8) orders_.push_back(a);
+}
+
+void RdpAccountant::AddSteps(int count) {
+  SERD_CHECK_GE(count, 0);
+  steps_ += count;
+}
+
+double RdpAccountant::SingleStepRdp(int alpha) const {
+  SERD_CHECK_GE(alpha, 2);
+  if (q_ >= 1.0) {
+    // Plain Gaussian mechanism: RDP(alpha) = alpha / (2 sigma^2).
+    return static_cast<double>(alpha) / (2.0 * sigma_ * sigma_);
+  }
+  // Integer-order subsampled Gaussian bound:
+  // (1/(alpha-1)) * log sum_{k=0}^{alpha} C(alpha,k) (1-q)^{alpha-k} q^k
+  //                       * exp(k(k-1) / (2 sigma^2))
+  const double log_q = std::log(q_);
+  const double log_1mq = std::log1p(-q_);
+  double log_sum = -std::numeric_limits<double>::infinity();
+  for (int k = 0; k <= alpha; ++k) {
+    double term = LogBinomial(alpha, k) + k * log_q + (alpha - k) * log_1mq +
+                  (static_cast<double>(k) * (k - 1)) / (2.0 * sigma_ * sigma_);
+    log_sum = LogAdd(log_sum, term);
+  }
+  return log_sum / (alpha - 1);
+}
+
+double RdpAccountant::Epsilon(double delta) const {
+  SERD_CHECK(delta > 0.0 && delta < 1.0);
+  if (steps_ == 0) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int alpha : orders_) {
+    double rdp = steps_ * SingleStepRdp(alpha);
+    double eps = rdp + std::log(1.0 / delta) / (alpha - 1);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+Result<double> RdpAccountant::NoiseForTarget(double sampling_rate, int steps,
+                                             double target_epsilon,
+                                             double delta, double tolerance) {
+  SERD_CHECK_GT(target_epsilon, 0.0);
+  double lo = 0.3, hi = 100.0;
+  auto eps_at = [&](double sigma) {
+    RdpAccountant acc(sampling_rate, sigma);
+    acc.AddSteps(steps);
+    return acc.Epsilon(delta);
+  };
+  if (eps_at(hi) > target_epsilon) {
+    return Status::OutOfRange(
+        "target epsilon unreachable with noise multiplier <= 100");
+  }
+  if (eps_at(lo) <= target_epsilon) return lo;
+  while (hi - lo > tolerance) {
+    double mid = 0.5 * (lo + hi);
+    if (eps_at(mid) <= target_epsilon) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace serd

@@ -1,0 +1,49 @@
+#ifndef SERD_DP_ACCOUNTANT_H_
+#define SERD_DP_ACCOUNTANT_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace serd {
+
+/// Renyi-DP accountant for the subsampled Gaussian mechanism (Abadi et
+/// al.'s moments accountant in its RDP formulation; integer-order bound of
+/// Mironov/Wang et al.). Tracks the privacy cost of DP-SGD:
+/// each step samples a fraction q of the data and releases a gradient with
+/// Gaussian noise of multiplier sigma.
+class RdpAccountant {
+ public:
+  /// `sampling_rate` q in (0, 1]; `noise_multiplier` sigma > 0.
+  RdpAccountant(double sampling_rate, double noise_multiplier);
+
+  /// Records `count` DP-SGD steps.
+  void AddSteps(int count);
+
+  int steps() const { return steps_; }
+
+  /// The (epsilon, delta)-DP guarantee after the recorded steps:
+  /// epsilon = min_alpha [ steps * rdp(alpha) + log(1/delta) / (alpha-1) ].
+  double Epsilon(double delta) const;
+
+  /// RDP epsilon of a single step at integer order alpha >= 2.
+  double SingleStepRdp(int alpha) const;
+
+  /// Smallest noise multiplier (within `tolerance`) such that `steps`
+  /// DP-SGD steps at rate q give (target_epsilon, delta)-DP. Binary search
+  /// over sigma in [0.3, 100]. Returns OutOfRange if even sigma = 100 does
+  /// not reach the target.
+  static Result<double> NoiseForTarget(double sampling_rate, int steps,
+                                       double target_epsilon, double delta,
+                                       double tolerance = 1e-3);
+
+ private:
+  double q_;
+  double sigma_;
+  int steps_ = 0;
+  std::vector<int> orders_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_DP_ACCOUNTANT_H_

@@ -1,0 +1,62 @@
+#include "dp/dp_sgd.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace serd {
+
+PerExampleGradAccumulator::PerExampleGradAccumulator(
+    std::vector<nn::TensorPtr> params, DpSgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  SERD_CHECK(!params_.empty());
+  SERD_CHECK_GT(config_.clip_norm, 0.0);
+  SERD_CHECK_GE(config_.noise_multiplier, 0.0);
+  sum_.reserve(params_.size());
+  for (const auto& p : params_) sum_.emplace_back(p->size(), 0.0f);
+}
+
+void PerExampleGradAccumulator::BeginBatch() {
+  for (auto& s : sum_) std::fill(s.begin(), s.end(), 0.0f);
+}
+
+double PerExampleGradAccumulator::AccumulateExample() {
+  double norm_sq = 0.0;
+  for (const auto& p : params_) {
+    for (float g : p->grad()) norm_sq += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(norm_sq);
+  double scale = 1.0;
+  if (config_.enabled) {
+    // Alg. 1 line 8: divide by max(1, ||g||_2 / V).
+    scale = 1.0 / std::max(1.0, norm / config_.clip_norm);
+  }
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    const auto& g = params_[pi]->grad();
+    auto& s = sum_[pi];
+    for (size_t i = 0; i < g.size(); ++i) {
+      s[i] += static_cast<float>(g[i] * scale);
+    }
+    params_[pi]->ZeroGrad();
+  }
+  return norm;
+}
+
+void PerExampleGradAccumulator::FinishBatch(size_t batch_size, Rng* rng) {
+  SERD_CHECK_GT(batch_size, 0u);
+  SERD_CHECK(rng != nullptr);
+  const double noise_std =
+      config_.enabled ? config_.noise_multiplier * config_.clip_norm : 0.0;
+  const float inv_j = 1.0f / static_cast<float>(batch_size);
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& g = params_[pi]->grad();
+    const auto& s = sum_[pi];
+    for (size_t i = 0; i < g.size(); ++i) {
+      double noisy = s[i];
+      if (noise_std > 0.0) noisy += rng->Gaussian(0.0, noise_std);
+      g[i] = static_cast<float>(noisy * inv_j);
+    }
+  }
+}
+
+}  // namespace serd

@@ -1,0 +1,120 @@
+#include "embench/embench.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "data/date.h"
+#include "text/perturb.h"
+#include "text/token.h"
+
+namespace serd {
+namespace {
+
+struct ColumnPools {
+  std::vector<std::vector<std::string>> word_pools;  // per column
+};
+
+ColumnPools BuildPools(const ERDataset& real) {
+  ColumnPools pools;
+  const auto& schema = real.schema();
+  pools.word_pools.resize(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type != ColumnType::kText) continue;
+    auto& pool = pools.word_pools[c];
+    for (const Table* t : {&real.a, &real.b}) {
+      for (const auto& row : t->rows()) {
+        for (auto& w : WordTokens(row.values[c])) pool.push_back(std::move(w));
+      }
+    }
+  }
+  return pools;
+}
+
+std::string PerturbValue(const Schema& schema, const ColumnStats& stats,
+                         size_t col, const std::string& value,
+                         const std::vector<std::string>& word_pool,
+                         const EmbenchOptions& options, Rng* rng) {
+  switch (schema.column(col).type) {
+    case ColumnType::kText: {
+      std::string out = value;
+      for (int e = 0; e < options.edits_per_text_value; ++e) {
+        out = RandomPerturbation(out, word_pool, rng);
+      }
+      return out.empty() ? value : out;
+    }
+    case ColumnType::kCategorical: {
+      if (!stats.domain.empty() &&
+          rng->Bernoulli(options.categorical_flip_prob)) {
+        return stats.domain[rng->UniformInt(stats.domain.size())];
+      }
+      return value;
+    }
+    case ColumnType::kNumeric: {
+      if (!rng->Bernoulli(options.numeric_jitter_prob)) return value;
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str()) return value;
+      double range = stats.max_value - stats.min_value;
+      double jitter = 0.02 * range * (rng->Uniform() * 2.0 - 1.0);
+      double out = v + jitter;
+      // Preserve integer rendering for integer-looking inputs.
+      if (value.find('.') == std::string::npos) {
+        return std::to_string(static_cast<long long>(std::llround(out)));
+      }
+      return StrFormat("%.2f", out);
+    }
+    case ColumnType::kDate: {
+      if (!rng->Bernoulli(options.numeric_jitter_prob)) return value;
+      auto days = ParseDateToDays(value);
+      if (!days.ok()) return value;
+      int64_t jitter = rng->UniformInt(static_cast<int64_t>(-30),
+                                       static_cast<int64_t>(30));
+      return FormatDaysAsDate(days.value() + jitter);
+    }
+  }
+  return value;
+}
+
+Table PerturbTable(const Table& source, const std::string& id_prefix,
+                   const std::vector<ColumnStats>& stats,
+                   const ColumnPools& pools, const EmbenchOptions& options,
+                   Rng* rng) {
+  Table out(source.schema());
+  size_t id = 0;
+  for (const auto& row : source.rows()) {
+    Entity e;
+    e.id = id_prefix + std::to_string(id++);
+    e.values.reserve(row.values.size());
+    for (size_t c = 0; c < row.values.size(); ++c) {
+      e.values.push_back(PerturbValue(source.schema(), stats[c], c,
+                                      row.values[c], pools.word_pools[c],
+                                      options, rng));
+    }
+    out.Append(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+ERDataset SynthesizeEmbench(const ERDataset& real,
+                            const EmbenchOptions& options) {
+  Rng rng(options.seed);
+  auto stats =
+      ComputeColumnStats(real.schema(), {&real.a, &real.b});
+  ColumnPools pools = BuildPools(real);
+
+  ERDataset syn;
+  syn.name = real.name + "-EMBench";
+  syn.self_join = real.self_join;
+  syn.a = PerturbTable(real.a, "ea", stats, pools, options, &rng);
+  if (real.self_join) {
+    syn.b = syn.a;
+  } else {
+    syn.b = PerturbTable(real.b, "eb", stats, pools, options, &rng);
+  }
+  syn.matches = real.matches;  // labels carried over 1:1
+  return syn;
+}
+
+}  // namespace serd

@@ -1,0 +1,33 @@
+#ifndef SERD_EMBENCH_EMBENCH_H_
+#define SERD_EMBENCH_EMBENCH_H_
+
+#include "common/rng.h"
+#include "data/er_dataset.h"
+
+namespace serd {
+
+/// The EMBench baseline (Ioannou & Velegrakis): synthesizes a new ER
+/// dataset by *modifying real entities* with rule-based transformations
+/// (abbreviation, misspelling, token reorder, truncation, value jitter).
+/// Two synthesized entities are matching iff their source real entities
+/// were matching — labels are carried over, no distribution matching and
+/// no privacy mechanism, which is exactly why the paper uses it as the
+/// contrast baseline in Exps 2-4.
+struct EmbenchOptions {
+  /// Number of perturbation rules applied per textual value.
+  int edits_per_text_value = 2;
+  /// Probability of jittering a numeric/date value (+-2% of the range).
+  double numeric_jitter_prob = 0.5;
+  /// Probability of replacing a categorical value with a random domain
+  /// value (otherwise kept, as EMBench rules mostly target strings).
+  double categorical_flip_prob = 0.1;
+  uint64_t seed = 1234;
+};
+
+/// Synthesizes the EMBench dataset from `real`.
+ERDataset SynthesizeEmbench(const ERDataset& real,
+                            const EmbenchOptions& options = EmbenchOptions());
+
+}  // namespace serd
+
+#endif  // SERD_EMBENCH_EMBENCH_H_

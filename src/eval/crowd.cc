@@ -1,0 +1,89 @@
+#include "eval/crowd.h"
+
+#include <algorithm>
+
+namespace serd {
+
+CrowdSimulator::CrowdSimulator(const SimilaritySpec& spec)
+    : CrowdSimulator(spec, Options()) {}
+CrowdSimulator::CrowdSimulator(const SimilaritySpec& spec, Options options)
+    : spec_(&spec), options_(options) {}
+
+CrowdSimulator::RealnessReport CrowdSimulator::JudgeEntities(
+    const std::vector<Entity>& entities, const EntityEncoder& encoder,
+    const EntityGan& gan) const {
+  SERD_CHECK(!entities.empty());
+  Rng rng(options_.seed);
+  RealnessReport report;
+  for (const auto& e : entities) {
+    double plausibility = gan.DiscriminatorScore(encoder.Encode(e));
+    int agree_votes = 0, neutral_votes = 0, disagree_votes = 0;
+    for (int w = 0; w < options_.workers_per_entity; ++w) {
+      double perceived =
+          plausibility + rng.Gaussian(0.0, options_.judgment_noise);
+      if (perceived >= options_.agree_threshold) {
+        ++agree_votes;
+      } else if (perceived >= options_.neutral_threshold) {
+        ++neutral_votes;
+      } else {
+        ++disagree_votes;
+      }
+    }
+    // Majority vote (plurality); ties resolve toward neutral.
+    if (agree_votes > neutral_votes && agree_votes > disagree_votes) {
+      report.agree += 1.0;
+    } else if (disagree_votes > agree_votes &&
+               disagree_votes > neutral_votes) {
+      report.disagree += 1.0;
+    } else {
+      report.neutral += 1.0;
+    }
+  }
+  double n = static_cast<double>(entities.size());
+  report.agree /= n;
+  report.neutral /= n;
+  report.disagree /= n;
+  return report;
+}
+
+CrowdSimulator::MatchingReport CrowdSimulator::JudgePairs(
+    const ERDataset& dataset, const std::vector<LabeledPair>& pairs) const {
+  SERD_CHECK(!pairs.empty());
+  Rng rng(options_.seed + 1);
+  size_t n_match = 0, n_nonmatch = 0;
+  MatchingReport report;
+  for (const auto& p : pairs) {
+    Vec x = spec_->SimilarityVector(dataset.a.row(p.a_idx),
+                                    dataset.b.row(p.b_idx));
+    double mean_sim = 0.0;
+    for (double v : x) mean_sim += v;
+    mean_sim /= static_cast<double>(x.size());
+
+    int match_votes = 0;
+    for (int w = 0; w < options_.workers_per_pair; ++w) {
+      double perceived = mean_sim + rng.Gaussian(0.0, options_.judgment_noise);
+      if (perceived >= 0.5) ++match_votes;
+    }
+    bool labeled_match = match_votes * 2 > options_.workers_per_pair;
+    if (p.match) {
+      ++n_match;
+      (labeled_match ? report.match_labeled_match
+                     : report.match_labeled_nonmatch) += 1.0;
+    } else {
+      ++n_nonmatch;
+      (labeled_match ? report.nonmatch_labeled_match
+                     : report.nonmatch_labeled_nonmatch) += 1.0;
+    }
+  }
+  if (n_match > 0) {
+    report.match_labeled_match /= n_match;
+    report.match_labeled_nonmatch /= n_match;
+  }
+  if (n_nonmatch > 0) {
+    report.nonmatch_labeled_match /= n_nonmatch;
+    report.nonmatch_labeled_nonmatch /= n_nonmatch;
+  }
+  return report;
+}
+
+}  // namespace serd

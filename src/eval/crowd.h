@@ -1,0 +1,70 @@
+#ifndef SERD_EVAL_CROWD_H_
+#define SERD_EVAL_CROWD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/er_dataset.h"
+#include "data/similarity.h"
+#include "gan/entity_gan.h"
+
+namespace serd {
+
+/// Simulated crowdsourcing harness for the paper's Exp-1 user study. The
+/// paper employed 288 Appen workers; we model each worker as a noisy
+/// oracle whose judgment derives from observable signals (discriminator
+/// plausibility for Q1, pair similarity for Q2) plus calibrated noise, and
+/// reproduce the measurement pipeline exactly: per-question worker votes,
+/// majority-vote aggregation, and the same answer taxonomies.
+/// The resulting proportions are *modeled* quantities (labeled simulated
+/// in EXPERIMENTS.md); the harness's value is exercising the same
+/// sampling/aggregation code paths as the paper.
+class CrowdSimulator {
+ public:
+  struct Options {
+    int workers_per_entity = 5;  ///< paper: 5 workers for Q1
+    int workers_per_pair = 3;    ///< paper: 3 workers for Q2
+    double judgment_noise = 0.12;  ///< stddev of per-worker score noise
+    /// Worker thresholds on the plausibility score for agree/neutral.
+    double agree_threshold = 0.45;
+    double neutral_threshold = 0.30;
+    uint64_t seed = 97;
+  };
+
+  /// Aggregated answers to Q1 ("is this entity real?").
+  struct RealnessReport {
+    double agree = 0.0;
+    double neutral = 0.0;
+    double disagree = 0.0;
+  };
+
+  /// Aggregated answers to Q2 per true label (confusion proportions).
+  struct MatchingReport {
+    double match_labeled_match = 0.0;     ///< row "matching", col "matching"
+    double match_labeled_nonmatch = 0.0;
+    double nonmatch_labeled_match = 0.0;
+    double nonmatch_labeled_nonmatch = 0.0;
+  };
+
+  explicit CrowdSimulator(const SimilaritySpec& spec);
+  CrowdSimulator(const SimilaritySpec& spec, Options options);
+
+  /// Q1: workers judge entity plausibility from the discriminator score of
+  /// `gan` (how much the entity resembles the background/real domain).
+  RealnessReport JudgeEntities(const std::vector<Entity>& entities,
+                               const EntityEncoder& encoder,
+                               const EntityGan& gan) const;
+
+  /// Q2: workers judge pairs as matching/non-matching from the mean
+  /// column similarity; majority vote across workers_per_pair.
+  MatchingReport JudgePairs(const ERDataset& dataset,
+                            const std::vector<LabeledPair>& pairs) const;
+
+ private:
+  const SimilaritySpec* spec_;
+  Options options_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_EVAL_CROWD_H_

@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include "common/strings.h"
+
+namespace serd {
+
+std::string PrfMetrics::ToString() const {
+  return StrFormat("P=%.4f R=%.4f F1=%.4f (tp=%zu fp=%zu fn=%zu tn=%zu)",
+                   precision, recall, f1, tp, fp, fn, tn);
+}
+
+PrfMetrics ComputePrf(const std::vector<int>& truth,
+                      const std::vector<int>& predictions) {
+  SERD_CHECK_EQ(truth.size(), predictions.size());
+  PrfMetrics m;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    bool t = truth[i] != 0;
+    bool p = predictions[i] != 0;
+    if (t && p) ++m.tp;
+    if (!t && p) ++m.fp;
+    if (t && !p) ++m.fn;
+    if (!t && !p) ++m.tn;
+  }
+  m.precision = (m.tp + m.fp) > 0
+                    ? static_cast<double>(m.tp) / (m.tp + m.fp)
+                    : 0.0;
+  m.recall =
+      (m.tp + m.fn) > 0 ? static_cast<double>(m.tp) / (m.tp + m.fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+PrfMetrics EvaluateMatcher(const Matcher& matcher,
+                           const FeatureExtractor& features,
+                           const ERDataset& data,
+                           const LabeledPairSet& pairs) {
+  std::vector<int> truth, predictions;
+  truth.reserve(pairs.pairs.size());
+  predictions.reserve(pairs.pairs.size());
+  for (const auto& p : pairs.pairs) {
+    auto f = features.Extract(data.a.row(p.a_idx), data.b.row(p.b_idx));
+    truth.push_back(p.match ? 1 : 0);
+    predictions.push_back(matcher.Predict(f) ? 1 : 0);
+  }
+  return ComputePrf(truth, predictions);
+}
+
+PrfMetrics TrainAndEvaluate(Matcher* matcher,
+                            const FeatureExtractor& train_features,
+                            const ERDataset& train_data,
+                            const LabeledPairSet& train_pairs,
+                            const FeatureExtractor& test_features,
+                            const ERDataset& test_data,
+                            const LabeledPairSet& test_pairs) {
+  SERD_CHECK(matcher != nullptr);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  train_features.ExtractAll(train_data, train_pairs, &x, &y);
+  matcher->Train(x, y);
+  return EvaluateMatcher(*matcher, test_features, test_data, test_pairs);
+}
+
+}  // namespace serd

@@ -1,0 +1,45 @@
+#ifndef SERD_EVAL_METRICS_H_
+#define SERD_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/er_dataset.h"
+#include "matcher/features.h"
+
+namespace serd {
+
+/// Precision / recall / F1 over binary predictions (paper Exp-2 metrics).
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes PRF from parallel label/prediction vectors (1 = match).
+PrfMetrics ComputePrf(const std::vector<int>& truth,
+                      const std::vector<int>& predictions);
+
+/// Trains `matcher` on (train) and evaluates on (test), both taken from
+/// their own datasets — this is the paper's core harness: the training
+/// pairs may come from E_syn while the test pairs come from E_real.
+PrfMetrics TrainAndEvaluate(Matcher* matcher,
+                            const FeatureExtractor& train_features,
+                            const ERDataset& train_data,
+                            const LabeledPairSet& train_pairs,
+                            const FeatureExtractor& test_features,
+                            const ERDataset& test_data,
+                            const LabeledPairSet& test_pairs);
+
+/// Evaluates an already-trained matcher on a labeled pair set.
+PrfMetrics EvaluateMatcher(const Matcher& matcher,
+                           const FeatureExtractor& features,
+                           const ERDataset& data,
+                           const LabeledPairSet& pairs);
+
+}  // namespace serd
+
+#endif  // SERD_EVAL_METRICS_H_

@@ -1,0 +1,96 @@
+#include "eval/privacy.h"
+
+#include <algorithm>
+
+namespace serd {
+namespace {
+
+/// Gathers up to `cap` rows of both tables of a dataset (stride sampling
+/// keeps determinism; for Restaurant-style self-joins A and B alias the
+/// same table, so only one side is taken).
+std::vector<const Entity*> PoolEntities(const ERDataset& ds, size_t cap) {
+  std::vector<const Entity*> out;
+  auto add_table = [&](const Table& t) {
+    for (const auto& row : t.rows()) out.push_back(&row);
+  };
+  add_table(ds.a);
+  if (!ds.self_join) add_table(ds.b);
+  if (cap > 0 && out.size() > cap) {
+    std::vector<const Entity*> sampled;
+    sampled.reserve(cap);
+    double stride = static_cast<double>(out.size()) / static_cast<double>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      sampled.push_back(out[static_cast<size_t>(i * stride)]);
+    }
+    out = std::move(sampled);
+  }
+  return out;
+}
+
+/// "Similar" in the Table III sense: categorical columns equal, all other
+/// columns above the threshold.
+bool IsSimilar(const SimilaritySpec& spec, const Entity& a, const Entity& b,
+               double threshold) {
+  for (size_t c = 0; c < spec.schema().num_columns(); ++c) {
+    if (spec.schema().column(c).type == ColumnType::kCategorical) {
+      if (a.values[c] != b.values[c]) return false;
+    } else {
+      if (spec.ColumnSimilarity(c, a.values[c], b.values[c]) < threshold) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Mean column similarity, the distance basis for DCR.
+double EntitySimilarity(const SimilaritySpec& spec, const Entity& a,
+                        const Entity& b) {
+  double total = 0.0;
+  const size_t l = spec.schema().num_columns();
+  for (size_t c = 0; c < l; ++c) {
+    total += spec.ColumnSimilarity(c, a.values[c], b.values[c]);
+  }
+  return total / static_cast<double>(l);
+}
+
+}  // namespace
+
+PrivacyReport EvaluatePrivacy(const ERDataset& real,
+                              const ERDataset& synthesized,
+                              const SimilaritySpec& spec,
+                              const PrivacyOptions& options) {
+  PrivacyReport report;
+  auto real_entities = PoolEntities(real, options.max_entities);
+  auto syn_entities = PoolEntities(synthesized, options.max_entities);
+  SERD_CHECK(!real_entities.empty() && !syn_entities.empty());
+
+  // Hitting Rate: for each synthesized entity, the fraction of real
+  // entities similar to it; report the mean (as a percentage).
+  double hit_total = 0.0;
+  for (const Entity* s : syn_entities) {
+    size_t hits = 0;
+    for (const Entity* r : real_entities) {
+      if (IsSimilar(spec, *s, *r, options.similarity_threshold)) ++hits;
+    }
+    hit_total +=
+        static_cast<double>(hits) / static_cast<double>(real_entities.size());
+  }
+  report.hitting_rate_percent =
+      100.0 * hit_total / static_cast<double>(syn_entities.size());
+
+  // DCR: for each real entity, distance (1 - similarity) to the closest
+  // synthesized entity; report the mean.
+  double dcr_total = 0.0;
+  for (const Entity* r : real_entities) {
+    double best_sim = 0.0;
+    for (const Entity* s : syn_entities) {
+      best_sim = std::max(best_sim, EntitySimilarity(spec, *r, *s));
+    }
+    dcr_total += 1.0 - best_sim;
+  }
+  report.dcr = dcr_total / static_cast<double>(real_entities.size());
+  return report;
+}
+
+}  // namespace serd

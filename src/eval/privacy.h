@@ -1,0 +1,37 @@
+#ifndef SERD_EVAL_PRIVACY_H_
+#define SERD_EVAL_PRIVACY_H_
+
+#include "data/er_dataset.h"
+#include "data/similarity.h"
+
+namespace serd {
+
+/// Privacy metrics of paper Exp-4 (Table III).
+struct PrivacyReport {
+  /// Mean over synthesized entities of the fraction of real entities that
+  /// are "similar" to it (categorical values equal, all other column
+  /// similarities above `threshold`). Reported in percent in Table III.
+  double hitting_rate_percent = 0.0;
+  /// Mean over real entities of (1 - similarity) to their closest
+  /// synthesized entity, where entity similarity is the mean of column
+  /// similarities. Higher = better privacy.
+  double dcr = 0.0;
+};
+
+struct PrivacyOptions {
+  double similarity_threshold = 0.9;  ///< paper: 0.9
+  /// Cap on entities compared per side; 0 = no cap. The paper compares
+  /// all pairs; large tables use a deterministic stride subsample.
+  size_t max_entities = 0;
+};
+
+/// Computes Hitting Rate and DCR of `synthesized` w.r.t. `real` (both
+/// sides' tables are pooled, as the paper's per-dataset numbers imply).
+PrivacyReport EvaluatePrivacy(const ERDataset& real,
+                              const ERDataset& synthesized,
+                              const SimilaritySpec& spec,
+                              const PrivacyOptions& options = PrivacyOptions());
+
+}  // namespace serd
+
+#endif  // SERD_EVAL_PRIVACY_H_

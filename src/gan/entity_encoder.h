@@ -1,0 +1,54 @@
+#ifndef SERD_GAN_ENTITY_ENCODER_H_
+#define SERD_GAN_ENTITY_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/similarity.h"
+#include "data/table.h"
+
+namespace serd {
+
+/// Maps entities to fixed-width float feature vectors for the GAN
+/// (the "entity in a matrix form" of paper Section IV-B2):
+///  - numeric/date columns: min-max normalized scalar,
+///  - categorical columns: hashed one-hot over `categorical_buckets`,
+///  - text columns: hashed character 3-gram counts over `text_buckets`,
+///    L2-normalized, plus a normalized length feature.
+struct EntityEncoderOptions {
+  int categorical_buckets = 8;
+  int text_buckets = 24;
+  double max_text_len = 80.0;  ///< length-feature normalizer
+};
+
+class EntityEncoder {
+ public:
+  using Options = EntityEncoderOptions;
+
+  EntityEncoder(const SimilaritySpec& spec, Options options = Options());
+
+  size_t feature_dim() const { return feature_dim_; }
+
+  /// Encodes one entity; output has feature_dim() entries in ~[0, 1].
+  std::vector<float> Encode(const Entity& entity) const;
+
+  /// Greedy decode: for each column, selects from `pools[c]` the value
+  /// whose encoding is closest (L2) to the corresponding feature slice.
+  /// Used for the GAN cold start (generated features -> concrete entity).
+  /// Pools must have one nonempty entry per column.
+  Entity Decode(const std::vector<float>& features,
+                const std::vector<std::vector<std::string>>& pools) const;
+
+ private:
+  void EncodeColumn(size_t col, const std::string& value, float* out) const;
+  size_t ColumnWidth(size_t col) const;
+
+  const SimilaritySpec* spec_;
+  Options options_;
+  size_t feature_dim_;
+  std::vector<size_t> offsets_;  // per-column start in the feature vector
+};
+
+}  // namespace serd
+
+#endif  // SERD_GAN_ENTITY_ENCODER_H_

@@ -1,0 +1,144 @@
+#include "gan/entity_gan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/tape.h"
+
+namespace serd {
+
+using nn::Tape;
+using nn::TensorPtr;
+
+EntityGan::EntityGan(size_t feature_dim, GanConfig config)
+    : feature_dim_(feature_dim), config_(config) {
+  SERD_CHECK_GT(feature_dim_, 0u);
+  Rng rng(config_.seed);
+  g1_ = std::make_unique<nn::Linear>(config_.latent_dim, config_.hidden_dim,
+                                     &rng);
+  g2_ = std::make_unique<nn::Linear>(config_.hidden_dim, config_.hidden_dim,
+                                     &rng);
+  g3_ = std::make_unique<nn::Linear>(config_.hidden_dim, feature_dim_, &rng);
+  d1_ = std::make_unique<nn::Linear>(feature_dim_, config_.hidden_dim, &rng);
+  d2_ = std::make_unique<nn::Linear>(config_.hidden_dim, config_.hidden_dim,
+                                     &rng);
+  d3_ = std::make_unique<nn::Linear>(config_.hidden_dim, 1, &rng);
+  for (auto* m : {g1_.get(), g2_.get(), g3_.get()}) {
+    for (const auto& p : m->parameters()) g_params_.push_back(p);
+  }
+  for (auto* m : {d1_.get(), d2_.get(), d3_.get()}) {
+    for (const auto& p : m->parameters()) d_params_.push_back(p);
+  }
+}
+
+TensorPtr EntityGan::GeneratorForward(Tape* tape, const TensorPtr& z) const {
+  TensorPtr h = tape->Relu(g1_->Forward(tape, z));
+  h = tape->Relu(g2_->Forward(tape, h));
+  return tape->Sigmoid(g3_->Forward(tape, h));
+}
+
+TensorPtr EntityGan::DiscriminatorForward(Tape* tape,
+                                          const TensorPtr& x) const {
+  TensorPtr h = tape->Relu(d1_->Forward(tape, x));
+  h = tape->Relu(d2_->Forward(tape, h));
+  return d3_->Forward(tape, h);
+}
+
+void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
+  SERD_CHECK(!real_features.empty());
+  for (const auto& f : real_features) {
+    SERD_CHECK_EQ(f.size(), feature_dim_);
+  }
+  Rng rng(config_.seed ^ 0x5bd1e995ULL);
+  nn::Adam g_opt(g_params_, config_.lr);
+  nn::Adam d_opt(d_params_, config_.lr);
+
+  const size_t n = real_features.size();
+  const size_t batch =
+      std::min<size_t>(std::max(2, config_.batch_size), n);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  auto make_batch_tensor = [&](size_t start, size_t count) {
+    auto x = nn::MakeTensor(count, feature_dim_);
+    for (size_t r = 0; r < count; ++r) {
+      const auto& f = real_features[order[start + r]];
+      std::copy(f.begin(), f.end(), x->value().begin() + r * feature_dim_);
+    }
+    return x;
+  };
+  auto make_noise = [&](size_t count) {
+    auto z = nn::MakeTensor(count, config_.latent_dim);
+    for (auto& v : z->value()) {
+      v = static_cast<float>(rng.Gaussian());
+    }
+    return z;
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start + batch <= n; start += batch) {
+      // --- Discriminator step: real -> 1, fake -> 0.
+      {
+        Tape tape;
+        TensorPtr real = make_batch_tensor(start, batch);
+        TensorPtr fake = GeneratorForward(&tape, make_noise(batch));
+        // Block generator gradients: detach by copying values.
+        auto fake_detached = nn::MakeTensor(batch, feature_dim_);
+        fake_detached->value() = fake->value();
+        TensorPtr real_logits = DiscriminatorForward(&tape, real);
+        TensorPtr fake_logits = DiscriminatorForward(&tape, fake_detached);
+        TensorPtr loss_real = tape.BceWithLogits(real_logits, 1.0f);
+        TensorPtr loss_fake = tape.BceWithLogits(fake_logits, 0.0f);
+        TensorPtr loss = tape.Scale(tape.Add(loss_real, loss_fake), 0.5f);
+        d_opt.ZeroGrad();
+        g_opt.ZeroGrad();
+        tape.Backward(loss);
+        d_opt.Step();
+      }
+      // --- Generator step: non-saturating loss, fake -> 1.
+      {
+        Tape tape;
+        TensorPtr fake = GeneratorForward(&tape, make_noise(batch));
+        TensorPtr fake_logits = DiscriminatorForward(&tape, fake);
+        TensorPtr loss = tape.BceWithLogits(fake_logits, 1.0f);
+        g_opt.ZeroGrad();
+        d_opt.ZeroGrad();
+        tape.Backward(loss);
+        g_opt.Step();
+      }
+    }
+  }
+  trained_ = true;
+}
+
+double EntityGan::DiscriminatorScore(
+    const std::vector<float>& features) const {
+  SERD_CHECK_EQ(features.size(), feature_dim_);
+  Tape tape;
+  tape.set_recording(false);
+  auto x = nn::MakeTensor(1, feature_dim_);
+  x->value().assign(features.begin(), features.end());
+  TensorPtr logit = DiscriminatorForward(&tape, x);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit->value()[0])));
+}
+
+std::vector<float> EntityGan::GenerateFeatures(Rng* rng) const {
+  SERD_CHECK(rng != nullptr);
+  Tape tape;
+  tape.set_recording(false);
+  auto z = nn::MakeTensor(1, config_.latent_dim);
+  for (auto& v : z->value()) v = static_cast<float>(rng->Gaussian());
+  TensorPtr out = GeneratorForward(&tape, z);
+  return out->value();
+}
+
+double EntityGan::MeanScore(
+    const std::vector<std::vector<float>>& features) const {
+  SERD_CHECK(!features.empty());
+  double total = 0.0;
+  for (const auto& f : features) total += DiscriminatorScore(f);
+  return total / static_cast<double>(features.size());
+}
+
+}  // namespace serd

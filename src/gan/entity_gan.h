@@ -1,0 +1,68 @@
+#ifndef SERD_GAN_ENTITY_GAN_H_
+#define SERD_GAN_ENTITY_GAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "gan/entity_encoder.h"
+#include "nn/modules.h"
+#include "nn/optimizer.h"
+
+namespace serd {
+
+/// Hyperparameters for the entity GAN (paper Section IV-B2, role of the
+/// Daisy GAN in the experiments: cold-start synthesis + discriminator
+/// rejection with threshold beta).
+struct GanConfig {
+  int latent_dim = 16;
+  int hidden_dim = 48;
+  int epochs = 30;
+  int batch_size = 32;
+  float lr = 2e-3f;
+  uint64_t seed = 23;
+};
+
+/// MLP generator/discriminator over entity feature encodings. The
+/// generator maps latent noise to a feature vector (sigmoid outputs, since
+/// encoded features live in [0,1]); the discriminator maps features to a
+/// real/fake logit. Trained with the standard non-saturating GAN loss.
+class EntityGan {
+ public:
+  EntityGan(size_t feature_dim, GanConfig config);
+
+  /// Adversarial training on the encoded background entities.
+  void Train(const std::vector<std::vector<float>>& real_features);
+
+  /// Probability (sigmoid of the discriminator logit) that `features`
+  /// encode a real entity. The rejection rule (paper Section V case 1)
+  /// accepts iff this is >= beta.
+  double DiscriminatorScore(const std::vector<float>& features) const;
+
+  /// Draws a feature vector from the generator.
+  std::vector<float> GenerateFeatures(Rng* rng) const;
+
+  bool trained() const { return trained_; }
+  size_t feature_dim() const { return feature_dim_; }
+
+  /// Mean discriminator score over a feature set (diagnostics).
+  double MeanScore(const std::vector<std::vector<float>>& features) const;
+
+ private:
+  nn::TensorPtr GeneratorForward(nn::Tape* tape,
+                                 const nn::TensorPtr& z) const;
+  nn::TensorPtr DiscriminatorForward(nn::Tape* tape,
+                                     const nn::TensorPtr& x) const;
+
+  size_t feature_dim_;
+  GanConfig config_;
+  // Generator: z -> hidden -> hidden -> features.
+  std::unique_ptr<nn::Linear> g1_, g2_, g3_;
+  // Discriminator: features -> hidden -> 1 logit.
+  std::unique_ptr<nn::Linear> d1_, d2_, d3_;
+  std::vector<nn::TensorPtr> g_params_, d_params_;
+  bool trained_ = false;
+};
+
+}  // namespace serd
+
+#endif  // SERD_GAN_ENTITY_GAN_H_

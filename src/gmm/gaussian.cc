@@ -1,0 +1,55 @@
+#include "gmm/gaussian.h"
+
+#include <cmath>
+
+namespace serd {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+}
+
+MultivariateGaussian::MultivariateGaussian(Vec mean, Matrix covariance,
+                                           double ridge)
+    : mean_(std::move(mean)), covariance_(std::move(covariance)) {
+  SERD_CHECK_EQ(covariance_.rows(), mean_.size());
+  SERD_CHECK_EQ(covariance_.cols(), mean_.size());
+  Matrix regularized = covariance_;
+  double r = ridge;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    regularized = covariance_;
+    regularized.AddDiagonal(r);
+    auto chol = Cholesky(regularized);
+    if (chol.ok()) {
+      chol_ = std::move(chol).value();
+      log_det_ = LogDetFromCholesky(chol_);
+      return;
+    }
+    r = (r == 0.0) ? 1e-8 : r * 10.0;
+  }
+  SERD_CHECK(false) << "covariance could not be regularized to SPD";
+}
+
+double MultivariateGaussian::LogPdf(const Vec& x) const {
+  SERD_CHECK_EQ(x.size(), mean_.size());
+  Vec diff = Sub(x, mean_);
+  // Solve L y = diff; then (x-mu)^T Sigma^-1 (x-mu) = ||y||^2.
+  Vec y = ForwardSolve(chol_, diff);
+  double quad = Dot(y, y);
+  double d = static_cast<double>(mean_.size());
+  return -0.5 * (d * kLog2Pi + log_det_ + quad);
+}
+
+Vec MultivariateGaussian::Sample(Rng* rng) const {
+  SERD_CHECK(rng != nullptr);
+  Vec z(mean_.size());
+  for (double& v : z) v = rng->Gaussian();
+  Vec x = mean_;
+  for (size_t i = 0; i < mean_.size(); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j <= i; ++j) s += chol_(i, j) * z[j];
+    x[i] += s;
+  }
+  return x;
+}
+
+}  // namespace serd

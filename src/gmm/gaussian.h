@@ -1,0 +1,44 @@
+#ifndef SERD_GMM_GAUSSIAN_H_
+#define SERD_GMM_GAUSSIAN_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace serd {
+
+/// A multivariate normal N(mu, Sigma) with a cached Cholesky factor.
+/// Covariances are regularized with a ridge on construction so that the
+/// factorization exists even for degenerate sample covariances (common for
+/// tight matching-pair clusters where one column similarity is constant).
+class MultivariateGaussian {
+ public:
+  MultivariateGaussian() = default;
+
+  /// Builds the density; adds `ridge` to the diagonal. If the matrix is
+  /// still not positive definite, the ridge is grown (x10 up to 1e3 tries
+  /// worth) until it is — the caller keeps a usable density in all cases.
+  MultivariateGaussian(Vec mean, Matrix covariance, double ridge = 1e-6);
+
+  size_t dimension() const { return mean_.size(); }
+  const Vec& mean() const { return mean_; }
+  const Matrix& covariance() const { return covariance_; }
+
+  /// log N(x; mu, Sigma).
+  double LogPdf(const Vec& x) const;
+
+  /// Draws x = mu + L z with z ~ N(0, I).
+  Vec Sample(Rng* rng) const;
+
+ private:
+  Vec mean_;
+  Matrix covariance_;
+  Matrix chol_;      // lower-triangular factor of the regularized covariance
+  double log_det_ = 0.0;
+};
+
+}  // namespace serd
+
+#endif  // SERD_GMM_GAUSSIAN_H_

@@ -1,0 +1,231 @@
+#include "gmm/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace serd {
+
+Gmm::Gmm(std::vector<double> weights,
+         std::vector<MultivariateGaussian> components)
+    : weights_(std::move(weights)), components_(std::move(components)) {
+  SERD_CHECK_EQ(weights_.size(), components_.size());
+  SERD_CHECK(!components_.empty());
+  double total = 0.0;
+  for (double w : weights_) {
+    SERD_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SERD_CHECK_GT(total, 0.0);
+  for (double& w : weights_) w /= total;
+}
+
+double Gmm::LogPdf(const Vec& x) const {
+  SERD_CHECK(!components_.empty());
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms(components_.size());
+  for (size_t k = 0; k < components_.size(); ++k) {
+    terms[k] = (weights_[k] > 0.0 ? std::log(weights_[k])
+                                  : -std::numeric_limits<double>::infinity()) +
+               components_[k].LogPdf(x);
+    max_term = std::max(max_term, terms[k]);
+  }
+  if (!std::isfinite(max_term)) return max_term;
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - max_term);
+  return max_term + std::log(sum);
+}
+
+double Gmm::Pdf(const Vec& x) const { return std::exp(LogPdf(x)); }
+
+Vec Gmm::Responsibilities(const Vec& x) const {
+  std::vector<double> terms(components_.size());
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < components_.size(); ++k) {
+    terms[k] = (weights_[k] > 0.0 ? std::log(weights_[k])
+                                  : -std::numeric_limits<double>::infinity()) +
+               components_[k].LogPdf(x);
+    max_term = std::max(max_term, terms[k]);
+  }
+  Vec gamma(components_.size(), 0.0);
+  if (!std::isfinite(max_term)) {
+    // All components give zero density: fall back to the prior weights.
+    for (size_t k = 0; k < components_.size(); ++k) gamma[k] = weights_[k];
+    return gamma;
+  }
+  double total = 0.0;
+  for (size_t k = 0; k < components_.size(); ++k) {
+    gamma[k] = std::exp(terms[k] - max_term);
+    total += gamma[k];
+  }
+  for (double& g : gamma) g /= total;
+  return gamma;
+}
+
+Vec Gmm::Sample(Rng* rng) const {
+  SERD_CHECK(rng != nullptr);
+  size_t k = rng->Categorical(weights_);
+  return components_[k].Sample(rng);
+}
+
+double Gmm::MeanLogLikelihood(const std::vector<Vec>& data) const {
+  SERD_CHECK(!data.empty());
+  double total = 0.0;
+  for (const auto& x : data) total += LogPdf(x);
+  return total / static_cast<double>(data.size());
+}
+
+double Gmm::NumFreeParameters(int g, int d) {
+  return static_cast<double>(g - 1) + static_cast<double>(g) * d +
+         static_cast<double>(g) * d * (d + 1) / 2.0;
+}
+
+namespace {
+
+/// One full EM run from a random initialization. Returns the fitted model
+/// and its total log-likelihood.
+struct EmRun {
+  Gmm model = Gmm({1.0}, {MultivariateGaussian({0.0}, Matrix::Identity(1))});
+  double log_likelihood = -std::numeric_limits<double>::infinity();
+};
+
+Matrix SampleCovariance(const std::vector<Vec>& data, const Vec& mean) {
+  const size_t d = mean.size();
+  Matrix cov(d, d);
+  for (const auto& x : data) {
+    Vec diff = Sub(x, mean);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) cov(i, j) += diff[i] * diff[j];
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& v : cov.data()) v *= inv_n;
+  return cov;
+}
+
+EmRun RunEmOnce(const std::vector<Vec>& data, int g,
+                const GmmFitOptions& options, Rng* rng) {
+  const size_t n = data.size();
+  const size_t d = data[0].size();
+
+  // Initialization: means at distinct random points; covariance = global
+  // sample covariance; uniform weights.
+  Vec global_mean(d, 0.0);
+  for (const auto& x : data) AddInPlace(&global_mean, x);
+  ScaleInPlace(&global_mean, 1.0 / static_cast<double>(n));
+  Matrix global_cov = SampleCovariance(data, global_mean);
+
+  // Variance floor: prevents the classic GMM likelihood blow-up where a
+  // component collapses onto a handful of points with near-singular
+  // covariance (which would also defeat AIC model selection). The floor
+  // scales with the data's own spread.
+  double mean_var = 0.0;
+  for (size_t i = 0; i < d; ++i) mean_var += global_cov(i, i);
+  mean_var /= static_cast<double>(d);
+  const double var_floor = std::max(options.ridge, 1e-3 * mean_var);
+
+  std::vector<double> weights(g, 1.0 / g);
+  std::vector<MultivariateGaussian> comps;
+  comps.reserve(g);
+  for (int k = 0; k < g; ++k) {
+    const Vec& seed_point = data[rng->UniformInt(n)];
+    comps.emplace_back(seed_point, global_cov, var_floor);
+  }
+  Gmm model(weights, std::move(comps));
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  std::vector<Vec> gammas(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step (paper Eq. 5) + log-likelihood.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      gammas[i] = model.Responsibilities(data[i]);
+      ll += model.LogPdf(data[i]);
+    }
+    if (iter > 0 && ll - prev_ll < options.tolerance) {
+      return {model, ll};
+    }
+    prev_ll = ll;
+
+    // M-step (paper Eq. 6).
+    std::vector<double> new_weights(g);
+    std::vector<MultivariateGaussian> new_comps;
+    new_comps.reserve(g);
+    for (int k = 0; k < g; ++k) {
+      double gamma_sum = 0.0;
+      Vec mu(d, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        gamma_sum += gammas[i][k];
+        for (size_t j = 0; j < d; ++j) mu[j] += gammas[i][k] * data[i][j];
+      }
+      if (gamma_sum < 1e-10) {
+        // Dead component: re-seed at a random point.
+        new_comps.emplace_back(data[rng->UniformInt(n)], global_cov,
+                               var_floor);
+        new_weights[k] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      ScaleInPlace(&mu, 1.0 / gamma_sum);
+      Matrix cov(d, d);
+      for (size_t i = 0; i < n; ++i) {
+        Vec diff = Sub(data[i], mu);
+        double gk = gammas[i][k];
+        for (size_t r = 0; r < d; ++r) {
+          for (size_t c = 0; c < d; ++c) cov(r, c) += gk * diff[r] * diff[c];
+        }
+      }
+      for (auto& v : cov.data()) v /= gamma_sum;
+      new_comps.emplace_back(std::move(mu), std::move(cov), var_floor);
+      new_weights[k] = gamma_sum / static_cast<double>(n);
+    }
+    model = Gmm(std::move(new_weights), std::move(new_comps));
+  }
+  double ll = 0.0;
+  for (const auto& x : data) ll += model.LogPdf(x);
+  return {model, ll};
+}
+
+}  // namespace
+
+Result<Gmm> Gmm::FitEM(const std::vector<Vec>& data, int g,
+                       const GmmFitOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit a GMM on empty data");
+  }
+  g = std::max(1, std::min<int>(g, static_cast<int>(data.size())));
+  Rng rng(options.seed + static_cast<uint64_t>(g) * 1000003ULL);
+  EmRun best;
+  int restarts = std::max(1, options.num_restarts);
+  for (int r = 0; r < restarts; ++r) {
+    EmRun run = RunEmOnce(data, g, options, &rng);
+    if (run.log_likelihood > best.log_likelihood) best = std::move(run);
+  }
+  return best.model;
+}
+
+Result<Gmm> Gmm::FitWithAic(const std::vector<Vec>& data,
+                            const GmmFitOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit a GMM on empty data");
+  }
+  const int d = static_cast<int>(data[0].size());
+  double best_aic = std::numeric_limits<double>::infinity();
+  Result<Gmm> best = Status::Internal("no model fitted");
+  const int max_g =
+      std::max(1, std::min<int>(options.max_components,
+                                static_cast<int>(data.size())));
+  for (int g = 1; g <= max_g; ++g) {
+    auto fitted = FitEM(data, g, options);
+    if (!fitted.ok()) continue;
+    double ll = 0.0;
+    for (const auto& x : data) ll += fitted->LogPdf(x);
+    double aic = 2.0 * NumFreeParameters(g, d) - 2.0 * ll;
+    if (aic < best_aic) {
+      best_aic = aic;
+      best = std::move(fitted);
+    }
+  }
+  return best;
+}
+
+}  // namespace serd

@@ -1,0 +1,75 @@
+#ifndef SERD_GMM_GMM_H_
+#define SERD_GMM_GMM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "gmm/gaussian.h"
+
+namespace serd {
+
+/// Options for EM fitting (paper Section IV-A).
+struct GmmFitOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-5;      ///< stop when log-likelihood gain < tolerance
+  double ridge = 1e-6;          ///< covariance regularization
+  int max_components = 4;       ///< upper bound for AIC model selection
+  uint64_t seed = 17;           ///< EM initialization seed
+  int num_restarts = 2;         ///< random restarts per component count
+};
+
+/// A multivariate Gaussian Mixture Model: p(x) = sum_i pi_i N(x; mu_i, S_i).
+/// Used for the paper's M- and N-distributions over similarity vectors.
+class Gmm {
+ public:
+  Gmm() = default;
+  Gmm(std::vector<double> weights,
+      std::vector<MultivariateGaussian> components);
+
+  size_t num_components() const { return components_.size(); }
+  size_t dimension() const {
+    return components_.empty() ? 0 : components_[0].dimension();
+  }
+  const std::vector<double>& weights() const { return weights_; }
+  const MultivariateGaussian& component(size_t i) const {
+    return components_[i];
+  }
+
+  /// log p(x) via log-sum-exp over components.
+  double LogPdf(const Vec& x) const;
+
+  /// p(x) = exp(LogPdf(x)).
+  double Pdf(const Vec& x) const;
+
+  /// Posterior responsibilities gamma_k(x) (paper Eq. 5). Returns a vector
+  /// of length num_components() summing to 1.
+  Vec Responsibilities(const Vec& x) const;
+
+  /// Draws a sample: component by weight, then from its Gaussian.
+  Vec Sample(Rng* rng) const;
+
+  /// Mean log-likelihood of `data` (nats per point).
+  double MeanLogLikelihood(const std::vector<Vec>& data) const;
+
+  /// Fits a GMM with exactly `g` components by EM (paper Eqs. 4-6).
+  /// Requires data.size() >= 1; g is clamped to data.size().
+  static Result<Gmm> FitEM(const std::vector<Vec>& data, int g,
+                           const GmmFitOptions& options);
+
+  /// Fits GMMs with 1..max_components components and returns the one
+  /// minimizing AIC = 2k - 2 log L (paper Section IV-A).
+  static Result<Gmm> FitWithAic(const std::vector<Vec>& data,
+                                const GmmFitOptions& options);
+
+  /// Number of free parameters (for AIC): (g-1) + g*d + g*d*(d+1)/2.
+  static double NumFreeParameters(int g, int d);
+
+ private:
+  std::vector<double> weights_;
+  std::vector<MultivariateGaussian> components_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_GMM_GMM_H_

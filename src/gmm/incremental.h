@@ -1,0 +1,71 @@
+#ifndef SERD_GMM_INCREMENTAL_H_
+#define SERD_GMM_INCREMENTAL_H_
+
+#include <vector>
+
+#include "gmm/gmm.h"
+
+namespace serd {
+
+/// Incremental GMM maintenance for entity rejection (paper Section V,
+/// Eqs. 8-9). Instead of refitting on all synthesized pairs each time an
+/// entity is added, we keep per-component sufficient statistics
+///   Gamma_k = sum_i gamma_{i,k}
+///   m_k     = sum_i gamma_{i,k} x_i
+///   S_k     = sum_i gamma_{i,k} x_i x_i^T
+/// and fold in the new points' responsibilities (computed against the
+/// current parameters, Eq. 8). The updated parameters
+///   mu_k = m_k / Gamma_k,  Sigma_k = S_k / Gamma_k - mu_k mu_k^T,
+///   pi_k = Gamma_k / n
+/// are algebraically identical to the paper's Eq. 9 (the scatter form
+/// around the *updated* mean expands to exactly these moments).
+///
+/// Updates are two-phase: Preview() computes the would-be model without
+/// mutating state, so the rejection test can discard it; Commit() adopts a
+/// previewed update.
+class IncrementalGmm {
+ public:
+  IncrementalGmm() = default;
+
+  /// Seeds the statistics from a fitted model and its supporting data
+  /// (one E-step pass over `data`).
+  IncrementalGmm(const Gmm& model, const std::vector<Vec>& data,
+                 double ridge = 1e-6);
+
+  size_t num_points() const { return n_; }
+  const Gmm& model() const { return model_; }
+
+  /// The sufficient statistics after hypothetically adding `points`.
+  struct Delta {
+    std::vector<double> gamma_sum;   // per component
+    std::vector<Vec> weighted_sum;   // per component, dimension d
+    std::vector<Matrix> second_moment;  // per component, d x d
+    size_t count = 0;
+  };
+
+  /// Computes the delta statistics for `points` (paper Eq. 8) against the
+  /// current model. Does not mutate state.
+  Delta ComputeDelta(const std::vector<Vec>& points) const;
+
+  /// The model that would result from folding in `delta` (paper Eq. 9).
+  Gmm PreviewModel(const Delta& delta) const;
+
+  /// Adopts the delta: statistics and the current model are updated.
+  void Commit(const Delta& delta);
+
+ private:
+  Gmm RebuildModel(const std::vector<double>& gamma,
+                   const std::vector<Vec>& wsum,
+                   const std::vector<Matrix>& smom, size_t n) const;
+
+  Gmm model_;
+  std::vector<double> gamma_sum_;
+  std::vector<Vec> weighted_sum_;
+  std::vector<Matrix> second_moment_;
+  size_t n_ = 0;
+  double ridge_ = 1e-6;
+};
+
+}  // namespace serd
+
+#endif  // SERD_GMM_INCREMENTAL_H_

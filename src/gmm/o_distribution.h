@@ -1,0 +1,60 @@
+#ifndef SERD_GMM_O_DISTRIBUTION_H_
+#define SERD_GMM_O_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gmm/gmm.h"
+
+namespace serd {
+
+/// The paper's O-distribution: the mixture of the matching distribution
+/// (M, weight pi) and the non-matching distribution (N, weight 1-pi) over
+/// similarity vectors:  p(x) = pi * p_m(x) + (1-pi) * p_n(x).
+class ODistribution {
+ public:
+  ODistribution() = default;
+  ODistribution(double pi, Gmm m, Gmm n);
+
+  double pi() const { return pi_; }
+  const Gmm& m_distribution() const { return m_; }
+  const Gmm& n_distribution() const { return n_; }
+  size_t dimension() const { return m_.dimension(); }
+
+  double LogPdf(const Vec& x) const;
+
+  /// A sampled similarity vector plus which mixture arm produced it.
+  struct SampleResult {
+    Vec x;
+    bool from_match;
+  };
+
+  /// Samples from M with probability pi, else from N (paper step S2-2).
+  /// Components are clamped to [0, 1] since similarities live there.
+  SampleResult Sample(Rng* rng) const;
+
+  /// Posterior probability that x belongs to the M-distribution
+  /// (paper Section IV-C): P_m(x) = pi p_m(x) / (pi p_m(x) + (1-pi) p_n(x)).
+  double PosteriorMatch(const Vec& x) const;
+
+  /// Labels x as matching iff P_m(x) >= P_n(x) = 1 - P_m(x).
+  bool LabelAsMatch(const Vec& x) const { return PosteriorMatch(x) >= 0.5; }
+
+ private:
+  double pi_ = 0.5;
+  Gmm m_;
+  Gmm n_;
+};
+
+/// Monte-Carlo estimate of the Jensen-Shannon divergence between two
+/// O-distributions (paper Eq. 3):
+///   JSD(p||q) = 0.5 E_p[log p/m] + 0.5 E_q[log q/m],  m = (p+q)/2.
+/// Uses `num_samples` draws from each side with the provided seed so that
+/// successive estimates in the rejection test share randomness (common
+/// random numbers -> the comparison in Eq. 10 is low-variance).
+double EstimateJsd(const ODistribution& p, const ODistribution& q,
+                   int num_samples, uint64_t seed);
+
+}  // namespace serd
+
+#endif  // SERD_GMM_O_DISTRIBUTION_H_

@@ -1,0 +1,138 @@
+#include "matcher/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace serd {
+
+DecisionTree::DecisionTree() : DecisionTree(Options()) {}
+DecisionTree::DecisionTree(Options options) : options_(options) {}
+
+void DecisionTree::Train(const std::vector<std::vector<double>>& features,
+                         const std::vector<int>& labels) {
+  SERD_CHECK_EQ(features.size(), labels.size());
+  SERD_CHECK(!features.empty());
+  std::vector<size_t> indices(features.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  TrainOnIndices(features, labels, indices);
+}
+
+void DecisionTree::TrainOnIndices(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, const std::vector<size_t>& indices) {
+  nodes_.clear();
+  std::vector<size_t> work = indices;
+  Rng rng(options_.seed);
+  BuildNode(features, labels, &work, 0, work.size(), 0, &rng);
+}
+
+namespace {
+
+double Gini(size_t pos, size_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+int DecisionTree::BuildNode(const std::vector<std::vector<double>>& features,
+                            const std::vector<int>& labels,
+                            std::vector<size_t>* indices, size_t begin,
+                            size_t end, int depth, Rng* rng) {
+  const size_t n = end - begin;
+  SERD_CHECK_GT(n, 0u);
+  size_t pos = 0;
+  for (size_t i = begin; i < end; ++i) pos += labels[(*indices)[i]];
+
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].prob_match = static_cast<double>(pos) / n;
+
+  if (depth >= options_.max_depth || pos == 0 || pos == n ||
+      n < 2 * static_cast<size_t>(options_.min_samples_leaf)) {
+    return node_id;
+  }
+
+  const size_t num_features = features[0].size();
+  std::vector<int> candidate_features;
+  if (options_.features_per_split > 0 &&
+      static_cast<size_t>(options_.features_per_split) < num_features) {
+    std::vector<int> all(num_features);
+    std::iota(all.begin(), all.end(), 0);
+    rng->Shuffle(&all);
+    candidate_features.assign(all.begin(),
+                              all.begin() + options_.features_per_split);
+  } else {
+    candidate_features.resize(num_features);
+    std::iota(candidate_features.begin(), candidate_features.end(), 0);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double parent_gini = Gini(pos, n);
+
+  std::vector<std::pair<double, int>> column(n);
+  for (int f : candidate_features) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t row = (*indices)[begin + i];
+      column[i] = {features[row][static_cast<size_t>(f)], labels[row]};
+    }
+    std::sort(column.begin(), column.end());
+    size_t left_pos = 0;
+    for (size_t i = 1; i < n; ++i) {
+      left_pos += static_cast<size_t>(column[i - 1].second);
+      if (column[i].first == column[i - 1].first) continue;
+      size_t left_n = i;
+      size_t right_n = n - i;
+      if (left_n < static_cast<size_t>(options_.min_samples_leaf) ||
+          right_n < static_cast<size_t>(options_.min_samples_leaf)) {
+        continue;
+      }
+      double gain = parent_gini -
+                    (static_cast<double>(left_n) / n) * Gini(left_pos, left_n) -
+                    (static_cast<double>(right_n) / n) *
+                        Gini(pos - left_pos, right_n);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i - 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](size_t row) {
+        return features[row][static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - indices->begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = BuildNode(features, labels, indices, begin, mid, depth + 1, rng);
+  int right = BuildNode(features, labels, indices, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const std::vector<double>& features) const {
+  SERD_CHECK(!nodes_.empty()) << "tree not trained";
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    node = features[static_cast<size_t>(nd.feature)] <= nd.threshold
+               ? nd.left
+               : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].prob_match;
+}
+
+}  // namespace serd

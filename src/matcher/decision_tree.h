@@ -1,0 +1,61 @@
+#ifndef SERD_MATCHER_DECISION_TREE_H_
+#define SERD_MATCHER_DECISION_TREE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "matcher/features.h"
+
+namespace serd {
+
+/// CART decision tree for binary classification (Gini impurity, axis-
+/// aligned threshold splits). Supports per-node feature subsampling so the
+/// random forest gets decorrelated trees.
+class DecisionTree : public Matcher {
+ public:
+  struct Options {
+    int max_depth = 8;
+    int min_samples_leaf = 2;
+    /// Features examined per split; 0 = all, otherwise a random subset of
+    /// this size (sqrt(num_features) is the forest default).
+    int features_per_split = 0;
+    uint64_t seed = 11;
+  };
+
+  DecisionTree();
+  explicit DecisionTree(Options options);
+
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels) override;
+
+  double PredictProba(const std::vector<double>& features) const override;
+
+  const char* name() const override { return "decision_tree"; }
+
+  /// Trains on a bootstrap subset given by row indices (used by the
+  /// forest; indices may repeat).
+  void TrainOnIndices(const std::vector<std::vector<double>>& features,
+                      const std::vector<int>& labels,
+                      const std::vector<size_t>& indices);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left if x[feature] <= threshold
+    int left = -1, right = -1;
+    double prob_match = 0.0;  ///< leaf posterior
+  };
+
+  int BuildNode(const std::vector<std::vector<double>>& features,
+                const std::vector<int>& labels, std::vector<size_t>* indices,
+                size_t begin, size_t end, int depth, Rng* rng);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_MATCHER_DECISION_TREE_H_

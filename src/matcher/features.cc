@@ -1,0 +1,99 @@
+#include "matcher/features.h"
+
+#include <cmath>
+
+#include "text/edit_distance.h"
+#include "text/qgram.h"
+#include "text/token.h"
+
+namespace serd {
+
+FeatureExtractor::FeatureExtractor(const SimilaritySpec& spec)
+    : spec_(&spec) {
+  for (size_t c = 0; c < spec.schema().num_columns(); ++c) {
+    const auto& col = spec.schema().column(c);
+    switch (col.type) {
+      case ColumnType::kText:
+        for (const char* m :
+             {"qgram_jac", "edit_sim", "tok_jac", "monge_elkan", "overlap",
+              "len_diff"}) {
+          names_.push_back(col.name + "." + m);
+        }
+        break;
+      case ColumnType::kCategorical:
+        names_.push_back(col.name + ".exact");
+        names_.push_back(col.name + ".qgram_jac");
+        break;
+      case ColumnType::kNumeric:
+      case ColumnType::kDate:
+        names_.push_back(col.name + ".minmax_sim");
+        names_.push_back(col.name + ".rel_diff");
+        names_.push_back(col.name + ".exact");
+        break;
+    }
+  }
+}
+
+std::vector<double> FeatureExtractor::Extract(const Entity& a,
+                                              const Entity& b) const {
+  std::vector<double> f;
+  f.reserve(num_features());
+  for (size_t c = 0; c < spec_->schema().num_columns(); ++c) {
+    const auto& va = a.values[c];
+    const auto& vb = b.values[c];
+    switch (spec_->schema().column(c).type) {
+      case ColumnType::kText: {
+        f.push_back(QgramJaccard(va, vb, 3));
+        f.push_back(NormalizedEditSimilarity(va, vb));
+        f.push_back(TokenJaccard(va, vb));
+        f.push_back(MongeElkan(va, vb));
+        f.push_back(TokenOverlapCoefficient(va, vb));
+        double max_len = std::max(va.size(), vb.size());
+        f.push_back(max_len > 0.0
+                        ? 1.0 - std::fabs(static_cast<double>(va.size()) -
+                                          static_cast<double>(vb.size())) /
+                                    max_len
+                        : 1.0);
+        break;
+      }
+      case ColumnType::kCategorical: {
+        f.push_back(va == vb ? 1.0 : 0.0);
+        f.push_back(QgramJaccard(va, vb, 3));
+        break;
+      }
+      case ColumnType::kNumeric:
+      case ColumnType::kDate: {
+        f.push_back(spec_->ColumnSimilarity(c, va, vb));
+        double x, y;
+        if (spec_->ParseValue(c, va, &x) && spec_->ParseValue(c, vb, &y)) {
+          double denom = std::max(std::fabs(x), std::fabs(y));
+          f.push_back(denom > 0.0 ? 1.0 - std::fabs(x - y) / denom : 1.0);
+          f.push_back(x == y ? 1.0 : 0.0);
+        } else {
+          f.push_back(0.0);
+          f.push_back(0.0);
+        }
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+void FeatureExtractor::ExtractAll(const ERDataset& dataset,
+                                  const LabeledPairSet& pairs,
+                                  std::vector<std::vector<double>>* features,
+                                  std::vector<int>* labels) const {
+  SERD_CHECK(features != nullptr && labels != nullptr);
+  features->clear();
+  labels->clear();
+  features->reserve(pairs.pairs.size());
+  labels->reserve(pairs.pairs.size());
+  for (const auto& p : pairs.pairs) {
+    features->push_back(
+        Extract(dataset.a.row(p.a_idx), dataset.b.row(p.b_idx)));
+    labels->push_back(p.match ? 1 : 0);
+  }
+}
+
+}  // namespace serd

@@ -1,0 +1,62 @@
+#ifndef SERD_MATCHER_FEATURES_H_
+#define SERD_MATCHER_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/er_dataset.h"
+#include "data/similarity.h"
+
+namespace serd {
+
+/// Magellan-style feature generation: each column contributes several
+/// similarity measures chosen by its type (Magellan auto-generates such a
+/// feature table from attribute types):
+///  - text:        3-gram Jaccard, normalized edit similarity, token
+///                 Jaccard, Monge-Elkan, overlap coefficient, relative
+///                 length difference
+///  - categorical: exact match, 3-gram Jaccard
+///  - numeric/date: min-max similarity, relative absolute difference,
+///                 exact match
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const SimilaritySpec& spec);
+
+  size_t num_features() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Features for one entity pair.
+  std::vector<double> Extract(const Entity& a, const Entity& b) const;
+
+  /// Features + labels for a labeled pair set.
+  void ExtractAll(const ERDataset& dataset, const LabeledPairSet& pairs,
+                  std::vector<std::vector<double>>* features,
+                  std::vector<int>* labels) const;
+
+ private:
+  const SimilaritySpec* spec_;
+  std::vector<std::string> names_;
+};
+
+/// Common interface implemented by all matchers (paper's M_real / M_syn).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Trains on feature rows with 0/1 labels.
+  virtual void Train(const std::vector<std::vector<double>>& features,
+                     const std::vector<int>& labels) = 0;
+
+  /// P(match) for one feature row.
+  virtual double PredictProba(const std::vector<double>& features) const = 0;
+
+  bool Predict(const std::vector<double>& features) const {
+    return PredictProba(features) >= 0.5;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace serd
+
+#endif  // SERD_MATCHER_FEATURES_H_

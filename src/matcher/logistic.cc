@@ -1,0 +1,50 @@
+#include "matcher/logistic.h"
+
+#include <cmath>
+
+namespace serd {
+
+LogisticRegression::LogisticRegression()
+    : LogisticRegression(Options()) {}
+LogisticRegression::LogisticRegression(Options options) : options_(options) {}
+
+void LogisticRegression::Train(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels) {
+  SERD_CHECK_EQ(features.size(), labels.size());
+  SERD_CHECK(!features.empty());
+  const size_t d = features[0].size();
+  const size_t n = features.size();
+  weights_.assign(d + 1, 0.0);
+
+  std::vector<double> grad(d + 1);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double z = weights_[d];
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * features[i][j];
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double err = p - labels[i];
+      for (size_t j = 0; j < d; ++j) grad[j] += err * features[i][j];
+      grad[d] += err;
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j <= d; ++j) {
+      double reg = (j < d) ? options_.l2 * weights_[j] : 0.0;
+      weights_[j] -= options_.learning_rate * (grad[j] * inv_n + reg);
+    }
+  }
+}
+
+double LogisticRegression::PredictProba(
+    const std::vector<double>& features) const {
+  SERD_CHECK(!weights_.empty()) << "model not trained";
+  SERD_CHECK_EQ(features.size() + 1, weights_.size());
+  double z = weights_.back();
+  for (size_t j = 0; j < features.size(); ++j) {
+    z += weights_[j] * features[j];
+  }
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace serd

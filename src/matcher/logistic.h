@@ -1,0 +1,41 @@
+#ifndef SERD_MATCHER_LOGISTIC_H_
+#define SERD_MATCHER_LOGISTIC_H_
+
+#include <vector>
+
+#include "matcher/features.h"
+
+namespace serd {
+
+/// L2-regularized logistic regression trained with mini-batch gradient
+/// descent. A second classical Magellan-style model used in the matcher
+/// comparison tests and ablations.
+class LogisticRegression : public Matcher {
+ public:
+  struct Options {
+    int epochs = 200;
+    double learning_rate = 0.5;
+    double l2 = 1e-4;
+    uint64_t seed = 5;
+  };
+
+  LogisticRegression();
+  explicit LogisticRegression(Options options);
+
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels) override;
+
+  double PredictProba(const std::vector<double>& features) const override;
+
+  const char* name() const override { return "logistic_regression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  Options options_;
+  std::vector<double> weights_;  // last element is the bias
+};
+
+}  // namespace serd
+
+#endif  // SERD_MATCHER_LOGISTIC_H_

@@ -1,0 +1,89 @@
+#include "matcher/neural_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/tape.h"
+
+namespace serd {
+
+NeuralMatcher::NeuralMatcher() : NeuralMatcher(Options()) {}
+NeuralMatcher::NeuralMatcher(Options options) : options_(options) {}
+
+void NeuralMatcher::Train(const std::vector<std::vector<double>>& features,
+                          const std::vector<int>& labels) {
+  SERD_CHECK_EQ(features.size(), labels.size());
+  SERD_CHECK(!features.empty());
+  input_dim_ = features[0].size();
+  Rng rng(options_.seed);
+  l1_ = std::make_unique<nn::Linear>(input_dim_, options_.hidden_dim, &rng);
+  l2_ = std::make_unique<nn::Linear>(options_.hidden_dim, options_.hidden_dim,
+                                     &rng);
+  l3_ = std::make_unique<nn::Linear>(options_.hidden_dim, 1, &rng);
+  params_.clear();
+  for (auto* m : {l1_.get(), l2_.get(), l3_.get()}) {
+    for (const auto& p : m->parameters()) params_.push_back(p);
+  }
+
+  nn::Adam opt(params_, options_.learning_rate);
+  const size_t n = features.size();
+  const size_t batch = std::min<size_t>(std::max(1, options_.batch_size), n);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n; start += batch) {
+      size_t count = std::min(batch, n - start);
+      nn::Tape tape;
+      auto x = nn::MakeTensor(count, input_dim_);
+      for (size_t r = 0; r < count; ++r) {
+        const auto& row = features[order[start + r]];
+        for (size_t c = 0; c < input_dim_; ++c) {
+          x->value()[r * input_dim_ + c] = static_cast<float>(row[c]);
+        }
+      }
+      auto h = tape.Relu(l1_->Forward(&tape, x));
+      h = tape.Relu(l2_->Forward(&tape, h));
+      auto logits = l3_->Forward(&tape, h);  // [count, 1]
+      // Per-row BCE: build loss via elementwise ops. Targets differ per
+      // row, so compose from two one-sided BCE terms weighted by masks.
+      // Simpler: accumulate the analytic gradient directly on the logits.
+      auto loss = nn::MakeTensor(1, 1);
+      double total = 0.0;
+      logits->EnsureGrad();
+      for (size_t r = 0; r < count; ++r) {
+        float z = logits->value()[r];
+        float t = static_cast<float>(labels[order[start + r]]);
+        total += std::max(z, 0.0f) - z * t +
+                 std::log1p(std::exp(-std::fabs(z)));
+        float s = 1.0f / (1.0f + std::exp(-z));
+        logits->grad()[r] = (s - t) / static_cast<float>(count);
+      }
+      loss->value()[0] = static_cast<float>(total / count);
+      opt.ZeroGrad();
+      // The logit grads were seeded analytically above; replay the tape
+      // without re-seeding and take the optimizer step.
+      tape.BackwardFromSeeded();
+      opt.Step();
+      (void)loss;
+    }
+  }
+}
+
+double NeuralMatcher::PredictProba(const std::vector<double>& features) const {
+  SERD_CHECK(l1_ != nullptr) << "model not trained";
+  SERD_CHECK_EQ(features.size(), input_dim_);
+  nn::Tape tape;
+  tape.set_recording(false);
+  auto x = nn::MakeTensor(1, input_dim_);
+  for (size_t c = 0; c < input_dim_; ++c) {
+    x->value()[c] = static_cast<float>(features[c]);
+  }
+  auto h = tape.Relu(l1_->Forward(&tape, x));
+  h = tape.Relu(l2_->Forward(&tape, h));
+  auto logit = l3_->Forward(&tape, h);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit->value()[0])));
+}
+
+}  // namespace serd

@@ -1,0 +1,46 @@
+#ifndef SERD_MATCHER_NEURAL_MATCHER_H_
+#define SERD_MATCHER_NEURAL_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "matcher/features.h"
+#include "nn/modules.h"
+#include "nn/optimizer.h"
+
+namespace serd {
+
+/// Deep matcher over pair features: a 3-layer MLP trained with Adam and
+/// binary cross-entropy. Stands in for the Deepmatcher system in the
+/// paper's Figures 7 and 9 (same role: a learned nonlinear matcher; see
+/// DESIGN.md for the capacity substitution rationale).
+class NeuralMatcher : public Matcher {
+ public:
+  struct Options {
+    int hidden_dim = 32;
+    int epochs = 60;
+    int batch_size = 32;
+    float learning_rate = 2e-3f;
+    uint64_t seed = 41;
+  };
+
+  NeuralMatcher();
+  explicit NeuralMatcher(Options options);
+
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels) override;
+
+  double PredictProba(const std::vector<double>& features) const override;
+
+  const char* name() const override { return "neural_matcher"; }
+
+ private:
+  Options options_;
+  std::unique_ptr<nn::Linear> l1_, l2_, l3_;
+  std::vector<nn::TensorPtr> params_;
+  size_t input_dim_ = 0;
+};
+
+}  // namespace serd
+
+#endif  // SERD_MATCHER_NEURAL_MATCHER_H_

@@ -1,0 +1,40 @@
+#include "matcher/random_forest.h"
+
+#include <cmath>
+
+namespace serd {
+
+RandomForest::RandomForest() : RandomForest(Options()) {}
+RandomForest::RandomForest(Options options) : options_(options) {}
+
+void RandomForest::Train(const std::vector<std::vector<double>>& features,
+                         const std::vector<int>& labels) {
+  SERD_CHECK_EQ(features.size(), labels.size());
+  SERD_CHECK(!features.empty());
+  trees_.clear();
+  Rng rng(options_.seed);
+  const size_t n = features.size();
+  const int features_per_split = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(features[0].size()))));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    DecisionTree::Options tree_opts;
+    tree_opts.max_depth = options_.max_depth;
+    tree_opts.min_samples_leaf = options_.min_samples_leaf;
+    tree_opts.features_per_split = features_per_split;
+    tree_opts.seed = rng.Next();
+    auto tree = std::make_unique<DecisionTree>(tree_opts);
+    std::vector<size_t> bootstrap(n);
+    for (auto& idx : bootstrap) idx = rng.UniformInt(n);
+    tree->TrainOnIndices(features, labels, bootstrap);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProba(const std::vector<double>& features) const {
+  SERD_CHECK(!trees_.empty()) << "forest not trained";
+  double total = 0.0;
+  for (const auto& t : trees_) total += t->PredictProba(features);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace serd

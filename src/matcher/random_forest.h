@@ -1,0 +1,42 @@
+#ifndef SERD_MATCHER_RANDOM_FOREST_H_
+#define SERD_MATCHER_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "matcher/decision_tree.h"
+
+namespace serd {
+
+/// Bagged random forest — the workhorse classifier of the Magellan system
+/// the paper trains (Figures 6 and 8). Bootstrap sampling per tree plus
+/// sqrt-feature subsampling per split; prediction averages leaf posteriors.
+class RandomForest : public Matcher {
+ public:
+  struct Options {
+    int num_trees = 20;
+    int max_depth = 10;
+    int min_samples_leaf = 2;
+    uint64_t seed = 29;
+  };
+
+  RandomForest();
+  explicit RandomForest(Options options);
+
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels) override;
+
+  double PredictProba(const std::vector<double>& features) const override;
+
+  const char* name() const override { return "random_forest"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_MATCHER_RANDOM_FOREST_H_

@@ -1,0 +1,56 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace serd::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) {
+    p->EnsureGrad();
+    p->ZeroGrad();
+  }
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    auto& val = p->value();
+    const auto& g = p->grad();
+    for (size_t i = 0; i < val.size(); ++i) val[i] -= lr_ * g[i];
+  }
+}
+
+Adam::Adam(std::vector<TensorPtr> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->size(), 0.0f);
+    v_.emplace_back(p->size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& val = params_[pi]->value();
+    const auto& g = params_[pi]->grad();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (size_t i = 0; i < val.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace serd::nn

@@ -1,0 +1,59 @@
+#ifndef SERD_NN_OPTIMIZER_H_
+#define SERD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace serd::nn {
+
+/// Optimizer interface: consumes the gradients stored in the parameters'
+/// grad buffers and updates their values in place.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<TensorPtr> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+  const std::vector<TensorPtr>& params() const { return params_; }
+
+ protected:
+  std::vector<TensorPtr> params_;
+};
+
+/// Plain SGD: theta <- theta - lr * grad (paper Algorithm 1 line 10).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<TensorPtr> params, float lr)
+      : Optimizer(std::move(params)), lr_(lr) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<TensorPtr> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace serd::nn
+
+#endif  // SERD_NN_OPTIMIZER_H_

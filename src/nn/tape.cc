@@ -1,0 +1,500 @@
+#include "nn/tape.h"
+
+#include <cmath>
+
+namespace serd::nn {
+
+TensorPtr Tape::NewResult(size_t rows, size_t cols) {
+  auto t = MakeTensor(rows, cols);
+  t->EnsureGrad();
+  return t;
+}
+
+void Tape::Record(std::function<void()> backward_fn) {
+  if (!recording_) return;
+  nodes_.push_back(std::move(backward_fn));
+}
+
+TensorPtr Tape::MatMul(const TensorPtr& a, const TensorPtr& b) {
+  SERD_CHECK_EQ(a->cols(), b->rows());
+  const size_t m = a->rows(), k = a->cols(), n = b->cols();
+  auto out = NewResult(m, n);
+  const float* av = a->value().data();
+  const float* bv = b->value().data();
+  float* ov = out->value().data();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      float x = av[i * k + p];
+      if (x == 0.0f) continue;
+      const float* brow = bv + p * n;
+      float* orow = ov + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += x * brow[j];
+    }
+  }
+  a->EnsureGrad();
+  b->EnsureGrad();
+  Record([a, b, out, m, k, n] {
+    const float* go = out->grad().data();
+    const float* av2 = a->value().data();
+    const float* bv2 = b->value().data();
+    float* ga = a->grad().data();
+    float* gb = b->grad().data();
+    // dA = dOut * B^T
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t p = 0; p < k; ++p) {
+        float s = 0.0f;
+        const float* gorow = go + i * n;
+        const float* brow = bv2 + p * n;
+        for (size_t j = 0; j < n; ++j) s += gorow[j] * brow[j];
+        ga[i * k + p] += s;
+      }
+    }
+    // dB = A^T * dOut
+    for (size_t p = 0; p < k; ++p) {
+      for (size_t i = 0; i < m; ++i) {
+        float x = av2[i * k + p];
+        if (x == 0.0f) continue;
+        const float* gorow = go + i * n;
+        float* gbrow = gb + p * n;
+        for (size_t j = 0; j < n; ++j) gbrow[j] += x * gorow[j];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Add(const TensorPtr& a, const TensorPtr& b) {
+  SERD_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  auto out = NewResult(a->rows(), a->cols());
+  for (size_t i = 0; i < a->size(); ++i) {
+    out->value()[i] = a->value()[i] + b->value()[i];
+  }
+  a->EnsureGrad();
+  b->EnsureGrad();
+  Record([a, b, out] {
+    for (size_t i = 0; i < out->size(); ++i) {
+      a->grad()[i] += out->grad()[i];
+      b->grad()[i] += out->grad()[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::AddRowBroadcast(const TensorPtr& x, const TensorPtr& bias) {
+  SERD_CHECK_EQ(bias->rows(), 1u);
+  SERD_CHECK_EQ(bias->cols(), x->cols());
+  auto out = NewResult(x->rows(), x->cols());
+  const size_t n = x->cols();
+  for (size_t r = 0; r < x->rows(); ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      out->value()[r * n + c] = x->value()[r * n + c] + bias->value()[c];
+    }
+  }
+  x->EnsureGrad();
+  bias->EnsureGrad();
+  Record([x, bias, out, n] {
+    for (size_t r = 0; r < x->rows(); ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        float g = out->grad()[r * n + c];
+        x->grad()[r * n + c] += g;
+        bias->grad()[c] += g;
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Mul(const TensorPtr& a, const TensorPtr& b) {
+  SERD_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  auto out = NewResult(a->rows(), a->cols());
+  for (size_t i = 0; i < a->size(); ++i) {
+    out->value()[i] = a->value()[i] * b->value()[i];
+  }
+  a->EnsureGrad();
+  b->EnsureGrad();
+  Record([a, b, out] {
+    for (size_t i = 0; i < out->size(); ++i) {
+      a->grad()[i] += out->grad()[i] * b->value()[i];
+      b->grad()[i] += out->grad()[i] * a->value()[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Scale(const TensorPtr& x, float s) {
+  auto out = NewResult(x->rows(), x->cols());
+  for (size_t i = 0; i < x->size(); ++i) out->value()[i] = x->value()[i] * s;
+  x->EnsureGrad();
+  Record([x, out, s] {
+    for (size_t i = 0; i < out->size(); ++i) {
+      x->grad()[i] += out->grad()[i] * s;
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Transpose(const TensorPtr& x) {
+  auto out = NewResult(x->cols(), x->rows());
+  for (size_t r = 0; r < x->rows(); ++r) {
+    for (size_t c = 0; c < x->cols(); ++c) {
+      out->at(c, r) = x->at(r, c);
+    }
+  }
+  x->EnsureGrad();
+  Record([x, out] {
+    for (size_t r = 0; r < x->rows(); ++r) {
+      for (size_t c = 0; c < x->cols(); ++c) {
+        x->grad()[r * x->cols() + c] += out->grad()[c * out->cols() + r];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::RowSoftmax(const TensorPtr& x,
+                           const std::vector<float>* add_mask) {
+  if (add_mask != nullptr) SERD_CHECK_EQ(add_mask->size(), x->size());
+  auto out = NewResult(x->rows(), x->cols());
+  const size_t n = x->cols();
+  for (size_t r = 0; r < x->rows(); ++r) {
+    float hi = -1e30f;
+    for (size_t c = 0; c < n; ++c) {
+      float v = x->value()[r * n + c];
+      if (add_mask) v += (*add_mask)[r * n + c];
+      out->value()[r * n + c] = v;
+      hi = std::max(hi, v);
+    }
+    float total = 0.0f;
+    for (size_t c = 0; c < n; ++c) {
+      float e = std::exp(out->value()[r * n + c] - hi);
+      out->value()[r * n + c] = e;
+      total += e;
+    }
+    for (size_t c = 0; c < n; ++c) out->value()[r * n + c] /= total;
+  }
+  x->EnsureGrad();
+  Record([x, out, n] {
+    // dX_rc = y_rc * (dY_rc - sum_j dY_rj y_rj)
+    for (size_t r = 0; r < x->rows(); ++r) {
+      float dot = 0.0f;
+      for (size_t c = 0; c < n; ++c) {
+        dot += out->grad()[r * n + c] * out->value()[r * n + c];
+      }
+      for (size_t c = 0; c < n; ++c) {
+        x->grad()[r * n + c] +=
+            out->value()[r * n + c] * (out->grad()[r * n + c] - dot);
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::LayerNorm(const TensorPtr& x, const TensorPtr& gamma,
+                          const TensorPtr& beta, float eps) {
+  SERD_CHECK_EQ(gamma->cols(), x->cols());
+  SERD_CHECK_EQ(beta->cols(), x->cols());
+  const size_t n = x->cols();
+  auto out = NewResult(x->rows(), n);
+  // Cache per-row mean / inv-std and the normalized values for backward.
+  auto xhat = std::make_shared<std::vector<float>>(x->size());
+  auto inv_std = std::make_shared<std::vector<float>>(x->rows());
+  for (size_t r = 0; r < x->rows(); ++r) {
+    float mean = 0.0f;
+    for (size_t c = 0; c < n; ++c) mean += x->value()[r * n + c];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (size_t c = 0; c < n; ++c) {
+      float d = x->value()[r * n + c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[r] = istd;
+    for (size_t c = 0; c < n; ++c) {
+      float h = (x->value()[r * n + c] - mean) * istd;
+      (*xhat)[r * n + c] = h;
+      out->value()[r * n + c] = h * gamma->value()[c] + beta->value()[c];
+    }
+  }
+  x->EnsureGrad();
+  gamma->EnsureGrad();
+  beta->EnsureGrad();
+  Record([x, gamma, beta, out, xhat, inv_std, n] {
+    for (size_t r = 0; r < x->rows(); ++r) {
+      float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+      for (size_t c = 0; c < n; ++c) {
+        float dy = out->grad()[r * n + c] * gamma->value()[c];
+        sum_dy += dy;
+        sum_dy_xhat += dy * (*xhat)[r * n + c];
+      }
+      float inv_n = 1.0f / static_cast<float>(n);
+      for (size_t c = 0; c < n; ++c) {
+        float dy = out->grad()[r * n + c] * gamma->value()[c];
+        float h = (*xhat)[r * n + c];
+        x->grad()[r * n + c] +=
+            (*inv_std)[r] * (dy - inv_n * sum_dy - h * inv_n * sum_dy_xhat);
+        gamma->grad()[c] += out->grad()[r * n + c] * h;
+        beta->grad()[c] += out->grad()[r * n + c];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Relu(const TensorPtr& x) {
+  auto out = NewResult(x->rows(), x->cols());
+  for (size_t i = 0; i < x->size(); ++i) {
+    out->value()[i] = x->value()[i] > 0.0f ? x->value()[i] : 0.0f;
+  }
+  x->EnsureGrad();
+  Record([x, out] {
+    for (size_t i = 0; i < x->size(); ++i) {
+      if (x->value()[i] > 0.0f) x->grad()[i] += out->grad()[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Gelu(const TensorPtr& x) {
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  auto out = NewResult(x->rows(), x->cols());
+  for (size_t i = 0; i < x->size(); ++i) {
+    float v = x->value()[i];
+    float t = std::tanh(kC * (v + 0.044715f * v * v * v));
+    out->value()[i] = 0.5f * v * (1.0f + t);
+  }
+  x->EnsureGrad();
+  Record([x, out] {
+    for (size_t i = 0; i < x->size(); ++i) {
+      float v = x->value()[i];
+      float u = kC * (v + 0.044715f * v * v * v);
+      float t = std::tanh(u);
+      float dt = (1.0f - t * t) * kC * (1.0f + 3.0f * 0.044715f * v * v);
+      float dgelu = 0.5f * (1.0f + t) + 0.5f * v * dt;
+      x->grad()[i] += out->grad()[i] * dgelu;
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Sigmoid(const TensorPtr& x) {
+  auto out = NewResult(x->rows(), x->cols());
+  for (size_t i = 0; i < x->size(); ++i) {
+    out->value()[i] = 1.0f / (1.0f + std::exp(-x->value()[i]));
+  }
+  x->EnsureGrad();
+  Record([x, out] {
+    for (size_t i = 0; i < x->size(); ++i) {
+      float y = out->value()[i];
+      x->grad()[i] += out->grad()[i] * y * (1.0f - y);
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Tanh(const TensorPtr& x) {
+  auto out = NewResult(x->rows(), x->cols());
+  for (size_t i = 0; i < x->size(); ++i) {
+    out->value()[i] = std::tanh(x->value()[i]);
+  }
+  x->EnsureGrad();
+  Record([x, out] {
+    for (size_t i = 0; i < x->size(); ++i) {
+      float y = out->value()[i];
+      x->grad()[i] += out->grad()[i] * (1.0f - y * y);
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::EmbeddingLookup(const TensorPtr& table,
+                                const std::vector<int>& ids) {
+  const size_t d = table->cols();
+  auto out = NewResult(ids.size(), d);
+  for (size_t r = 0; r < ids.size(); ++r) {
+    SERD_CHECK(ids[r] >= 0 &&
+               static_cast<size_t>(ids[r]) < table->rows())
+        << "embedding id out of range: " << ids[r];
+    for (size_t c = 0; c < d; ++c) {
+      out->value()[r * d + c] = table->at(static_cast<size_t>(ids[r]), c);
+    }
+  }
+  table->EnsureGrad();
+  auto ids_copy = std::make_shared<std::vector<int>>(ids);
+  Record([table, out, ids_copy, d] {
+    for (size_t r = 0; r < ids_copy->size(); ++r) {
+      size_t row = static_cast<size_t>((*ids_copy)[r]);
+      for (size_t c = 0; c < d; ++c) {
+        table->grad()[row * d + c] += out->grad()[r * d + c];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::SliceCols(const TensorPtr& x, size_t start, size_t len) {
+  SERD_CHECK_LE(start + len, x->cols());
+  auto out = NewResult(x->rows(), len);
+  for (size_t r = 0; r < x->rows(); ++r) {
+    for (size_t c = 0; c < len; ++c) {
+      out->value()[r * len + c] = x->at(r, start + c);
+    }
+  }
+  x->EnsureGrad();
+  Record([x, out, start, len] {
+    for (size_t r = 0; r < x->rows(); ++r) {
+      for (size_t c = 0; c < len; ++c) {
+        x->grad()[r * x->cols() + start + c] += out->grad()[r * len + c];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::ConcatCols(const std::vector<TensorPtr>& xs) {
+  SERD_CHECK(!xs.empty());
+  size_t rows = xs[0]->rows();
+  size_t total_cols = 0;
+  for (const auto& x : xs) {
+    SERD_CHECK_EQ(x->rows(), rows);
+    total_cols += x->cols();
+  }
+  auto out = NewResult(rows, total_cols);
+  size_t offset = 0;
+  for (const auto& x : xs) {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < x->cols(); ++c) {
+        out->value()[r * total_cols + offset + c] = x->at(r, c);
+      }
+    }
+    x->EnsureGrad();
+    offset += x->cols();
+  }
+  auto xs_copy = xs;
+  Record([xs_copy, out, rows, total_cols] {
+    size_t off = 0;
+    for (const auto& x : xs_copy) {
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < x->cols(); ++c) {
+          x->grad()[r * x->cols() + c] +=
+              out->grad()[r * total_cols + off + c];
+        }
+      }
+      off += x->cols();
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::Dropout(const TensorPtr& x, float p, Rng* rng) {
+  if (p <= 0.0f) return x;
+  SERD_CHECK(rng != nullptr);
+  SERD_CHECK_LT(p, 1.0f);
+  auto mask = std::make_shared<std::vector<float>>(x->size());
+  float keep_scale = 1.0f / (1.0f - p);
+  auto out = NewResult(x->rows(), x->cols());
+  for (size_t i = 0; i < x->size(); ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+    out->value()[i] = x->value()[i] * (*mask)[i];
+  }
+  x->EnsureGrad();
+  Record([x, out, mask] {
+    for (size_t i = 0; i < x->size(); ++i) {
+      x->grad()[i] += out->grad()[i] * (*mask)[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::CrossEntropy(const TensorPtr& logits,
+                             const std::vector<int>& targets,
+                             int ignore_index) {
+  SERD_CHECK_EQ(logits->rows(), targets.size());
+  const size_t v = logits->cols();
+  auto out = NewResult(1, 1);
+  auto probs = std::make_shared<std::vector<float>>(logits->size());
+  size_t counted = 0;
+  double total = 0.0;
+  for (size_t r = 0; r < logits->rows(); ++r) {
+    float hi = -1e30f;
+    for (size_t c = 0; c < v; ++c) {
+      hi = std::max(hi, logits->value()[r * v + c]);
+    }
+    float z = 0.0f;
+    for (size_t c = 0; c < v; ++c) {
+      float e = std::exp(logits->value()[r * v + c] - hi);
+      (*probs)[r * v + c] = e;
+      z += e;
+    }
+    for (size_t c = 0; c < v; ++c) (*probs)[r * v + c] /= z;
+    if (targets[r] == ignore_index) continue;
+    SERD_CHECK(targets[r] >= 0 && static_cast<size_t>(targets[r]) < v);
+    total += -std::log(
+        std::max(1e-12f, (*probs)[r * v + static_cast<size_t>(targets[r])]));
+    ++counted;
+  }
+  SERD_CHECK_GT(counted, 0u) << "cross entropy with no counted targets";
+  out->value()[0] = static_cast<float>(total / counted);
+  logits->EnsureGrad();
+  auto targets_copy = std::make_shared<std::vector<int>>(targets);
+  Record([logits, out, probs, targets_copy, ignore_index, v, counted] {
+    float g = out->grad()[0] / static_cast<float>(counted);
+    for (size_t r = 0; r < logits->rows(); ++r) {
+      int t = (*targets_copy)[r];
+      if (t == ignore_index) continue;
+      for (size_t c = 0; c < v; ++c) {
+        float onehot = (static_cast<size_t>(t) == c) ? 1.0f : 0.0f;
+        logits->grad()[r * v + c] += g * ((*probs)[r * v + c] - onehot);
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::BceWithLogits(const TensorPtr& logits, float target) {
+  auto out = NewResult(1, 1);
+  double total = 0.0;
+  for (size_t i = 0; i < logits->size(); ++i) {
+    float x = logits->value()[i];
+    // Numerically stable: max(x,0) - x*t + log(1+exp(-|x|)).
+    total += std::max(x, 0.0f) - x * target + std::log1p(std::exp(-std::fabs(x)));
+  }
+  out->value()[0] = static_cast<float>(total / logits->size());
+  logits->EnsureGrad();
+  Record([logits, out, target] {
+    float g = out->grad()[0] / static_cast<float>(logits->size());
+    for (size_t i = 0; i < logits->size(); ++i) {
+      float s = 1.0f / (1.0f + std::exp(-logits->value()[i]));
+      logits->grad()[i] += g * (s - target);
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::MeanAll(const TensorPtr& x) {
+  auto out = NewResult(1, 1);
+  double total = 0.0;
+  for (float v : x->value()) total += v;
+  out->value()[0] = static_cast<float>(total / x->size());
+  x->EnsureGrad();
+  Record([x, out] {
+    float g = out->grad()[0] / static_cast<float>(x->size());
+    for (size_t i = 0; i < x->size(); ++i) x->grad()[i] += g;
+  });
+  return out;
+}
+
+void Tape::Backward(const TensorPtr& loss) {
+  SERD_CHECK_EQ(loss->size(), 1u) << "Backward expects a scalar loss";
+  loss->EnsureGrad();
+  loss->grad()[0] = 1.0f;
+  BackwardFromSeeded();
+}
+
+void Tape::BackwardFromSeeded() {
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    (*it)();
+  }
+}
+
+}  // namespace serd::nn

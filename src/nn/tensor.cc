@@ -1,0 +1,19 @@
+#include "nn/tensor.h"
+
+namespace serd::nn {
+
+void Tensor::FillUniform(Rng* rng, float limit) {
+  SERD_CHECK(rng != nullptr);
+  for (float& v : value_) {
+    v = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+}
+
+void Tensor::FillGaussian(Rng* rng, float stddev) {
+  SERD_CHECK(rng != nullptr);
+  for (float& v : value_) {
+    v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+}
+
+}  // namespace serd::nn

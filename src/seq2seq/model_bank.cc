@@ -1,0 +1,241 @@
+#include "seq2seq/model_bank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "text/perturb.h"
+#include "text/token.h"
+
+namespace serd {
+
+StringSynthesisBank::StringSynthesisBank(StringBankOptions options,
+                                         StringSimFn sim)
+    : options_(std::move(options)), sim_(std::move(sim)) {
+  SERD_CHECK_GT(options_.num_buckets, 0);
+  SERD_CHECK_GT(options_.num_candidates, 0);
+  SERD_CHECK(sim_ != nullptr);
+}
+
+int StringSynthesisBank::BucketOf(double sim) const {
+  double clamped = std::clamp(sim, 0.0, 1.0);
+  int b = static_cast<int>(clamped * options_.num_buckets);
+  return std::min(b, options_.num_buckets - 1);
+}
+
+Status StringSynthesisBank::Train(
+    const std::vector<std::string>& background_corpus, Rng* rng) {
+  if (background_corpus.size() < 2) {
+    return Status::InvalidArgument(
+        "background corpus needs at least 2 strings");
+  }
+  SERD_CHECK(rng != nullptr);
+
+  // Word pool for augmentation and refinement.
+  corpus_ = background_corpus;
+  word_pool_.clear();
+  for (const auto& s : corpus_) {
+    for (auto& w : WordTokens(s)) word_pool_.push_back(std::move(w));
+  }
+  std::sort(word_pool_.begin(), word_pool_.end());
+  word_pool_.erase(std::unique(word_pool_.begin(), word_pool_.end()),
+                   word_pool_.end());
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(options_.random_pair_samples * 2);
+
+  // (a) Random corpus pairs: populate the low-similarity region.
+  for (int i = 0; i < options_.random_pair_samples; ++i) {
+    const auto& a = corpus_[rng->UniformInt(corpus_.size())];
+    const auto& b = corpus_[rng->UniformInt(corpus_.size())];
+    if (a == b) continue;
+    pairs.emplace_back(a, b);
+  }
+
+  // (b) Perturbation chains: (s, perturb^j(s)) walk from similarity ~1
+  // downward, covering the mid/high buckets like near-duplicate crawl
+  // entries do.
+  const int chains = std::max(1, options_.random_pair_samples / 8);
+  for (int i = 0; i < chains; ++i) {
+    std::string base = corpus_[rng->UniformInt(corpus_.size())];
+    std::string cur = base;
+    for (int step = 0; step < 6; ++step) {
+      cur = RandomPerturbation(cur, word_pool_, rng);
+      if (cur.empty()) break;
+      pairs.emplace_back(base, cur);
+    }
+  }
+  return TrainFromPairs(pairs, rng);
+}
+
+Status StringSynthesisBank::TrainFromPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs, Rng* rng) {
+  SERD_CHECK(rng != nullptr);
+  if (pairs.empty()) {
+    return Status::InvalidArgument("no training pairs");
+  }
+  WallTimer timer;
+  const int k = options_.num_buckets;
+
+  // Bucket pairs by similarity (paper: divide into buckets, train M_i on
+  // pairs whose similarity lies in I_i).
+  std::vector<std::vector<std::pair<std::string, std::string>>> buckets(k);
+  for (const auto& p : pairs) {
+    double s = sim_(p.first, p.second);
+    auto& bucket = buckets[BucketOf(s)];
+    if (static_cast<int>(bucket.size()) < options_.max_pairs_per_bucket) {
+      bucket.push_back(p);
+    }
+  }
+
+  // Vocabulary over everything we may encode.
+  std::vector<std::string> vocab_corpus;
+  for (const auto& bucket : buckets) {
+    for (const auto& p : bucket) {
+      vocab_corpus.push_back(p.first);
+      vocab_corpus.push_back(p.second);
+    }
+  }
+  for (const auto& s : corpus_) vocab_corpus.push_back(s);
+  vocab_.Fit(vocab_corpus);
+
+  TransformerConfig cfg = options_.transformer;
+  cfg.vocab_size = vocab_.size();
+
+  models_.clear();
+  models_.resize(k);
+  stats_ = StringBankStats();
+  stats_.pairs_per_bucket.assign(k, 0);
+  stats_.bucket_trained.assign(k, false);
+
+  double total_eps = 0.0;
+  int trained_models = 0;
+  for (int b = 0; b < k; ++b) {
+    stats_.pairs_per_bucket[b] = static_cast<int>(buckets[b].size());
+    if (static_cast<int>(buckets[b].size()) < options_.min_pairs_per_bucket) {
+      continue;  // untrained bucket -> fallback path at synthesis time
+    }
+    Rng model_rng(options_.train.seed + 31ULL * static_cast<uint64_t>(b));
+    auto model = std::make_unique<TransformerSeq2Seq>(cfg, &model_rng);
+    Seq2SeqTrainOptions train_opts = options_.train;
+    train_opts.seed = options_.train.seed + 1000ULL * (b + 1);
+    auto report = TrainSeq2Seq(model.get(), vocab_, buckets[b], train_opts);
+    models_[b] = std::move(model);
+    stats_.bucket_trained[b] = true;
+    if (std::isfinite(report.epsilon)) {
+      total_eps += report.epsilon;
+      ++trained_models;
+    }
+  }
+  stats_.mean_epsilon = trained_models > 0 ? total_eps / trained_models : 0.0;
+  stats_.train_seconds = timer.Seconds();
+  trained_ = true;
+  return Status::OK();
+}
+
+namespace {
+
+/// Fraction of a candidate's words drawn from a known word pool — a cheap
+/// plausibility proxy that penalizes degenerate decoder outputs (random
+/// character runs) without a second model.
+double PoolWordFraction(const std::string& candidate,
+                        const std::vector<std::string>& pool) {
+  auto words = WordTokens(candidate);
+  if (words.empty()) return 0.0;
+  size_t known = 0;
+  for (const auto& w : words) {
+    known += std::binary_search(pool.begin(), pool.end(), w) ? 1 : 0;
+  }
+  return static_cast<double>(known) / static_cast<double>(words.size());
+}
+
+}  // namespace
+
+std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
+                                                     const std::string& s,
+                                                     double target_sim,
+                                                     Rng* rng) const {
+  const auto& model = models_[bucket];
+  auto src_ids = vocab_.Encode(s);
+  std::string best;
+  double best_score = 1e9;
+  double best_err = 2.0;
+  // Candidates are scored by similarity error plus a small implausibility
+  // penalty. Early exit once a candidate is essentially on target:
+  // decoding is the dominant online cost (paper Table IV).
+  constexpr double kGoodEnough = 0.03;
+  for (int c = 0; c < options_.num_candidates && best_err > kGoodEnough;
+       ++c) {
+    auto out_ids = model->Generate(src_ids, rng, options_.temperature);
+    std::string candidate = vocab_.Decode(out_ids);
+    if (candidate.empty()) continue;
+    double pool_fraction = PoolWordFraction(candidate, word_pool_);
+    // Fully degenerate decodes (random character runs) are dropped;
+    // borderline ones pass through to the entity-level discriminator
+    // rejection (paper Section V case 1).
+    if (pool_fraction < options_.min_pool_word_fraction) continue;
+    double err = std::fabs(sim_(s, candidate) - target_sim);
+    double score = err + 0.15 * (1.0 - pool_fraction);
+    if (score < best_score) {
+      best_score = score;
+      best_err = err;
+      best = std::move(candidate);
+    }
+  }
+  if (best.empty()) return FallbackSynthesize(s, target_sim, rng);
+  if (best_err > options_.refine_threshold) {
+    // The decoder missed the target: refine the candidate and also try a
+    // pure perturbation-search synthesis, keeping whichever scores better.
+    ++stats_.refined_calls;
+    std::string refined =
+        HillClimbToSimilarity(s, best, target_sim, sim_, word_pool_, rng);
+    std::string fallback = FallbackSynthesize(s, target_sim, rng);
+    auto score_of = [&](const std::string& cand) {
+      return std::fabs(sim_(s, cand) - target_sim) +
+             0.15 * (1.0 - PoolWordFraction(cand, word_pool_));
+    };
+    best = score_of(refined) <= score_of(fallback) ? refined : fallback;
+  }
+  return best;
+}
+
+std::string StringSynthesisBank::FallbackSynthesize(const std::string& s,
+                                                    double target_sim,
+                                                    Rng* rng) const {
+  // Seed the search from s for high targets and from an unrelated
+  // background string for low targets, then climb toward the target.
+  std::string start;
+  if (target_sim >= 0.5 || corpus_.empty()) {
+    start = s;
+  } else {
+    start = corpus_[rng->UniformInt(corpus_.size())];
+  }
+  return HillClimbToSimilarity(s, start, target_sim, sim_, word_pool_, rng);
+}
+
+std::string StringSynthesisBank::Synthesize(const std::string& s,
+                                            double target_sim,
+                                            Rng* rng) const {
+  SERD_CHECK(rng != nullptr);
+  ++stats_.synth_calls;
+  double target = std::clamp(target_sim, 0.0, 1.0);
+  if (!trained_) return FallbackSynthesize(s, target, rng);
+  int bucket = BucketOf(target);
+  if (models_[bucket] != nullptr) {
+    return SynthesizeWithModel(bucket, s, target, rng);
+  }
+  // Nearest trained bucket, if any.
+  for (int d = 1; d < options_.num_buckets; ++d) {
+    int lo = bucket - d, hi = bucket + d;
+    if (lo >= 0 && models_[lo] != nullptr) {
+      return SynthesizeWithModel(lo, s, target, rng);
+    }
+    if (hi < options_.num_buckets && models_[hi] != nullptr) {
+      return SynthesizeWithModel(hi, s, target, rng);
+    }
+  }
+  return FallbackSynthesize(s, target, rng);
+}
+
+}  // namespace serd

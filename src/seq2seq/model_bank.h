@@ -1,0 +1,110 @@
+#ifndef SERD_SEQ2SEQ_MODEL_BANK_H_
+#define SERD_SEQ2SEQ_MODEL_BANK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "seq2seq/trainer.h"
+#include "seq2seq/transformer.h"
+#include "text/char_vocab.h"
+
+namespace serd {
+
+/// Similarity function over strings (bound to the column's measure).
+using StringSimFn =
+    std::function<double(const std::string&, const std::string&)>;
+
+/// Options for the bucketed string synthesizer (paper Section VI).
+struct StringBankOptions {
+  int num_buckets = 10;        ///< paper: 10 similarity intervals
+  int num_candidates = 10;     ///< paper: 10 sampled decoder outputs
+  float temperature = 0.9f;    ///< decoding temperature
+  TransformerConfig transformer;  ///< vocab_size is filled during training
+  Seq2SeqTrainOptions train;
+  int max_pairs_per_bucket = 160;
+  int min_pairs_per_bucket = 6;   ///< buckets below this are left untrained
+  int random_pair_samples = 4000; ///< background pairs examined for bucketing
+
+  /// When the best transformer candidate misses the target similarity by
+  /// more than this, a hill-climbing refinement pass nudges it toward the
+  /// target (keeps the pipeline usable at CPU-scale model capacity; see
+  /// DESIGN.md). Deliberately loose by default: a synthesis step that can
+  /// miss is what the paper's entity rejection (Section V) exists to
+  /// police — SERD rejects the misses, SERD- keeps them. Set >= 1 to
+  /// disable refinement entirely.
+  double refine_threshold = 0.22;
+
+  /// Decoder outputs whose fraction of known-pool words falls below this
+  /// are discarded as degenerate. Low by default for the same reason as
+  /// refine_threshold: implausible entities should reach the GAN
+  /// discriminator, whose rejection is the paper's case-1 mechanism.
+  double min_pool_word_fraction = 0.15;
+};
+
+/// Per-bucket training/inference statistics for reports and ablations.
+struct StringBankStats {
+  std::vector<int> pairs_per_bucket;
+  std::vector<bool> bucket_trained;
+  double train_seconds = 0.0;
+  double mean_epsilon = 0.0;  ///< mean DP epsilon across trained buckets
+  int synth_calls = 0;
+  int refined_calls = 0;      ///< how often hill-climb refinement kicked in
+};
+
+/// The paper's string synthesizer: k transformer models M_1..M_k, one per
+/// similarity interval I_i, trained differentially privately on background
+/// string pairs whose similarity falls in I_i. Synthesize(s, sim) picks
+/// the bucket containing sim, samples `num_candidates` outputs, and
+/// returns the one whose achieved similarity is closest to sim.
+class StringSynthesisBank {
+ public:
+  StringSynthesisBank(StringBankOptions options, StringSimFn sim);
+
+  /// Trains the bank from a background corpus (strings from the same
+  /// domain, disjoint from the active domain — the privacy mechanism of
+  /// paper Fig. 2). Pairs are formed by (a) random corpus pairs, which
+  /// populate the low-similarity buckets, and (b) perturbation-augmented
+  /// pairs (s, perturb*(s)), which populate mid/high buckets the way
+  /// near-duplicates do in real crawled corpora.
+  Status Train(const std::vector<std::string>& background_corpus, Rng* rng);
+
+  /// Trains from explicit labeled pairs (callers that already have them).
+  Status TrainFromPairs(
+      const std::vector<std::pair<std::string, std::string>>& pairs,
+      Rng* rng);
+
+  /// Synthesizes s' with sim(s, s') ≈ target_sim. Falls back to
+  /// hill-climbing from s (high targets) or from a random background
+  /// string (low targets) for untrained buckets.
+  std::string Synthesize(const std::string& s, double target_sim,
+                         Rng* rng) const;
+
+  bool trained() const { return trained_; }
+  const StringBankStats& stats() const { return stats_; }
+  const CharVocab& vocab() const { return vocab_; }
+
+  /// The bucket index whose interval contains `sim`.
+  int BucketOf(double sim) const;
+
+ private:
+  std::string SynthesizeWithModel(int bucket, const std::string& s,
+                                  double target_sim, Rng* rng) const;
+  std::string FallbackSynthesize(const std::string& s, double target_sim,
+                                 Rng* rng) const;
+
+  StringBankOptions options_;
+  StringSimFn sim_;
+  CharVocab vocab_;
+  std::vector<std::unique_ptr<TransformerSeq2Seq>> models_;  // size k; may hold nulls
+  std::vector<std::string> word_pool_;  // background words for refinement
+  std::vector<std::string> corpus_;     // background strings (fallback seeds)
+  bool trained_ = false;
+  mutable StringBankStats stats_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_SEQ2SEQ_MODEL_BANK_H_

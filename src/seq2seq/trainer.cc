@@ -1,0 +1,80 @@
+#include "seq2seq/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace serd {
+
+Seq2SeqTrainReport TrainSeq2Seq(
+    TransformerSeq2Seq* model, const CharVocab& vocab,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const Seq2SeqTrainOptions& options) {
+  SERD_CHECK(model != nullptr);
+  SERD_CHECK(!pairs.empty());
+  Rng rng(options.seed);
+  Rng noise_rng = rng.Fork();
+  Rng dropout_rng = rng.Fork();
+
+  // Pre-encode all pairs.
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> encoded;
+  encoded.reserve(pairs.size());
+  for (const auto& [src, tgt] : pairs) {
+    encoded.emplace_back(vocab.Encode(src), vocab.Encode(tgt));
+  }
+
+  nn::Adam optimizer(model->parameters(), options.learning_rate);
+  PerExampleGradAccumulator accumulator(model->parameters(), options.dp);
+
+  const size_t n = encoded.size();
+  const size_t batch = std::min<size_t>(
+      std::max(1, options.batch_size), n);
+
+  Seq2SeqTrainReport report;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t epoch_examples = 0;
+    for (size_t start = 0; start < n; start += batch) {
+      size_t end = std::min(n, start + batch);
+      accumulator.BeginBatch();
+      optimizer.ZeroGrad();
+      for (size_t i = start; i < end; ++i) {
+        const auto& [src, tgt] = encoded[order[i]];
+        nn::Tape tape;
+        auto loss = model->Loss(&tape, src, tgt, &dropout_rng);
+        epoch_loss += loss->value()[0];
+        ++epoch_examples;
+        tape.Backward(loss);
+        accumulator.AccumulateExample();
+      }
+      accumulator.FinishBatch(end - start, &noise_rng);
+      optimizer.Step();
+      ++report.steps;
+    }
+    last_epoch_loss = epoch_loss / std::max<size_t>(1, epoch_examples);
+    if (options.verbose) {
+      SERD_LOG(kInfo) << "seq2seq epoch " << epoch << " loss "
+                      << last_epoch_loss;
+    }
+  }
+  report.final_loss = last_epoch_loss;
+
+  if (options.dp.enabled && options.dp.noise_multiplier > 0.0) {
+    double q = static_cast<double>(batch) / static_cast<double>(n);
+    RdpAccountant accountant(std::min(1.0, q), options.dp.noise_multiplier);
+    accountant.AddSteps(report.steps);
+    report.epsilon = accountant.Epsilon(report.delta);
+  } else {
+    report.epsilon = std::numeric_limits<double>::infinity();
+  }
+  return report;
+}
+
+}  // namespace serd

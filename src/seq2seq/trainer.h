@@ -1,0 +1,45 @@
+#ifndef SERD_SEQ2SEQ_TRAINER_H_
+#define SERD_SEQ2SEQ_TRAINER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "dp/dp_sgd.h"
+#include "seq2seq/transformer.h"
+#include "text/char_vocab.h"
+
+namespace serd {
+
+/// Training options for one transformer model (paper Algorithm 1).
+struct Seq2SeqTrainOptions {
+  int epochs = 3;
+  int batch_size = 16;
+  float learning_rate = 2e-3f;
+  DpSgdConfig dp;          ///< clip bound V, noise scale sigma
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Result of a training run, including the DP guarantee actually spent.
+struct Seq2SeqTrainReport {
+  int steps = 0;
+  double final_loss = 0.0;
+  double epsilon = 0.0;  ///< at delta = train delta (1e-5 unless overridden)
+  double delta = 1e-5;
+};
+
+/// Trains `model` on (source, target) string pairs with differentially
+/// private SGD: per-example gradient clipping, Gaussian noise, Adam on the
+/// noisy averaged gradients. This is paper Algorithm 1 with the gradient-
+/// descent step generalized to Adam (the DP analysis only concerns the
+/// noisy gradient, not the optimizer that consumes it).
+Seq2SeqTrainReport TrainSeq2Seq(
+    TransformerSeq2Seq* model, const CharVocab& vocab,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const Seq2SeqTrainOptions& options);
+
+}  // namespace serd
+
+#endif  // SERD_SEQ2SEQ_TRAINER_H_

@@ -1,0 +1,249 @@
+#include "seq2seq/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/char_vocab.h"
+
+namespace serd {
+
+using nn::Tape;
+using nn::TensorPtr;
+
+MultiHeadAttention::MultiHeadAttention(int d_model, int num_heads, Rng* rng)
+    : d_model_(d_model), num_heads_(num_heads), head_dim_(d_model / num_heads) {
+  SERD_CHECK_EQ(d_model % num_heads, 0)
+      << "d_model must be divisible by num_heads";
+  wq_ = std::make_unique<nn::Linear>(d_model, d_model, rng);
+  wk_ = std::make_unique<nn::Linear>(d_model, d_model, rng);
+  wv_ = std::make_unique<nn::Linear>(d_model, d_model, rng);
+  wo_ = std::make_unique<nn::Linear>(d_model, d_model, rng);
+  AddChild(wq_.get());
+  AddChild(wk_.get());
+  AddChild(wv_.get());
+  AddChild(wo_.get());
+}
+
+TensorPtr MultiHeadAttention::Forward(Tape* tape, const TensorPtr& queries,
+                                      const TensorPtr& keys_values,
+                                      const std::vector<float>* mask) const {
+  TensorPtr q = wq_->Forward(tape, queries);       // [Tq, d]
+  TensorPtr k = wk_->Forward(tape, keys_values);   // [Tk, d]
+  TensorPtr v = wv_->Forward(tape, keys_values);   // [Tk, d]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<TensorPtr> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    size_t off = static_cast<size_t>(h) * head_dim_;
+    TensorPtr qh = tape->SliceCols(q, off, head_dim_);  // [Tq, hd]
+    TensorPtr kh = tape->SliceCols(k, off, head_dim_);  // [Tk, hd]
+    TensorPtr vh = tape->SliceCols(v, off, head_dim_);  // [Tk, hd]
+    TensorPtr scores =
+        tape->Scale(tape->MatMul(qh, tape->Transpose(kh)), scale);  // [Tq,Tk]
+    TensorPtr attn = tape->RowSoftmax(scores, mask);
+    head_outputs.push_back(tape->MatMul(attn, vh));  // [Tq, hd]
+  }
+  TensorPtr concat = tape->ConcatCols(head_outputs);  // [Tq, d]
+  return wo_->Forward(tape, concat);
+}
+
+EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng* rng) {
+  self_attn_ =
+      std::make_unique<MultiHeadAttention>(config.d_model, config.num_heads,
+                                           rng);
+  ln1_ = std::make_unique<nn::LayerNormLayer>(config.d_model);
+  ln2_ = std::make_unique<nn::LayerNormLayer>(config.d_model);
+  ffn1_ = std::make_unique<nn::Linear>(config.d_model, config.ffn_dim, rng);
+  ffn2_ = std::make_unique<nn::Linear>(config.ffn_dim, config.d_model, rng);
+  AddChild(self_attn_.get());
+  AddChild(ln1_.get());
+  AddChild(ln2_.get());
+  AddChild(ffn1_.get());
+  AddChild(ffn2_.get());
+}
+
+TensorPtr EncoderLayer::Forward(Tape* tape, const TensorPtr& x, float dropout,
+                                Rng* rng) const {
+  TensorPtr normed = ln1_->Forward(tape, x);
+  TensorPtr attn = self_attn_->Forward(tape, normed, normed, nullptr);
+  if (rng != nullptr) attn = tape->Dropout(attn, dropout, rng);
+  TensorPtr h = tape->Add(x, attn);
+  TensorPtr ff = ffn2_->Forward(
+      tape, tape->Gelu(ffn1_->Forward(tape, ln2_->Forward(tape, h))));
+  if (rng != nullptr) ff = tape->Dropout(ff, dropout, rng);
+  return tape->Add(h, ff);
+}
+
+DecoderLayer::DecoderLayer(const TransformerConfig& config, Rng* rng) {
+  self_attn_ =
+      std::make_unique<MultiHeadAttention>(config.d_model, config.num_heads,
+                                           rng);
+  cross_attn_ =
+      std::make_unique<MultiHeadAttention>(config.d_model, config.num_heads,
+                                           rng);
+  ln1_ = std::make_unique<nn::LayerNormLayer>(config.d_model);
+  ln2_ = std::make_unique<nn::LayerNormLayer>(config.d_model);
+  ln3_ = std::make_unique<nn::LayerNormLayer>(config.d_model);
+  ffn1_ = std::make_unique<nn::Linear>(config.d_model, config.ffn_dim, rng);
+  ffn2_ = std::make_unique<nn::Linear>(config.ffn_dim, config.d_model, rng);
+  AddChild(self_attn_.get());
+  AddChild(cross_attn_.get());
+  AddChild(ln1_.get());
+  AddChild(ln2_.get());
+  AddChild(ln3_.get());
+  AddChild(ffn1_.get());
+  AddChild(ffn2_.get());
+}
+
+TensorPtr DecoderLayer::Forward(Tape* tape, const TensorPtr& x,
+                                const TensorPtr& memory,
+                                const std::vector<float>* causal_mask,
+                                float dropout, Rng* rng) const {
+  TensorPtr normed = ln1_->Forward(tape, x);
+  TensorPtr self_out =
+      self_attn_->Forward(tape, normed, normed, causal_mask);
+  if (rng != nullptr) self_out = tape->Dropout(self_out, dropout, rng);
+  TensorPtr h = tape->Add(x, self_out);
+
+  TensorPtr cross_out =
+      cross_attn_->Forward(tape, ln2_->Forward(tape, h), memory, nullptr);
+  if (rng != nullptr) cross_out = tape->Dropout(cross_out, dropout, rng);
+  h = tape->Add(h, cross_out);
+
+  TensorPtr ff = ffn2_->Forward(
+      tape, tape->Gelu(ffn1_->Forward(tape, ln3_->Forward(tape, h))));
+  if (rng != nullptr) ff = tape->Dropout(ff, dropout, rng);
+  return tape->Add(h, ff);
+}
+
+TransformerSeq2Seq::TransformerSeq2Seq(const TransformerConfig& config,
+                                       Rng* rng)
+    : config_(config) {
+  SERD_CHECK_GT(config.vocab_size, 0);
+  token_embed_ =
+      std::make_unique<nn::Embedding>(config.vocab_size, config.d_model, rng);
+  pos_embed_ =
+      std::make_unique<nn::Embedding>(config.max_len, config.d_model, rng);
+  for (int i = 0; i < config.num_layers; ++i) {
+    encoder_.push_back(std::make_unique<EncoderLayer>(config, rng));
+    decoder_.push_back(std::make_unique<DecoderLayer>(config, rng));
+  }
+  final_ln_ = std::make_unique<nn::LayerNormLayer>(config.d_model);
+  output_proj_ =
+      std::make_unique<nn::Linear>(config.d_model, config.vocab_size, rng);
+  AddChild(token_embed_.get());
+  AddChild(pos_embed_.get());
+  for (auto& l : encoder_) AddChild(l.get());
+  for (auto& l : decoder_) AddChild(l.get());
+  AddChild(final_ln_.get());
+  AddChild(output_proj_.get());
+}
+
+namespace {
+
+std::vector<int> ClampToMaxLen(const std::vector<int>& ids, int max_len) {
+  if (static_cast<int>(ids.size()) <= max_len) return ids;
+  std::vector<int> out(ids.begin(), ids.begin() + max_len - 1);
+  out.push_back(CharVocab::kEos);
+  return out;
+}
+
+std::vector<int> Positions(size_t len) {
+  std::vector<int> pos(len);
+  for (size_t i = 0; i < len; ++i) pos[i] = static_cast<int>(i);
+  return pos;
+}
+
+std::vector<float> CausalMask(size_t t) {
+  std::vector<float> mask(t * t, 0.0f);
+  for (size_t i = 0; i < t; ++i) {
+    for (size_t j = i + 1; j < t; ++j) mask[i * t + j] = -1e9f;
+  }
+  return mask;
+}
+
+}  // namespace
+
+TensorPtr TransformerSeq2Seq::Encode(Tape* tape,
+                                     const std::vector<int>& src_ids,
+                                     float dropout, Rng* rng) const {
+  auto ids = ClampToMaxLen(src_ids, config_.max_len);
+  TensorPtr x = tape->Add(token_embed_->Forward(tape, ids),
+                          pos_embed_->Forward(tape, Positions(ids.size())));
+  if (rng != nullptr) x = tape->Dropout(x, dropout, rng);
+  for (const auto& layer : encoder_) {
+    x = layer->Forward(tape, x, dropout, rng);
+  }
+  return x;
+}
+
+TensorPtr TransformerSeq2Seq::Decode(Tape* tape,
+                                     const std::vector<int>& tgt_ids,
+                                     const TensorPtr& memory, float dropout,
+                                     Rng* rng) const {
+  TensorPtr x = tape->Add(token_embed_->Forward(tape, tgt_ids),
+                          pos_embed_->Forward(tape, Positions(tgt_ids.size())));
+  if (rng != nullptr) x = tape->Dropout(x, dropout, rng);
+  std::vector<float> mask = CausalMask(tgt_ids.size());
+  for (const auto& layer : decoder_) {
+    x = layer->Forward(tape, x, memory, &mask, dropout, rng);
+  }
+  return output_proj_->Forward(tape, final_ln_->Forward(tape, x));
+}
+
+TensorPtr TransformerSeq2Seq::Loss(Tape* tape, const std::vector<int>& src_ids,
+                                   const std::vector<int>& tgt_ids,
+                                   Rng* train_rng) const {
+  SERD_CHECK_GE(tgt_ids.size(), 2u) << "target must contain BOS and EOS";
+  auto tgt = ClampToMaxLen(tgt_ids, config_.max_len);
+  std::vector<int> decoder_input(tgt.begin(), tgt.end() - 1);
+  std::vector<int> targets(tgt.begin() + 1, tgt.end());
+  TensorPtr memory = Encode(tape, src_ids, config_.dropout, train_rng);
+  TensorPtr logits =
+      Decode(tape, decoder_input, memory, config_.dropout, train_rng);
+  return tape->CrossEntropy(logits, targets, CharVocab::kPad);
+}
+
+std::vector<int> TransformerSeq2Seq::Generate(const std::vector<int>& src_ids,
+                                              Rng* rng,
+                                              float temperature) const {
+  SERD_CHECK(rng != nullptr);
+  SERD_CHECK_GT(temperature, 0.0f);
+  Tape enc_tape;
+  enc_tape.set_recording(false);
+  TensorPtr memory = Encode(&enc_tape, src_ids, 0.0f, nullptr);
+
+  // Strings in one column have comparable lengths; capping generation at
+  // src length + slack keeps undertrained models (which rarely emit EOS)
+  // from always decoding to max_len, the dominant online cost.
+  const int length_cap = std::min<int>(
+      config_.max_len, static_cast<int>(src_ids.size()) + 8);
+  std::vector<int> generated = {CharVocab::kBos};
+  while (static_cast<int>(generated.size()) < length_cap) {
+    Tape dec_tape;
+    dec_tape.set_recording(false);
+    TensorPtr logits = Decode(&dec_tape, generated, memory, 0.0f, nullptr);
+    // Sample from the last row.
+    const size_t v = logits->cols();
+    const size_t last = logits->rows() - 1;
+    std::vector<double> weights(v);
+    double hi = -1e30;
+    for (size_t c = 0; c < v; ++c) {
+      hi = std::max(hi, static_cast<double>(logits->at(last, c)));
+    }
+    for (size_t c = 0; c < v; ++c) {
+      weights[c] = std::exp((logits->at(last, c) - hi) / temperature);
+    }
+    // Never sample PAD, BOS, or UNK.
+    weights[CharVocab::kPad] = 0.0;
+    weights[CharVocab::kBos] = 0.0;
+    weights[CharVocab::kUnk] = 0.0;
+    int next = static_cast<int>(rng->Categorical(weights));
+    if (next == CharVocab::kEos) break;
+    generated.push_back(next);
+  }
+  return std::vector<int>(generated.begin() + 1, generated.end());
+}
+
+}  // namespace serd

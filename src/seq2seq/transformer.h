@@ -1,0 +1,113 @@
+#ifndef SERD_SEQ2SEQ_TRANSFORMER_H_
+#define SERD_SEQ2SEQ_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/modules.h"
+#include "nn/tape.h"
+
+namespace serd {
+
+/// Transformer hyperparameters. The paper uses d_model 256, 3 layers,
+/// 8 heads, dropout 0.1 on GPU; our CPU-scale defaults are smaller (see
+/// DESIGN.md substitution table) but the architecture is the same
+/// encoder-decoder of "Attention is All You Need".
+struct TransformerConfig {
+  int vocab_size = 0;     ///< set from the CharVocab
+  int d_model = 32;
+  int num_heads = 2;
+  int num_layers = 1;
+  int ffn_dim = 64;
+  int max_len = 64;       ///< maximum sequence length (positional table)
+  float dropout = 0.1f;
+};
+
+/// Multi-head scaled dot-product attention. Query/key/value projections
+/// plus an output projection; heads are realized as column slices.
+class MultiHeadAttention : public nn::Module {
+ public:
+  MultiHeadAttention(int d_model, int num_heads, Rng* rng);
+
+  /// queries[Tq,d], keys_values[Tk,d]. `mask` (optional) is an additive
+  /// [Tq,Tk] matrix flattened row-major (0 = attend, -1e9 = blocked).
+  nn::TensorPtr Forward(nn::Tape* tape, const nn::TensorPtr& queries,
+                        const nn::TensorPtr& keys_values,
+                        const std::vector<float>* mask) const;
+
+ private:
+  int d_model_, num_heads_, head_dim_;
+  std::unique_ptr<nn::Linear> wq_, wk_, wv_, wo_;
+};
+
+/// Pre-LayerNorm encoder layer: x + MHA(LN(x)), then x + FFN(LN(x)).
+class EncoderLayer : public nn::Module {
+ public:
+  EncoderLayer(const TransformerConfig& config, Rng* rng);
+
+  nn::TensorPtr Forward(nn::Tape* tape, const nn::TensorPtr& x, float dropout,
+                        Rng* rng) const;
+
+ private:
+  std::unique_ptr<MultiHeadAttention> self_attn_;
+  std::unique_ptr<nn::LayerNormLayer> ln1_, ln2_;
+  std::unique_ptr<nn::Linear> ffn1_, ffn2_;
+};
+
+/// Pre-LayerNorm decoder layer: causal self-attention, cross-attention
+/// over the encoder memory, then FFN.
+class DecoderLayer : public nn::Module {
+ public:
+  DecoderLayer(const TransformerConfig& config, Rng* rng);
+
+  nn::TensorPtr Forward(nn::Tape* tape, const nn::TensorPtr& x,
+                        const nn::TensorPtr& memory,
+                        const std::vector<float>* causal_mask, float dropout,
+                        Rng* rng) const;
+
+ private:
+  std::unique_ptr<MultiHeadAttention> self_attn_, cross_attn_;
+  std::unique_ptr<nn::LayerNormLayer> ln1_, ln2_, ln3_;
+  std::unique_ptr<nn::Linear> ffn1_, ffn2_;
+};
+
+/// Character-level encoder-decoder transformer for string synthesis
+/// (paper Section VI). Token ids come from a CharVocab; id 1 (BOS) starts
+/// decoding and id 2 (EOS) terminates it.
+class TransformerSeq2Seq : public nn::Module {
+ public:
+  TransformerSeq2Seq(const TransformerConfig& config, Rng* rng);
+
+  const TransformerConfig& config() const { return config_; }
+
+  /// Teacher-forced training loss: encodes `src_ids`, decodes against
+  /// `tgt_ids` shifted by one, returns mean cross-entropy (1x1 tensor).
+  /// Dropout is applied when `train_rng` is non-null.
+  nn::TensorPtr Loss(nn::Tape* tape, const std::vector<int>& src_ids,
+                     const std::vector<int>& tgt_ids, Rng* train_rng) const;
+
+  /// Autoregressive sampled decoding: encodes src once, then repeatedly
+  /// samples the next token from softmax(logits / temperature) until EOS
+  /// or max_len. Returns the generated ids without BOS/EOS.
+  std::vector<int> Generate(const std::vector<int>& src_ids, Rng* rng,
+                            float temperature = 1.0f) const;
+
+ private:
+  nn::TensorPtr Encode(nn::Tape* tape, const std::vector<int>& src_ids,
+                       float dropout, Rng* rng) const;
+  nn::TensorPtr Decode(nn::Tape* tape, const std::vector<int>& tgt_ids,
+                       const nn::TensorPtr& memory, float dropout,
+                       Rng* rng) const;
+
+  TransformerConfig config_;
+  std::unique_ptr<nn::Embedding> token_embed_;
+  std::unique_ptr<nn::Embedding> pos_embed_;
+  std::vector<std::unique_ptr<EncoderLayer>> encoder_;
+  std::vector<std::unique_ptr<DecoderLayer>> decoder_;
+  std::unique_ptr<nn::LayerNormLayer> final_ln_;
+  std::unique_ptr<nn::Linear> output_proj_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_SEQ2SEQ_TRANSFORMER_H_

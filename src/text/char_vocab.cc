@@ -1,0 +1,47 @@
+#include "text/char_vocab.h"
+
+namespace serd {
+
+CharVocab::CharVocab() {
+  char_to_id_.fill(kUnk);
+  id_to_char_.assign(kNumSpecials, '\0');
+}
+
+void CharVocab::Fit(const std::vector<std::string>& corpus) {
+  char_to_id_.fill(kUnk);
+  id_to_char_.assign(kNumSpecials, '\0');
+  for (const auto& s : corpus) {
+    for (char c : s) {
+      auto idx = static_cast<unsigned char>(c);
+      if (char_to_id_[idx] == kUnk) {
+        char_to_id_[idx] = static_cast<int>(id_to_char_.size());
+        id_to_char_.push_back(c);
+      }
+    }
+  }
+}
+
+int CharVocab::CharId(char c) const {
+  return char_to_id_[static_cast<unsigned char>(c)];
+}
+
+std::vector<int> CharVocab::Encode(std::string_view s) const {
+  std::vector<int> ids;
+  ids.reserve(s.size() + 2);
+  ids.push_back(kBos);
+  for (char c : s) ids.push_back(CharId(c));
+  ids.push_back(kEos);
+  return ids;
+}
+
+std::string CharVocab::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  out.reserve(ids.size());
+  for (int id : ids) {
+    if (id < kNumSpecials || id >= size()) continue;
+    out.push_back(id_to_char_[static_cast<size_t>(id)]);
+  }
+  return out;
+}
+
+}  // namespace serd

@@ -1,0 +1,49 @@
+#ifndef SERD_TEXT_CHAR_VOCAB_H_
+#define SERD_TEXT_CHAR_VOCAB_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serd {
+
+/// Character-level vocabulary shared by the seq2seq transformer and the
+/// GAN entity encoder. The paper tokenizes at the character level ("The
+/// token of the transformer is character"); we map bytes to dense ids with
+/// four reserved specials.
+class CharVocab {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kUnk = 3;
+  static constexpr int kNumSpecials = 4;
+
+  CharVocab();
+
+  /// Builds the vocabulary from a corpus: every distinct byte that appears
+  /// gets an id (in first-appearance order after the specials).
+  void Fit(const std::vector<std::string>& corpus);
+
+  /// Number of ids including specials.
+  int size() const { return static_cast<int>(id_to_char_.size()); }
+
+  /// Id for `c`, or kUnk if unseen during Fit.
+  int CharId(char c) const;
+
+  /// Encodes `s` as [kBos] + char ids + [kEos].
+  std::vector<int> Encode(std::string_view s) const;
+
+  /// Decodes ids, skipping specials.
+  std::string Decode(const std::vector<int>& ids) const;
+
+ private:
+  std::array<int, 256> char_to_id_;
+  std::vector<char> id_to_char_;  // index -> char; specials map to '\0'
+};
+
+}  // namespace serd
+
+#endif  // SERD_TEXT_CHAR_VOCAB_H_

@@ -1,0 +1,58 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace serd {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cur = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[b.size()];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t d = Levenshtein(a, b);
+  size_t m = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(m);
+}
+
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound) {
+  size_t la = a.size(), lb = b.size();
+  size_t diff = la > lb ? la - lb : lb - la;
+  if (diff > bound) return bound + 1;
+  if (a.size() < b.size()) std::swap(a, b);
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    size_t row_min = row[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cur = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row_min > bound) return bound + 1;
+  }
+  return std::min(row[b.size()], bound + 1);
+}
+
+}  // namespace serd

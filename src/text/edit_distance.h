@@ -1,0 +1,24 @@
+#ifndef SERD_TEXT_EDIT_DISTANCE_H_
+#define SERD_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace serd {
+
+/// Levenshtein (unit-cost insert/delete/substitute) edit distance,
+/// O(|a|·|b|) time and O(min(|a|,|b|)) space.
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// 1 - ed(a,b) / max(|a|,|b|); two empty strings have similarity 1.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Levenshtein with an early-exit bound: returns bound+1 as soon as the
+/// distance provably exceeds `bound` (used by the NP-hardness demo and by
+/// EMBench rule validation).
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound);
+
+}  // namespace serd
+
+#endif  // SERD_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,51 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace serd {
+
+std::vector<std::string> QgramSet(std::string_view s, int q) {
+  std::vector<std::string> grams;
+  if (s.empty() || q <= 0) return grams;
+  std::string lower = ToLower(s);
+  if (lower.size() < static_cast<size_t>(q)) {
+    grams.push_back(lower);
+    return grams;
+  }
+  grams.reserve(lower.size() - q + 1);
+  for (size_t i = 0; i + q <= lower.size(); ++i) {
+    grams.push_back(lower.substr(i, q));
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+double JaccardOfSortedSets(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double QgramJaccard(std::string_view a, std::string_view b, int q) {
+  return JaccardOfSortedSets(QgramSet(a, q), QgramSet(b, q));
+}
+
+}  // namespace serd

@@ -1,0 +1,29 @@
+#ifndef SERD_TEXT_QGRAM_H_
+#define SERD_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serd {
+
+/// Extracts the multiset-deduplicated set of character q-grams of `s`,
+/// lowercased. Strings shorter than q contribute the whole string as a
+/// single gram (so "ab" with q=3 yields {"ab"}); the empty string yields
+/// the empty set. The returned vector is sorted and unique, so set
+/// operations are linear merges.
+std::vector<std::string> QgramSet(std::string_view s, int q);
+
+/// Jaccard similarity |G(a) ∩ G(b)| / |G(a) ∪ G(b)| of the q-gram sets.
+/// Two empty strings have similarity 1; one empty and one nonempty is 0.
+/// This is the paper's similarity for textual and categorical columns
+/// (3_gram_jaccard in Example 2) with q = 3.
+double QgramJaccard(std::string_view a, std::string_view b, int q = 3);
+
+/// Jaccard over two already-extracted sorted gram sets.
+double JaccardOfSortedSets(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+}  // namespace serd
+
+#endif  // SERD_TEXT_QGRAM_H_

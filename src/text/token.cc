@@ -1,0 +1,99 @@
+#include "text/token.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/edit_distance.h"
+
+namespace serd {
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  auto ta = SortedUnique(WordTokens(a));
+  auto tb = SortedUnique(WordTokens(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(ta, tb);
+  return static_cast<double>(inter) /
+         static_cast<double>(ta.size() + tb.size() - inter);
+}
+
+double TokenOverlapCoefficient(std::string_view a, std::string_view b) {
+  auto ta = SortedUnique(WordTokens(a));
+  auto tb = SortedUnique(WordTokens(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(ta, tb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(ta.size(), tb.size()));
+}
+
+namespace {
+
+double MongeElkanOneWay(const std::vector<std::string>& ta,
+                        const std::vector<std::string>& tb) {
+  if (ta.empty()) return tb.empty() ? 1.0 : 0.0;
+  if (tb.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& wa : ta) {
+    double best = 0.0;
+    for (const auto& wb : tb) {
+      best = std::max(best, NormalizedEditSimilarity(wa, wb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+}  // namespace
+
+double MongeElkan(std::string_view a, std::string_view b) {
+  auto ta = WordTokens(a);
+  auto tb = WordTokens(b);
+  return 0.5 * (MongeElkanOneWay(ta, tb) + MongeElkanOneWay(tb, ta));
+}
+
+}  // namespace serd

@@ -1,0 +1,27 @@
+#ifndef SERD_TEXT_TOKEN_H_
+#define SERD_TEXT_TOKEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serd {
+
+/// Lowercased word tokens of `s` (split on non-alphanumeric runs).
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Jaccard over the deduplicated word-token sets.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Overlap coefficient |A∩B| / min(|A|,|B|) over word tokens; a looser
+/// containment-style measure used as an extra Magellan feature.
+double TokenOverlapCoefficient(std::string_view a, std::string_view b);
+
+/// Monge-Elkan style mean-of-best-match over word tokens using normalized
+/// edit similarity as the inner measure. Asymmetric inputs are symmetrized
+/// by averaging both directions.
+double MongeElkan(std::string_view a, std::string_view b);
+
+}  // namespace serd
+
+#endif  // SERD_TEXT_TOKEN_H_

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+/// CPU-fast options used across core tests (documented defaults live in
+/// SerdOptions; tests shrink model/corpus sizes aggressively).
+SerdOptions FastOptions() {
+  SerdOptions opts;
+  opts.seed = 77;
+  opts.string_bank.num_buckets = 4;
+  opts.string_bank.num_candidates = 2;
+  opts.string_bank.transformer.d_model = 16;
+  opts.string_bank.transformer.num_heads = 2;
+  opts.string_bank.transformer.num_layers = 1;
+  opts.string_bank.transformer.ffn_dim = 24;
+  opts.string_bank.transformer.max_len = 32;
+  opts.string_bank.train.epochs = 1;
+  opts.string_bank.train.batch_size = 16;
+  opts.string_bank.max_pairs_per_bucket = 16;
+  opts.string_bank.random_pair_samples = 120;
+  opts.gan.epochs = 4;
+  opts.gan.batch_size = 16;
+  opts.jsd_samples = 48;
+  opts.rejection_partner_sample = 8;
+  opts.max_label_pairs = 20000;
+  return opts;
+}
+
+struct Fixture {
+  ERDataset real;
+  std::vector<std::vector<std::string>> corpora;
+  Table background;
+};
+
+Fixture MakeFixture(DatasetKind kind = DatasetKind::kDblpAcm,
+                    double scale = 0.02) {
+  Fixture f;
+  f.real = datagen::Generate(kind, {.seed = 3, .scale = scale});
+  size_t text_cols = 0;
+  for (const auto& col : f.real.schema().columns()) {
+    if (col.type == ColumnType::kText) ++text_cols;
+  }
+  size_t idx = 0;
+  for (const auto& col : f.real.schema().columns()) {
+    if (col.type != ColumnType::kText) continue;
+    f.corpora.push_back(
+        datagen::BackgroundCorpus(kind, col.name, 60, 100 + idx++));
+  }
+  f.background = datagen::BackgroundEntities(kind, 50, 11);
+  return f;
+}
+
+// -------------------------------------------------------- CachedSimilarity
+
+TEST(CachedSimilarityTest, MatchesSpecExactly) {
+  auto f = MakeFixture();
+  auto spec = SimilaritySpec::FromTables(f.real.schema(),
+                                         {&f.real.a, &f.real.b});
+  CachedSimilarity cached(spec);
+  for (size_t i = 0; i < std::min<size_t>(f.real.a.size(), 10); ++i) {
+    for (size_t j = 0; j < std::min<size_t>(f.real.b.size(), 10); ++j) {
+      Vec direct = spec.SimilarityVector(f.real.a.row(i), f.real.b.row(j));
+      Vec via_digest = cached.SimilarityVector(
+          cached.MakeDigest(f.real.a.row(i)),
+          cached.MakeDigest(f.real.b.row(j)));
+      ASSERT_EQ(direct.size(), via_digest.size());
+      for (size_t c = 0; c < direct.size(); ++c) {
+        EXPECT_NEAR(direct[c], via_digest[c], 1e-12);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- Fit errors
+
+TEST(SerdFitTest, RejectsWrongCorpusCount) {
+  auto f = MakeFixture();
+  SerdSynthesizer synth(f.real, FastOptions());
+  // DBLP-ACM has 2 text columns; give only one corpus.
+  auto status = synth.Fit({f.corpora[0]}, f.background);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdFitTest, RejectsEmptyBackgroundEntities) {
+  auto f = MakeFixture();
+  SerdSynthesizer synth(f.real, FastOptions());
+  Table empty(f.real.schema());
+  EXPECT_FALSE(synth.Fit(f.corpora, empty).ok());
+}
+
+TEST(SerdFitTest, RejectsSchemaMismatch) {
+  auto f = MakeFixture();
+  SerdSynthesizer synth(f.real, FastOptions());
+  Table other(Schema({{"x", ColumnType::kText}}));
+  Entity e;
+  e.id = "1";
+  e.values = {"v"};
+  other.Append(e);
+  EXPECT_FALSE(synth.Fit(f.corpora, other).ok());
+}
+
+TEST(SerdFitTest, SynthesizeBeforeFitFails) {
+  auto f = MakeFixture();
+  SerdSynthesizer synth(f.real, FastOptions());
+  EXPECT_FALSE(synth.Synthesize().ok());
+}
+
+// ------------------------------------------------------------ end-to-end
+
+class SerdPipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new Fixture(MakeFixture());
+    SerdOptions opts = FastOptions();
+    opts.target_a = 30;
+    opts.target_b = 30;
+    synth_ = new SerdSynthesizer(fixture_->real, opts);
+    ASSERT_TRUE(synth_->Fit(fixture_->corpora, fixture_->background).ok());
+    auto result = synth_->Synthesize();
+    ASSERT_TRUE(result.ok());
+    syn_ = new ERDataset(std::move(result).value());
+  }
+  static void TearDownTestSuite() {
+    delete syn_;
+    delete synth_;
+    delete fixture_;
+    syn_ = nullptr;
+    synth_ = nullptr;
+    fixture_ = nullptr;
+  }
+
+  static Fixture* fixture_;
+  static SerdSynthesizer* synth_;
+  static ERDataset* syn_;
+};
+
+Fixture* SerdPipelineTest::fixture_ = nullptr;
+SerdSynthesizer* SerdPipelineTest::synth_ = nullptr;
+ERDataset* SerdPipelineTest::syn_ = nullptr;
+
+TEST_F(SerdPipelineTest, ReachesTargetSizes) {
+  EXPECT_EQ(syn_->a.size(), 30u);
+  EXPECT_EQ(syn_->b.size(), 30u);
+}
+
+TEST_F(SerdPipelineTest, LearnedDistributionsHaveComponents) {
+  EXPECT_GE(synth_->report().m_components, 1);
+  EXPECT_GE(synth_->report().n_components, 1);
+}
+
+TEST_F(SerdPipelineTest, ORealPosteriorSeparates) {
+  const auto& o = synth_->o_real();
+  size_t d = synth_->spec().dimension();
+  Vec high(d, 0.95), low(d, 0.05);
+  EXPECT_GT(o.PosteriorMatch(high), o.PosteriorMatch(low));
+}
+
+TEST_F(SerdPipelineTest, MatchIndicesValid) {
+  for (const auto& m : syn_->matches) {
+    EXPECT_LT(m.a_idx, syn_->a.size());
+    EXPECT_LT(m.b_idx, syn_->b.size());
+  }
+}
+
+TEST_F(SerdPipelineTest, EntityIdsUnique) {
+  std::set<std::string> ids;
+  for (const auto& r : syn_->a.rows()) EXPECT_TRUE(ids.insert(r.id).second);
+  for (const auto& r : syn_->b.rows()) EXPECT_TRUE(ids.insert(r.id).second);
+}
+
+TEST_F(SerdPipelineTest, ValuesNonEmpty) {
+  size_t non_empty = 0, total = 0;
+  for (const Table* t : {&syn_->a, &syn_->b}) {
+    for (const auto& r : t->rows()) {
+      for (const auto& v : r.values) {
+        ++total;
+        non_empty += !v.empty();
+      }
+    }
+  }
+  EXPECT_GT(non_empty, total * 9 / 10);
+}
+
+TEST_F(SerdPipelineTest, NoVerbatimEntityCopies) {
+  std::set<std::vector<std::string>> real_rows;
+  for (const Table* t : {&fixture_->real.a, &fixture_->real.b}) {
+    for (const auto& r : t->rows()) real_rows.insert(r.values);
+  }
+  size_t copies = 0;
+  for (const Table* t : {&syn_->a, &syn_->b}) {
+    for (const auto& r : t->rows()) copies += real_rows.count(r.values);
+  }
+  EXPECT_EQ(copies, 0u);
+}
+
+TEST_F(SerdPipelineTest, NumericValuesStayInRealRange) {
+  const auto& spec = synth_->spec();
+  auto year = syn_->schema().ColumnIndex("year");
+  ASSERT_TRUE(year.ok());
+  size_t c = year.value();
+  for (const auto& r : syn_->a.rows()) {
+    double v;
+    ASSERT_TRUE(spec.ParseValue(c, r.values[c], &v)) << r.values[c];
+    EXPECT_GE(v, spec.stats()[c].min_value);
+    EXPECT_LE(v, spec.stats()[c].max_value);
+  }
+}
+
+TEST_F(SerdPipelineTest, CategoricalValuesFromDomain) {
+  const auto& spec = synth_->spec();
+  auto venue = syn_->schema().ColumnIndex("venue");
+  ASSERT_TRUE(venue.ok());
+  size_t c = venue.value();
+  std::set<std::string> domain(spec.stats()[c].domain.begin(),
+                               spec.stats()[c].domain.end());
+  for (const auto& r : syn_->b.rows()) {
+    EXPECT_TRUE(domain.count(r.values[c])) << r.values[c];
+  }
+}
+
+TEST_F(SerdPipelineTest, ReportAccounting) {
+  const auto& rep = synth_->report();
+  EXPECT_GT(rep.offline_seconds, 0.0);
+  EXPECT_GT(rep.online_seconds, 0.0);
+  EXPECT_GE(rep.accepted_entities, 60);
+  EXPECT_GE(rep.rejected_by_discriminator, 0);
+  EXPECT_GE(rep.rejected_by_distribution, 0);
+}
+
+TEST_F(SerdPipelineTest, LabelPairsProducesBothClasses) {
+  Rng rng(5);
+  auto pairs = synth_->LabelPairs(*syn_, 3.0, &rng);
+  EXPECT_GT(pairs.pairs.size(), 0u);
+  size_t pos = pairs.NumMatches();
+  EXPECT_GT(pos, 0u);
+  EXPECT_GT(pairs.pairs.size(), pos);
+}
+
+// ----------------------------------------------------------- SERD- variant
+
+TEST(SerdMinusTest, NoRejectionStatsWhenDisabled) {
+  auto f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.enable_rejection = false;
+  opts.target_a = 20;
+  opts.target_b = 20;
+  SerdSynthesizer synth(f.real, opts);
+  ASSERT_TRUE(synth.Fit(f.corpora, f.background).ok());
+  auto result = synth.Synthesize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(synth.report().rejected_by_discriminator, 0);
+  EXPECT_EQ(synth.report().rejected_by_distribution, 0);
+  EXPECT_EQ(result->a.size(), 20u);
+}
+
+TEST(SerdDeterminismTest, SameSeedSameOutput) {
+  auto f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.target_a = 12;
+  opts.target_b = 12;
+  auto run = [&]() {
+    SerdSynthesizer synth(f.real, opts);
+    SERD_CHECK(synth.Fit(f.corpora, f.background).ok());
+    return std::move(synth.Synthesize()).value();
+  };
+  ERDataset s1 = run();
+  ERDataset s2 = run();
+  ASSERT_EQ(s1.a.size(), s2.a.size());
+  for (size_t i = 0; i < s1.a.size(); ++i) {
+    EXPECT_EQ(s1.a.row(i).values, s2.a.row(i).values);
+  }
+  EXPECT_EQ(s1.matches.size(), s2.matches.size());
+}
+
+TEST(SerdTargetSizesTest, CustomTargetsHonored) {
+  auto f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.target_a = 9;
+  opts.target_b = 17;
+  SerdSynthesizer synth(f.real, opts);
+  ASSERT_TRUE(synth.Fit(f.corpora, f.background).ok());
+  auto result = synth.Synthesize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->a.size(), 9u);
+  EXPECT_EQ(result->b.size(), 17u);
+}
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "data/date.h"
+#include "data/er_dataset.h"
+#include "data/schema.h"
+#include "data/similarity.h"
+#include "data/table.h"
+
+namespace serd {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"title", ColumnType::kText},
+                 {"venue", ColumnType::kCategorical},
+                 {"year", ColumnType::kNumeric},
+                 {"released", ColumnType::kDate}});
+}
+
+Entity MakeEntity(const std::string& id, std::vector<std::string> values) {
+  Entity e;
+  e.id = id;
+  e.values = std::move(values);
+  return e;
+}
+
+// ----------------------------------------------------------------- Schema
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  auto idx = s.ColumnIndex("year");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 2u);
+  EXPECT_FALSE(s.ColumnIndex("missing").ok());
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  Schema other({{"x", ColumnType::kText}});
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(SchemaTest, TypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kNumeric), "numeric");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kText), "text");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kCategorical), "categorical");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDate), "date");
+}
+
+// ------------------------------------------------------------------- Date
+
+TEST(DateTest, ParsesEpoch) {
+  auto d = ParseDateToDays("1970-01-01");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), 0);
+}
+
+TEST(DateTest, ParsesKnownDate) {
+  auto d = ParseDateToDays("2000-03-01");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), 11017);
+}
+
+TEST(DateTest, RoundTripsManyDates) {
+  for (int64_t days : {0, 1, 365, 10000, 15000, 20000, -365}) {
+    std::string s = FormatDaysAsDate(days);
+    auto parsed = ParseDateToDays(s);
+    ASSERT_TRUE(parsed.ok()) << s;
+    EXPECT_EQ(parsed.value(), days) << s;
+  }
+}
+
+TEST(DateTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDateToDays("2000/01/01").ok());
+  EXPECT_FALSE(ParseDateToDays("20000101").ok());
+  EXPECT_FALSE(ParseDateToDays("2000-13-01").ok());
+  EXPECT_FALSE(ParseDateToDays("2000-00-10").ok());
+  EXPECT_FALSE(ParseDateToDays("2000-01-32").ok());
+  EXPECT_FALSE(ParseDateToDays("2000-0a-01").ok());
+  EXPECT_FALSE(ParseDateToDays("").ok());
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(TestSchema());
+  t.Append(MakeEntity("a1", {"Query Processing", "VLDB", "2001",
+                             "2001-06-01"}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.row(0).id, "a1");
+  EXPECT_EQ(t.row(0).value(1), "VLDB");
+}
+
+TEST(TableTest, ColumnValues) {
+  Table t(TestSchema());
+  t.Append(MakeEntity("a1", {"x", "VLDB", "2001", "2001-06-01"}));
+  t.Append(MakeEntity("a2", {"y", "ICDE", "2002", "2002-06-01"}));
+  auto values = t.ColumnValues(1);
+  EXPECT_EQ(values, (std::vector<std::string>{"VLDB", "ICDE"}));
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t(TestSchema());
+  t.Append(MakeEntity("a1", {"with, comma", "VLDB", "2001", "2001-06-01"}));
+  auto loaded = Table::FromCsv(TestSchema(), t.ToCsv());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->row(0).value(0), "with, comma");
+}
+
+TEST(TableTest, FromCsvValidatesHeader) {
+  CsvDocument doc;
+  doc.header = {"wrong", "title", "venue", "year", "released"};
+  EXPECT_FALSE(Table::FromCsv(TestSchema(), doc).ok());
+}
+
+TEST(ColumnStatsTest, NumericMinMaxAcrossTables) {
+  Table t1(TestSchema()), t2(TestSchema());
+  t1.Append(MakeEntity("a", {"x", "V", "1999", "1999-01-01"}));
+  t2.Append(MakeEntity("b", {"y", "W", "2005", "2010-01-01"}));
+  auto stats = ComputeColumnStats(TestSchema(), {&t1, &t2});
+  EXPECT_DOUBLE_EQ(stats[2].min_value, 1999.0);
+  EXPECT_DOUBLE_EQ(stats[2].max_value, 2005.0);
+  EXPECT_EQ(stats[1].domain, (std::vector<std::string>{"V", "W"}));
+}
+
+TEST(ColumnStatsTest, UnparsableNumericIgnored) {
+  Table t(TestSchema());
+  t.Append(MakeEntity("a", {"x", "V", "n/a", "1999-01-01"}));
+  t.Append(MakeEntity("b", {"x", "V", "2001", "1999-01-01"}));
+  auto stats = ComputeColumnStats(TestSchema(), {&t});
+  EXPECT_DOUBLE_EQ(stats[2].min_value, 2001.0);
+  EXPECT_DOUBLE_EQ(stats[2].max_value, 2001.0);
+}
+
+TEST(ColumnStatsTest, EmptyColumnDefaultsToUnitRange) {
+  Table t(TestSchema());
+  auto stats = ComputeColumnStats(TestSchema(), {&t});
+  EXPECT_DOUBLE_EQ(stats[2].min_value, 0.0);
+  EXPECT_DOUBLE_EQ(stats[2].max_value, 1.0);
+}
+
+// --------------------------------------------------------- SimilaritySpec
+
+class SimilaritySpecTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = Table(TestSchema());
+    table_.Append(MakeEntity("a1", {"Adaptable Query Optimization", "SIGMOD",
+                                    "2001", "2001-05-20"}));
+    table_.Append(MakeEntity("a2", {"Generalised Hash Teams", "VLDB", "1991",
+                                    "1991-09-03"}));
+    spec_ = SimilaritySpec::FromTables(TestSchema(), {&table_});
+  }
+
+  Table table_;
+  SimilaritySpec spec_;
+};
+
+TEST_F(SimilaritySpecTest, NumericSimilarityMatchesPaperFormula) {
+  // range = 2001 - 1991 = 10; sim(2001, 1993) = 1 - 8/10.
+  EXPECT_NEAR(spec_.ColumnSimilarity(2, "2001", "1993"), 0.2, 1e-12);
+  EXPECT_NEAR(spec_.ColumnSimilarity(2, "2001", "2001"), 1.0, 1e-12);
+}
+
+TEST_F(SimilaritySpecTest, DateSimilarityUsesDayCounts) {
+  double s = spec_.ColumnSimilarity(3, "2001-05-20", "1991-09-03");
+  EXPECT_NEAR(s, 0.0, 1e-9);  // endpoints of the range
+  EXPECT_NEAR(spec_.ColumnSimilarity(3, "2001-05-20", "2001-05-20"), 1.0,
+              1e-12);
+}
+
+TEST_F(SimilaritySpecTest, TextUsesQgramJaccard) {
+  EXPECT_DOUBLE_EQ(spec_.ColumnSimilarity(0, "abc def", "abc def"), 1.0);
+  EXPECT_DOUBLE_EQ(spec_.ColumnSimilarity(0, "aaaa", "zzzz"), 0.0);
+}
+
+TEST_F(SimilaritySpecTest, EmptyValueRules) {
+  EXPECT_DOUBLE_EQ(spec_.ColumnSimilarity(0, "", ""), 1.0);
+  EXPECT_DOUBLE_EQ(spec_.ColumnSimilarity(0, "abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(spec_.ColumnSimilarity(2, "", "2001"), 0.0);
+}
+
+TEST_F(SimilaritySpecTest, UnparsableNumericYieldsZero) {
+  EXPECT_DOUBLE_EQ(spec_.ColumnSimilarity(2, "abc", "2001"), 0.0);
+}
+
+TEST_F(SimilaritySpecTest, VectorHasOneEntryPerColumn) {
+  Vec x = spec_.SimilarityVector(table_.row(0), table_.row(1));
+  ASSERT_EQ(x.size(), 4u);
+  for (double v : x) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_F(SimilaritySpecTest, FormatValueIntegersAndDates) {
+  EXPECT_EQ(spec_.FormatValue(2, 2001.0), "2001");
+  // The year column is integral (all observed values are integers), so
+  // synthesized values round to integers.
+  EXPECT_EQ(spec_.FormatValue(2, 19.995), "20");
+  auto days = ParseDateToDays("2001-05-20");
+  ASSERT_TRUE(days.ok());
+  EXPECT_EQ(spec_.FormatValue(3, static_cast<double>(days.value())),
+            "2001-05-20");
+}
+
+// ------------------------------------------------------------- ERDataset
+
+ERDataset SmallDataset() {
+  ERDataset ds;
+  ds.name = "test";
+  ds.a = Table(TestSchema());
+  ds.b = Table(TestSchema());
+  for (int i = 0; i < 10; ++i) {
+    ds.a.Append(MakeEntity("a" + std::to_string(i),
+                           {"title alpha " + std::to_string(i), "VLDB",
+                            std::to_string(2000 + i), "2001-01-01"}));
+    ds.b.Append(MakeEntity("b" + std::to_string(i),
+                           {"title alpha " + std::to_string(i), "VLDB",
+                            std::to_string(2000 + i), "2001-01-01"}));
+  }
+  for (size_t i = 0; i < 5; ++i) ds.matches.push_back({i, i});
+  return ds;
+}
+
+TEST(ERDatasetTest, PairCounting) {
+  ERDataset ds = SmallDataset();
+  EXPECT_EQ(ds.NumTotalPairs(), 100u);
+  ds.self_join = true;
+  EXPECT_EQ(ds.NumTotalPairs(), 90u);
+}
+
+TEST(ERDatasetTest, MatchLookup) {
+  ERDataset ds = SmallDataset();
+  EXPECT_TRUE(ds.IsMatch(0, 0));
+  EXPECT_FALSE(ds.IsMatch(0, 1));
+  auto set = ds.MatchSet();
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set.count(ds.PairKey(3, 3)));
+}
+
+TEST(BuildLabeledPairsTest, ContainsAllMatches) {
+  ERDataset ds = SmallDataset();
+  Rng rng(1);
+  auto pairs = BuildLabeledPairs(ds, 3.0, &rng);
+  EXPECT_EQ(pairs.NumMatches(), 5u);
+  EXPECT_GE(pairs.pairs.size(), 5u + 10u);
+}
+
+TEST(BuildLabeledPairsTest, NegativesAreNotMatches) {
+  ERDataset ds = SmallDataset();
+  Rng rng(2);
+  auto pairs = BuildLabeledPairs(ds, 4.0, &rng);
+  auto match_set = ds.MatchSet();
+  for (const auto& p : pairs.pairs) {
+    bool truly_matching = match_set.count(ds.PairKey(p.a_idx, p.b_idx)) > 0;
+    EXPECT_EQ(p.match, truly_matching);
+  }
+}
+
+TEST(BuildLabeledPairsTest, NoDuplicatePairs) {
+  ERDataset ds = SmallDataset();
+  Rng rng(3);
+  auto pairs = BuildLabeledPairs(ds, 5.0, &rng);
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& p : pairs.pairs) {
+    EXPECT_TRUE(seen.insert({p.a_idx, p.b_idx}).second);
+  }
+}
+
+TEST(BuildLabeledPairsTest, SelfJoinExcludesDiagonal) {
+  ERDataset ds = SmallDataset();
+  ds.self_join = true;
+  ds.matches.clear();
+  ds.matches.push_back({0, 1});
+  Rng rng(4);
+  auto pairs = BuildLabeledPairs(ds, 20.0, &rng);
+  for (const auto& p : pairs.pairs) {
+    if (!p.match) EXPECT_NE(p.a_idx, p.b_idx);
+  }
+}
+
+TEST(SplitPairsTest, StratifiedByLabel) {
+  ERDataset ds = SmallDataset();
+  Rng rng(5);
+  auto all = BuildLabeledPairs(ds, 8.0, &rng);
+  LabeledPairSet train, test;
+  SplitPairs(all, 0.4, &rng, &train, &test);
+  EXPECT_EQ(train.pairs.size() + test.pairs.size(), all.pairs.size());
+  EXPECT_EQ(test.NumMatches(), 2u);   // 40% of 5
+  EXPECT_EQ(train.NumMatches(), 3u);
+}
+
+TEST(SplitPairsTest, ZeroTestFraction) {
+  ERDataset ds = SmallDataset();
+  Rng rng(6);
+  auto all = BuildLabeledPairs(ds, 2.0, &rng);
+  LabeledPairSet train, test;
+  SplitPairs(all, 0.0, &rng, &train, &test);
+  EXPECT_TRUE(test.pairs.empty());
+  EXPECT_EQ(train.pairs.size(), all.pairs.size());
+}
+
+TEST(ComputeSimilarityVectorsTest, SplitsByLabel) {
+  ERDataset ds = SmallDataset();
+  Rng rng(7);
+  auto pairs = BuildLabeledPairs(ds, 2.0, &rng);
+  SimilaritySpec spec =
+      SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  std::vector<Vec> pos, neg;
+  ComputeSimilarityVectors(ds, spec, pairs, &pos, &neg);
+  EXPECT_EQ(pos.size(), pairs.NumMatches());
+  EXPECT_EQ(pos.size() + neg.size(), pairs.pairs.size());
+  // Matching pairs in this toy dataset are identical entities.
+  for (const auto& x : pos) {
+    for (double v : x) EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generators.h"
+#include "datagen/vocab_data.h"
+#include "text/qgram.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+const DatasetKind kAllKinds[] = {
+    DatasetKind::kDblpAcm, DatasetKind::kRestaurant,
+    DatasetKind::kWalmartAmazon, DatasetKind::kItunesAmazon};
+
+TEST(PaperSizesTest, MatchesTableII) {
+  auto s = datagen::PaperSizes(DatasetKind::kDblpAcm);
+  EXPECT_EQ(s.a_size, 2616u);
+  EXPECT_EQ(s.b_size, 2294u);
+  EXPECT_EQ(s.matches, 2224u);
+  EXPECT_EQ(s.num_columns, 4);
+  s = datagen::PaperSizes(DatasetKind::kWalmartAmazon);
+  EXPECT_EQ(s.b_size, 22074u);
+  EXPECT_EQ(s.num_columns, 5);
+  s = datagen::PaperSizes(DatasetKind::kItunesAmazon);
+  EXPECT_EQ(s.matches, 132u);
+  EXPECT_EQ(s.num_columns, 8);
+  s = datagen::PaperSizes(DatasetKind::kRestaurant);
+  EXPECT_EQ(s.a_size, 864u);
+  EXPECT_EQ(s.matches, 112u);
+}
+
+class GeneratorSweep : public testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorSweep, SchemaColumnCountMatchesPaper) {
+  auto ds = datagen::Generate(GetParam(), {.seed = 2, .scale = 0.02});
+  EXPECT_EQ(static_cast<int>(ds.schema().num_columns()),
+            datagen::PaperSizes(GetParam()).num_columns);
+}
+
+TEST_P(GeneratorSweep, MatchIndicesValid) {
+  auto ds = datagen::Generate(GetParam(), {.seed = 3, .scale = 0.02});
+  for (const auto& m : ds.matches) {
+    EXPECT_LT(m.a_idx, ds.a.size());
+    EXPECT_LT(m.b_idx, ds.b.size());
+    if (ds.self_join) EXPECT_NE(m.a_idx, m.b_idx);
+  }
+}
+
+TEST_P(GeneratorSweep, DeterministicForSeed) {
+  auto d1 = datagen::Generate(GetParam(), {.seed = 5, .scale = 0.02});
+  auto d2 = datagen::Generate(GetParam(), {.seed = 5, .scale = 0.02});
+  ASSERT_EQ(d1.a.size(), d2.a.size());
+  for (size_t i = 0; i < d1.a.size(); ++i) {
+    EXPECT_EQ(d1.a.row(i).values, d2.a.row(i).values);
+  }
+}
+
+TEST_P(GeneratorSweep, DifferentSeedsDiffer) {
+  auto d1 = datagen::Generate(GetParam(), {.seed = 5, .scale = 0.02});
+  auto d2 = datagen::Generate(GetParam(), {.seed = 6, .scale = 0.02});
+  ASSERT_EQ(d1.a.size(), d2.a.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < d1.a.size() && !any_diff; ++i) {
+    any_diff = d1.a.row(i).values != d2.a.row(i).values;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(GeneratorSweep, MatchedPairsMoreSimilarThanRandomPairs) {
+  auto ds = datagen::Generate(GetParam(), {.seed = 7, .scale = 0.05});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  ASSERT_FALSE(ds.matches.empty());
+
+  double match_sim = 0.0;
+  size_t counted = std::min<size_t>(ds.matches.size(), 30);
+  for (size_t i = 0; i < counted; ++i) {
+    Vec x = spec.SimilarityVector(ds.a.row(ds.matches[i].a_idx),
+                                  ds.b.row(ds.matches[i].b_idx));
+    for (double v : x) match_sim += v;
+  }
+  match_sim /= counted * ds.schema().num_columns();
+
+  Rng rng(11);
+  double rand_sim = 0.0;
+  auto match_set = ds.MatchSet();
+  size_t rand_counted = 0;
+  while (rand_counted < 30) {
+    size_t i = rng.UniformInt(ds.a.size());
+    size_t j = rng.UniformInt(ds.b.size());
+    if (match_set.count(ds.PairKey(i, j))) continue;
+    if (ds.self_join && i == j) continue;
+    Vec x = spec.SimilarityVector(ds.a.row(i), ds.b.row(j));
+    for (double v : x) rand_sim += v;
+    ++rand_counted;
+  }
+  rand_sim /= rand_counted * ds.schema().num_columns();
+
+  EXPECT_GT(match_sim, rand_sim + 0.2);
+}
+
+TEST_P(GeneratorSweep, ScaleControlsSize) {
+  auto small = datagen::Generate(GetParam(), {.seed = 9, .scale = 0.02});
+  auto large = datagen::Generate(GetParam(), {.seed = 9, .scale = 0.06});
+  EXPECT_LE(small.a.size(), large.a.size());
+  EXPECT_LE(small.b.size(), large.b.size());
+}
+
+TEST_P(GeneratorSweep, IdsAreUnique) {
+  auto ds = datagen::Generate(GetParam(), {.seed = 13, .scale = 0.03});
+  std::set<std::string> ids;
+  for (const auto& r : ds.a.rows()) EXPECT_TRUE(ids.insert(r.id).second);
+  if (!ds.self_join) {
+    for (const auto& r : ds.b.rows()) EXPECT_TRUE(ids.insert(r.id).second);
+  }
+}
+
+TEST_P(GeneratorSweep, BackgroundEntitiesShareSchema) {
+  auto ds = datagen::Generate(GetParam(), {.seed = 15, .scale = 0.02});
+  auto bg = datagen::BackgroundEntities(GetParam(), 25, 15);
+  EXPECT_TRUE(bg.schema() == ds.schema());
+  EXPECT_EQ(bg.size(), 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorSweep,
+                         testing::ValuesIn(kAllKinds));
+
+TEST(BackgroundCorpusTest, ProducesRequestedCount) {
+  auto corpus = datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "title",
+                                          50, 1);
+  EXPECT_EQ(corpus.size(), 50u);
+  for (const auto& s : corpus) EXPECT_FALSE(s.empty());
+}
+
+TEST(BackgroundCorpusTest, ColumnsDiffer) {
+  auto titles = datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "title",
+                                          30, 2);
+  auto authors = datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "authors",
+                                           30, 2);
+  EXPECT_NE(titles, authors);
+}
+
+TEST(BackgroundCorpusTest, DisjointFromActiveDomain) {
+  // No background string should equal an active-domain string: the word
+  // pools are split (paper Figure 2: A', B' disjoint from A, B).
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 21, .scale = 0.05});
+  auto corpus =
+      datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "title", 200, 21);
+  auto a_titles = ds.a.ColumnValues(0);
+  std::set<std::string> active(a_titles.begin(), a_titles.end());
+  for (const auto& v : ds.b.ColumnValues(0)) active.insert(v);
+  size_t overlap = 0;
+  for (const auto& s : corpus) overlap += active.count(s);
+  EXPECT_EQ(overlap, 0u);
+}
+
+TEST(WordPoolTest, ActiveBackgroundSplitIsDisjoint) {
+  datagen::WordPool pool{datagen::FirstNames(), 0.6};
+  auto active = pool.Active();
+  auto background = pool.Background();
+  EXPECT_EQ(active.size() + background.size(), datagen::FirstNames().size());
+  std::set<std::string_view> a(active.begin(), active.end());
+  for (auto w : background) EXPECT_EQ(a.count(w), 0u);
+}
+
+TEST(RestaurantTest, IsSelfJoinWithSymmetricTables) {
+  auto ds = datagen::Generate(DatasetKind::kRestaurant,
+                              {.seed = 23, .scale = 0.1});
+  EXPECT_TRUE(ds.self_join);
+  ASSERT_EQ(ds.a.size(), ds.b.size());
+  for (size_t i = 0; i < ds.a.size(); ++i) {
+    EXPECT_EQ(ds.a.row(i).values, ds.b.row(i).values);
+  }
+}
+
+TEST(ItunesTest, DateColumnsParse) {
+  auto ds = datagen::Generate(DatasetKind::kItunesAmazon,
+                              {.seed = 25, .scale = 0.005});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  auto time_idx = ds.schema().ColumnIndex("time");
+  auto released_idx = ds.schema().ColumnIndex("released");
+  ASSERT_TRUE(time_idx.ok() && released_idx.ok());
+  for (size_t i = 0; i < std::min<size_t>(ds.a.size(), 10); ++i) {
+    double v;
+    EXPECT_TRUE(spec.ParseValue(time_idx.value(),
+                                ds.a.row(i).values[time_idx.value()], &v));
+    EXPECT_TRUE(spec.ParseValue(
+        released_idx.value(), ds.a.row(i).values[released_idx.value()], &v));
+  }
+}
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/dataset_io.h"
+
+namespace serd {
+namespace {
+
+Schema IoSchema() {
+  return Schema({{"title", ColumnType::kText},
+                 {"venue", ColumnType::kCategorical},
+                 {"year", ColumnType::kNumeric},
+                 {"released", ColumnType::kDate}});
+}
+
+ERDataset MakeDataset(bool self_join) {
+  ERDataset ds;
+  ds.name = "io-test";
+  ds.self_join = self_join;
+  ds.a = Table(IoSchema());
+  ds.b = Table(IoSchema());
+  auto add = [&](Table* t, const std::string& id, const std::string& title) {
+    Entity e;
+    e.id = id;
+    e.values = {title, "VLDB", "2001", "2001-06-01"};
+    t->Append(std::move(e));
+  };
+  add(&ds.a, "a0", "query optimization, with commas");
+  add(&ds.a, "a1", "hash joins");
+  if (self_join) {
+    ds.b = ds.a;
+    ds.matches.push_back({0, 1});
+  } else {
+    add(&ds.b, "b0", "query optimization");
+    add(&ds.b, "b1", "hash joins revisited");
+    add(&ds.b, "b2", "streams");
+    ds.matches.push_back({0, 0});
+    ds.matches.push_back({1, 1});
+  }
+  return ds;
+}
+
+std::string MakeTempDir(const char* tag) {
+  std::string dir = testing::TempDir() + "/serd_io_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(DatasetIoTest, RoundTripTwoTable) {
+  ERDataset ds = MakeDataset(false);
+  std::string dir = MakeTempDir("two");
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  auto loaded = LoadDataset(dir, "reloaded");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "reloaded");
+  EXPECT_FALSE(loaded->self_join);
+  ASSERT_EQ(loaded->a.size(), ds.a.size());
+  ASSERT_EQ(loaded->b.size(), ds.b.size());
+  EXPECT_TRUE(loaded->schema() == ds.schema());
+  for (size_t i = 0; i < ds.a.size(); ++i) {
+    EXPECT_EQ(loaded->a.row(i).id, ds.a.row(i).id);
+    EXPECT_EQ(loaded->a.row(i).values, ds.a.row(i).values);
+  }
+  ASSERT_EQ(loaded->matches.size(), ds.matches.size());
+  for (size_t i = 0; i < ds.matches.size(); ++i) {
+    EXPECT_EQ(loaded->matches[i].a_idx, ds.matches[i].a_idx);
+    EXPECT_EQ(loaded->matches[i].b_idx, ds.matches[i].b_idx);
+  }
+}
+
+TEST(DatasetIoTest, RoundTripSelfJoin) {
+  ERDataset ds = MakeDataset(true);
+  std::string dir = MakeTempDir("self");
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  // tableB.csv must not exist for self-joins.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/tableB.csv"));
+  auto loaded = LoadDataset(dir, "self");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->self_join);
+  EXPECT_EQ(loaded->b.size(), loaded->a.size());
+  ASSERT_EQ(loaded->matches.size(), 1u);
+  EXPECT_EQ(loaded->matches[0].a_idx, 0u);
+  EXPECT_EQ(loaded->matches[0].b_idx, 1u);
+}
+
+TEST(DatasetIoTest, MatchesSurviveRowReordering) {
+  // Ids (not indexes) key the matches file: loading after a manual table
+  // reorder still resolves them.
+  ERDataset ds = MakeDataset(false);
+  std::string dir = MakeTempDir("reorder");
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+
+  // Rewrite tableA.csv with rows swapped.
+  auto doc = ReadCsvFile(dir + "/tableA.csv");
+  ASSERT_TRUE(doc.ok());
+  std::swap(doc->rows[0], doc->rows[1]);
+  ASSERT_TRUE(WriteCsvFile(dir + "/tableA.csv", doc.value()).ok());
+
+  auto loaded = LoadDataset(dir, "reordered");
+  ASSERT_TRUE(loaded.ok());
+  // a0 is now row 1; the match (a0, b0) must follow it.
+  EXPECT_EQ(loaded->a.row(1).id, "a0");
+  bool found = false;
+  for (const auto& m : loaded->matches) {
+    if (loaded->a.row(m.a_idx).id == "a0") {
+      EXPECT_EQ(loaded->b.row(m.b_idx).id, "b0");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DatasetIoTest, SaveRejectsInvalidMatchIndex) {
+  ERDataset ds = MakeDataset(false);
+  ds.matches.push_back({99, 0});
+  std::string dir = MakeTempDir("bad_match");
+  EXPECT_FALSE(SaveDataset(ds, dir).ok());
+}
+
+TEST(DatasetIoTest, LoadRejectsUnknownMatchId) {
+  ERDataset ds = MakeDataset(false);
+  std::string dir = MakeTempDir("unknown_id");
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  CsvDocument matches;
+  matches.header = {"idA", "idB"};
+  matches.rows = {{"nope", "b0"}};
+  ASSERT_TRUE(WriteCsvFile(dir + "/matches.csv", matches).ok());
+  EXPECT_FALSE(LoadDataset(dir, "x").ok());
+}
+
+TEST(DatasetIoTest, LoadRejectsMissingDirectory) {
+  EXPECT_FALSE(LoadDataset("/nonexistent/serd_dir", "x").ok());
+}
+
+TEST(DatasetIoTest, LoadRejectsBadSchemaType) {
+  ERDataset ds = MakeDataset(false);
+  std::string dir = MakeTempDir("bad_schema");
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  CsvDocument schema;
+  schema.header = {"name", "type", "self_join"};
+  schema.rows = {{"title", "blob", "0"}};
+  ASSERT_TRUE(WriteCsvFile(dir + "/schema.csv", schema).ok());
+  EXPECT_FALSE(LoadDataset(dir, "x").ok());
+}
+
+}  // namespace
+}  // namespace serd

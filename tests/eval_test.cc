@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "eval/crowd.h"
+#include "eval/metrics.h"
+#include "eval/privacy.h"
+#include "matcher/random_forest.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+// ------------------------------------------------------------------- PRF
+
+TEST(PrfTest, PerfectPrediction) {
+  auto m = ComputePrf({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.tn, 2u);
+}
+
+TEST(PrfTest, KnownConfusion) {
+  // tp=2, fp=1, fn=1, tn=1.
+  auto m = ComputePrf({1, 1, 1, 0, 0}, {1, 1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrfTest, NoPositivePredictions) {
+  auto m = ComputePrf({1, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(PrfTest, ToStringMentionsAllFields) {
+  auto m = ComputePrf({1}, {1});
+  auto s = m.ToString();
+  EXPECT_NE(s.find("P="), std::string::npos);
+  EXPECT_NE(s.find("F1="), std::string::npos);
+}
+
+TEST(TrainAndEvaluateTest, EndToEndOnGeneratedData) {
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 1, .scale = 0.04});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  FeatureExtractor fx(spec);
+  Rng rng(2);
+  auto all = BuildLabeledPairs(ds, 5.0, &rng);
+  LabeledPairSet train, test;
+  SplitPairs(all, 0.3, &rng, &train, &test);
+  RandomForest forest;
+  auto prf = TrainAndEvaluate(&forest, fx, ds, train, fx, ds, test);
+  EXPECT_GT(prf.f1, 0.8);
+}
+
+// --------------------------------------------------------------- privacy
+
+Schema MiniSchema() {
+  return Schema({{"name", ColumnType::kText},
+                 {"city", ColumnType::kCategorical}});
+}
+
+ERDataset MiniDataset(std::vector<std::vector<std::string>> rows) {
+  ERDataset ds;
+  ds.a = Table(MiniSchema());
+  ds.b = Table(MiniSchema());
+  size_t id = 0;
+  for (auto& r : rows) {
+    Entity e;
+    e.id = "x" + std::to_string(id++);
+    e.values = r;
+    ds.a.Append(e);
+    ds.b.Append(std::move(e));
+  }
+  ds.self_join = true;  // pool only one side
+  return ds;
+}
+
+TEST(PrivacyTest, IdenticalDataMaximalHitting) {
+  auto real = MiniDataset({{"golden dragon", "chicago"}});
+  auto syn = MiniDataset({{"golden dragon", "chicago"}});
+  auto spec =
+      SimilaritySpec::FromTables(MiniSchema(), {&real.a, &syn.a});
+  auto report = EvaluatePrivacy(real, syn, spec);
+  EXPECT_DOUBLE_EQ(report.hitting_rate_percent, 100.0);
+  EXPECT_NEAR(report.dcr, 0.0, 1e-9);
+}
+
+TEST(PrivacyTest, DisjointDataZeroHitting) {
+  auto real = MiniDataset({{"golden dragon", "chicago"}});
+  auto syn = MiniDataset({{"quiet harbor", "boston"}});
+  auto spec =
+      SimilaritySpec::FromTables(MiniSchema(), {&real.a, &syn.a});
+  auto report = EvaluatePrivacy(real, syn, spec);
+  EXPECT_DOUBLE_EQ(report.hitting_rate_percent, 0.0);
+  EXPECT_GT(report.dcr, 0.5);
+}
+
+TEST(PrivacyTest, CategoricalMismatchBlocksHit) {
+  // Same name, different categorical value -> not "similar" by the paper's
+  // definition (categorical values must be equal).
+  auto real = MiniDataset({{"golden dragon", "chicago"}});
+  auto syn = MiniDataset({{"golden dragon", "boston"}});
+  auto spec =
+      SimilaritySpec::FromTables(MiniSchema(), {&real.a, &syn.a});
+  auto report = EvaluatePrivacy(real, syn, spec);
+  EXPECT_DOUBLE_EQ(report.hitting_rate_percent, 0.0);
+}
+
+TEST(PrivacyTest, ThresholdControlsHit) {
+  auto real = MiniDataset({{"golden dragon restaurant", "chicago"}});
+  auto syn = MiniDataset({{"golden dragon", "chicago"}});
+  auto spec =
+      SimilaritySpec::FromTables(MiniSchema(), {&real.a, &syn.a});
+  PrivacyOptions strict;
+  strict.similarity_threshold = 0.95;
+  PrivacyOptions loose;
+  loose.similarity_threshold = 0.3;
+  EXPECT_DOUBLE_EQ(EvaluatePrivacy(real, syn, spec, strict)
+                       .hitting_rate_percent, 0.0);
+  EXPECT_DOUBLE_EQ(EvaluatePrivacy(real, syn, spec, loose)
+                       .hitting_rate_percent, 100.0);
+}
+
+TEST(PrivacyTest, MaxEntitiesCapsWork) {
+  auto ds = datagen::Generate(DatasetKind::kRestaurant,
+                              {.seed = 3, .scale = 0.1});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  PrivacyOptions opts;
+  opts.max_entities = 10;
+  // Comparing a dataset against itself: every pooled synthetic entity hits
+  // at least itself, so the mean hit fraction is at least 1/10 of the
+  // pooled reals; DCR collapses to zero.
+  auto report = EvaluatePrivacy(ds, ds, spec, opts);
+  EXPECT_GE(report.hitting_rate_percent, 100.0 / 10.0 - 1e-9);
+  EXPECT_NEAR(report.dcr, 0.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- crowd
+
+TEST(CrowdTest, PairJudgmentsFollowSimilarity) {
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 5, .scale = 0.04});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  CrowdSimulator crowd(spec);
+
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < std::min<size_t>(ds.matches.size(), 40); ++i) {
+    pairs.push_back({ds.matches[i].a_idx, ds.matches[i].b_idx, true});
+  }
+  Rng rng(7);
+  auto match_set = ds.MatchSet();
+  while (pairs.size() < 80) {
+    size_t i = rng.UniformInt(ds.a.size());
+    size_t j = rng.UniformInt(ds.b.size());
+    if (match_set.count(ds.PairKey(i, j))) continue;
+    pairs.push_back({i, j, false});
+  }
+
+  auto report = crowd.JudgePairs(ds, pairs);
+  // Workers should mostly confirm true matches and true non-matches.
+  EXPECT_GT(report.match_labeled_match, 0.6);
+  EXPECT_GT(report.nonmatch_labeled_nonmatch, 0.9);
+  // Rows are proper distributions.
+  EXPECT_NEAR(report.match_labeled_match + report.match_labeled_nonmatch,
+              1.0, 1e-9);
+  EXPECT_NEAR(
+      report.nonmatch_labeled_match + report.nonmatch_labeled_nonmatch, 1.0,
+      1e-9);
+}
+
+TEST(CrowdTest, RealnessReportIsDistribution) {
+  auto table = datagen::BackgroundEntities(DatasetKind::kRestaurant, 60, 9);
+  ERDataset tmp;
+  tmp.a = table;
+  tmp.b = table;
+  auto spec = SimilaritySpec::FromTables(table.schema(), {&table});
+  EntityEncoder encoder(spec);
+  std::vector<std::vector<float>> features;
+  for (const auto& r : table.rows()) features.push_back(encoder.Encode(r));
+  GanConfig cfg;
+  cfg.epochs = 5;
+  EntityGan gan(encoder.feature_dim(), cfg);
+  gan.Train(features);
+
+  CrowdSimulator crowd(spec);
+  std::vector<Entity> entities(table.rows().begin(),
+                               table.rows().begin() + 30);
+  auto report = crowd.JudgeEntities(entities, encoder, gan);
+  EXPECT_NEAR(report.agree + report.neutral + report.disagree, 1.0, 1e-9);
+  EXPECT_GE(report.agree, 0.0);
+  EXPECT_GE(report.disagree, 0.0);
+}
+
+TEST(CrowdTest, DeterministicForSeed) {
+  auto ds = datagen::Generate(DatasetKind::kRestaurant,
+                              {.seed = 11, .scale = 0.1});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  CrowdSimulator c1(spec), c2(spec);
+  std::vector<LabeledPair> pairs;
+  for (const auto& m : ds.matches) pairs.push_back({m.a_idx, m.b_idx, true});
+  auto r1 = c1.JudgePairs(ds, pairs);
+  auto r2 = c2.JudgePairs(ds, pairs);
+  EXPECT_DOUBLE_EQ(r1.match_labeled_match, r2.match_labeled_match);
+}
+
+}  // namespace
+}  // namespace serd

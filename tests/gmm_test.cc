@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gmm/gaussian.h"
+#include "gmm/gmm.h"
+#include "gmm/incremental.h"
+#include "gmm/o_distribution.h"
+
+namespace serd {
+namespace {
+
+Matrix Diag2(double a, double b) {
+  Matrix m(2, 2);
+  m(0, 0) = a;
+  m(1, 1) = b;
+  return m;
+}
+
+// --------------------------------------------------------------- Gaussian
+
+TEST(GaussianTest, StandardNormalLogPdfAtMean) {
+  MultivariateGaussian g({0.0}, Matrix::Identity(1), 0.0);
+  // log N(0; 0, 1) = -0.5 log(2 pi)
+  EXPECT_NEAR(g.LogPdf({0.0}), -0.9189385332046727, 1e-9);
+}
+
+TEST(GaussianTest, LogPdfMatchesClosedForm2D) {
+  MultivariateGaussian g({1.0, -1.0}, Diag2(4.0, 0.25), 0.0);
+  // log pdf = -log(2 pi) - 0.5 log|S| - 0.5 quad
+  Vec x = {3.0, 0.0};
+  double quad = (2.0 * 2.0) / 4.0 + (1.0 * 1.0) / 0.25;
+  double expected = -std::log(2 * M_PI) - 0.5 * std::log(1.0) - 0.5 * quad;
+  EXPECT_NEAR(g.LogPdf(x), expected, 1e-9);
+}
+
+TEST(GaussianTest, SampleMomentsMatch) {
+  MultivariateGaussian g({2.0, -3.0}, Diag2(1.0, 4.0), 0.0);
+  Rng rng(5);
+  const int n = 30000;
+  Vec mean = {0, 0}, var = {0, 0};
+  for (int i = 0; i < n; ++i) {
+    Vec x = g.Sample(&rng);
+    mean[0] += x[0];
+    mean[1] += x[1];
+  }
+  mean[0] /= n;
+  mean[1] /= n;
+  EXPECT_NEAR(mean[0], 2.0, 0.05);
+  EXPECT_NEAR(mean[1], -3.0, 0.05);
+}
+
+TEST(GaussianTest, RegularizesDegenerateCovariance) {
+  // Zero covariance (a point mass from constant similarity columns) still
+  // yields a usable density.
+  MultivariateGaussian g({0.5, 0.5}, Matrix(2, 2), 1e-6);
+  EXPECT_TRUE(std::isfinite(g.LogPdf({0.5, 0.5})));
+  EXPECT_GT(g.LogPdf({0.5, 0.5}), g.LogPdf({0.9, 0.1}));
+}
+
+// -------------------------------------------------------------------- GMM
+
+std::vector<Vec> TwoClusterData(int n_per, Rng* rng) {
+  std::vector<Vec> data;
+  for (int i = 0; i < n_per; ++i) {
+    data.push_back({rng->Gaussian(0.9, 0.03), rng->Gaussian(0.85, 0.04)});
+    data.push_back({rng->Gaussian(0.1, 0.05), rng->Gaussian(0.15, 0.04)});
+  }
+  return data;
+}
+
+TEST(GmmTest, FitRecoversTwoSeparatedClusters) {
+  Rng rng(7);
+  auto data = TwoClusterData(150, &rng);
+  GmmFitOptions opts;
+  auto fit = Gmm::FitEM(data, 2, opts);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->num_components(), 2u);
+  // One mean near (0.9, 0.85), the other near (0.1, 0.15).
+  Vec m0 = fit->component(0).mean();
+  Vec m1 = fit->component(1).mean();
+  bool order_a = m0[0] > 0.5 && m1[0] < 0.5;
+  bool order_b = m1[0] > 0.5 && m0[0] < 0.5;
+  EXPECT_TRUE(order_a || order_b);
+  EXPECT_NEAR(fit->weights()[0], 0.5, 0.05);
+}
+
+TEST(GmmTest, ResponsibilitiesSumToOne) {
+  Rng rng(9);
+  auto data = TwoClusterData(50, &rng);
+  auto fit = Gmm::FitEM(data, 3, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  for (const auto& x : data) {
+    Vec gamma = fit->Responsibilities(x);
+    double total = 0;
+    for (double g : gamma) {
+      EXPECT_GE(g, 0.0);
+      total += g;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GmmTest, AicSelectsOneComponentForSingleCluster) {
+  Rng rng(11);
+  std::vector<Vec> data;
+  for (int i = 0; i < 200; ++i) {
+    data.push_back({rng.Gaussian(0.5, 0.05), rng.Gaussian(0.5, 0.05)});
+  }
+  GmmFitOptions opts;
+  opts.max_components = 4;
+  auto fit = Gmm::FitWithAic(data, opts);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->num_components(), 1u);
+}
+
+TEST(GmmTest, AicSelectsTwoComponentsForTwoClusters) {
+  Rng rng(13);
+  auto data = TwoClusterData(200, &rng);
+  GmmFitOptions opts;
+  opts.max_components = 4;
+  auto fit = Gmm::FitWithAic(data, opts);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->num_components(), 2u);
+}
+
+TEST(GmmTest, FitOnEmptyDataFails) {
+  EXPECT_FALSE(Gmm::FitEM({}, 2, GmmFitOptions{}).ok());
+  EXPECT_FALSE(Gmm::FitWithAic({}, GmmFitOptions{}).ok());
+}
+
+TEST(GmmTest, ComponentCountClampedToDataSize) {
+  std::vector<Vec> data = {{0.1, 0.2}, {0.9, 0.8}};
+  auto fit = Gmm::FitEM(data, 10, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LE(fit->num_components(), 2u);
+}
+
+TEST(GmmTest, SampleFollowsFittedDensity) {
+  Rng rng(17);
+  auto data = TwoClusterData(100, &rng);
+  auto fit = Gmm::FitEM(data, 2, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  Rng sample_rng(19);
+  int near_high = 0, near_low = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Vec x = fit->Sample(&sample_rng);
+    if (x[0] > 0.5) ++near_high;
+    if (x[0] <= 0.5) ++near_low;
+  }
+  EXPECT_NEAR(near_high, 500, 100);
+  EXPECT_NEAR(near_low, 500, 100);
+}
+
+TEST(GmmTest, NumFreeParameters) {
+  // g=2, d=3: (2-1) + 2*3 + 2*6 = 19.
+  EXPECT_DOUBLE_EQ(Gmm::NumFreeParameters(2, 3), 19.0);
+  EXPECT_DOUBLE_EQ(Gmm::NumFreeParameters(1, 1), 2.0);
+}
+
+TEST(GmmTest, MeanLogLikelihoodHigherOnTrainingData) {
+  Rng rng(23);
+  auto data = TwoClusterData(100, &rng);
+  auto fit = Gmm::FitEM(data, 2, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  std::vector<Vec> off_data = {{0.5, 0.5}, {0.4, 0.6}};
+  EXPECT_GT(fit->MeanLogLikelihood(data), fit->MeanLogLikelihood(off_data));
+}
+
+// ------------------------------------------------------------ Incremental
+
+TEST(IncrementalGmmTest, CommitMatchesBatchSufficientStats) {
+  // The incremental update must equal processing all points in one pass
+  // with the same (frozen) responsibilities.
+  Rng rng(29);
+  auto initial = TwoClusterData(60, &rng);
+  auto fit = Gmm::FitEM(initial, 2, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+
+  std::vector<Vec> extra;
+  for (int i = 0; i < 40; ++i) {
+    extra.push_back({rng.Gaussian(0.9, 0.03), rng.Gaussian(0.85, 0.04)});
+  }
+
+  // Path 1: incremental.
+  IncrementalGmm inc(fit.value(), initial);
+  auto delta = inc.ComputeDelta(extra);
+  Gmm preview = inc.PreviewModel(delta);
+  inc.Commit(delta);
+
+  // Path 2: one-shot statistics over initial + extra with the same model.
+  std::vector<Vec> all = initial;
+  all.insert(all.end(), extra.begin(), extra.end());
+  IncrementalGmm batch(fit.value(), all);
+  auto zero = batch.ComputeDelta({});
+  Gmm batch_model = batch.PreviewModel(zero);
+
+  ASSERT_EQ(preview.num_components(), batch_model.num_components());
+  for (size_t k = 0; k < preview.num_components(); ++k) {
+    EXPECT_NEAR(preview.weights()[k], batch_model.weights()[k], 1e-9);
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_NEAR(preview.component(k).mean()[d],
+                  batch_model.component(k).mean()[d], 1e-9);
+    }
+  }
+  // Committed model equals the preview.
+  for (size_t k = 0; k < preview.num_components(); ++k) {
+    EXPECT_NEAR(inc.model().weights()[k], preview.weights()[k], 1e-12);
+  }
+}
+
+TEST(IncrementalGmmTest, PreviewDoesNotMutate) {
+  Rng rng(31);
+  auto initial = TwoClusterData(40, &rng);
+  auto fit = Gmm::FitEM(initial, 2, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  IncrementalGmm inc(fit.value(), initial);
+  double w0 = inc.model().weights()[0];
+  auto delta = inc.ComputeDelta({{0.5, 0.5}, {0.6, 0.6}});
+  (void)inc.PreviewModel(delta);
+  EXPECT_DOUBLE_EQ(inc.model().weights()[0], w0);
+  EXPECT_EQ(inc.num_points(), initial.size());
+}
+
+TEST(IncrementalGmmTest, CommitGrowsPointCount) {
+  Rng rng(37);
+  auto initial = TwoClusterData(30, &rng);
+  auto fit = Gmm::FitEM(initial, 1, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  IncrementalGmm inc(fit.value(), initial);
+  auto delta = inc.ComputeDelta({{0.2, 0.2}});
+  inc.Commit(delta);
+  EXPECT_EQ(inc.num_points(), initial.size() + 1);
+}
+
+TEST(IncrementalGmmTest, MeanShiftsTowardNewData) {
+  Rng rng(41);
+  std::vector<Vec> initial;
+  for (int i = 0; i < 50; ++i) {
+    initial.push_back({rng.Gaussian(0.3, 0.02), rng.Gaussian(0.3, 0.02)});
+  }
+  auto fit = Gmm::FitEM(initial, 1, GmmFitOptions{});
+  ASSERT_TRUE(fit.ok());
+  IncrementalGmm inc(fit.value(), initial);
+  std::vector<Vec> extra;
+  for (int i = 0; i < 50; ++i) {
+    extra.push_back({rng.Gaussian(0.7, 0.02), rng.Gaussian(0.7, 0.02)});
+  }
+  inc.Commit(inc.ComputeDelta(extra));
+  EXPECT_NEAR(inc.model().component(0).mean()[0], 0.5, 0.05);
+}
+
+// --------------------------------------------------------- ODistribution
+
+ODistribution MakeODistribution(double pi, double m_center, double n_center) {
+  Gmm m({1.0}, {MultivariateGaussian({m_center, m_center},
+                                     Diag2(0.01, 0.01), 0.0)});
+  Gmm n({1.0}, {MultivariateGaussian({n_center, n_center},
+                                     Diag2(0.01, 0.01), 0.0)});
+  return ODistribution(pi, std::move(m), std::move(n));
+}
+
+TEST(ODistributionTest, PosteriorNearMatchCluster) {
+  auto o = MakeODistribution(0.3, 0.9, 0.1);
+  EXPECT_GT(o.PosteriorMatch({0.9, 0.9}), 0.95);
+  EXPECT_LT(o.PosteriorMatch({0.1, 0.1}), 0.05);
+  EXPECT_TRUE(o.LabelAsMatch({0.88, 0.92}));
+  EXPECT_FALSE(o.LabelAsMatch({0.12, 0.08}));
+}
+
+TEST(ODistributionTest, SampleRespectsPi) {
+  auto o = MakeODistribution(0.25, 0.9, 0.1);
+  Rng rng(43);
+  int matches = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    matches += o.Sample(&rng).from_match ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / n, 0.25, 0.02);
+}
+
+TEST(ODistributionTest, SamplesClampedToUnitBox) {
+  auto o = MakeODistribution(0.5, 0.99, 0.01);
+  Rng rng(47);
+  for (int i = 0; i < 500; ++i) {
+    Vec x = o.Sample(&rng).x;
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ODistributionTest, ExtremePiPosterior) {
+  auto o_zero = MakeODistribution(0.0, 0.9, 0.1);
+  EXPECT_DOUBLE_EQ(o_zero.PosteriorMatch({0.9, 0.9}), 0.0);
+  auto o_one = MakeODistribution(1.0, 0.9, 0.1);
+  EXPECT_DOUBLE_EQ(o_one.PosteriorMatch({0.1, 0.1}), 1.0);
+}
+
+// ---------------------------------------------------------------- JSD
+
+TEST(JsdTest, IdenticalDistributionsNearZero) {
+  auto o = MakeODistribution(0.3, 0.9, 0.1);
+  double jsd = EstimateJsd(o, o, 500, 1);
+  EXPECT_NEAR(jsd, 0.0, 1e-9);
+}
+
+TEST(JsdTest, DifferentDistributionsPositive) {
+  auto p = MakeODistribution(0.3, 0.9, 0.1);
+  auto q = MakeODistribution(0.3, 0.6, 0.4);
+  EXPECT_GT(EstimateJsd(p, q, 500, 2), 0.05);
+}
+
+TEST(JsdTest, BoundedByLog2) {
+  auto p = MakeODistribution(0.5, 0.99, 0.95);
+  auto q = MakeODistribution(0.5, 0.01, 0.05);
+  double jsd = EstimateJsd(p, q, 500, 3);
+  EXPECT_LE(jsd, std::log(2.0) + 0.05);
+}
+
+TEST(JsdTest, MonotoneInSeparation) {
+  auto p = MakeODistribution(0.3, 0.9, 0.1);
+  auto close = MakeODistribution(0.3, 0.85, 0.15);
+  auto far = MakeODistribution(0.3, 0.5, 0.5);
+  EXPECT_LT(EstimateJsd(p, close, 600, 4), EstimateJsd(p, far, 600, 4));
+}
+
+TEST(JsdTest, DeterministicForFixedSeed) {
+  auto p = MakeODistribution(0.4, 0.8, 0.2);
+  auto q = MakeODistribution(0.4, 0.7, 0.3);
+  EXPECT_DOUBLE_EQ(EstimateJsd(p, q, 200, 9), EstimateJsd(p, q, 200, 9));
+}
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "matcher/decision_tree.h"
+#include "matcher/features.h"
+#include "matcher/logistic.h"
+#include "matcher/neural_matcher.h"
+#include "matcher/random_forest.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+/// Linearly separable toy set: label = x0 > 0.5.
+void ToyData(int n, uint64_t seed, std::vector<std::vector<double>>* x,
+             std::vector<int>* y) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double a = rng.Uniform();
+    double b = rng.Uniform();
+    x->push_back({a, b});
+    y->push_back(a > 0.5 ? 1 : 0);
+  }
+}
+
+double Accuracy(const Matcher& m, const std::vector<std::vector<double>>& x,
+                const std::vector<int>& y) {
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    correct += (m.Predict(x[i]) == (y[i] != 0));
+  }
+  return static_cast<double>(correct) / x.size();
+}
+
+// ---------------------------------------------------------------- features
+
+class FeatureTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = datagen::Generate(DatasetKind::kDblpAcm, {.seed = 1, .scale = 0.02});
+    spec_ = SimilaritySpec::FromTables(ds_.schema(), {&ds_.a, &ds_.b});
+    fx_ = std::make_unique<FeatureExtractor>(spec_);
+  }
+  ERDataset ds_;
+  SimilaritySpec spec_;
+  std::unique_ptr<FeatureExtractor> fx_;
+};
+
+TEST_F(FeatureTest, FeatureCountByColumnType) {
+  // 2 text columns x 6 + 1 categorical x 2 + 1 numeric x 3 = 17.
+  EXPECT_EQ(fx_->num_features(), 17u);
+  EXPECT_EQ(fx_->names().size(), 17u);
+}
+
+TEST_F(FeatureTest, IdenticalEntitiesScoreHigh) {
+  auto f = fx_->Extract(ds_.a.row(0), ds_.a.row(0));
+  for (double v : f) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST_F(FeatureTest, FeaturesBounded) {
+  for (size_t i = 0; i < std::min<size_t>(10, ds_.matches.size()); ++i) {
+    auto f = fx_->Extract(ds_.a.row(ds_.matches[i].a_idx),
+                          ds_.b.row(ds_.matches[i].b_idx));
+    for (double v : f) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_F(FeatureTest, ExtractAllShapes) {
+  Rng rng(2);
+  auto pairs = BuildLabeledPairs(ds_, 2.0, &rng);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  fx_->ExtractAll(ds_, pairs, &x, &y);
+  EXPECT_EQ(x.size(), pairs.pairs.size());
+  EXPECT_EQ(y.size(), pairs.pairs.size());
+  EXPECT_EQ(x[0].size(), fx_->num_features());
+}
+
+// --------------------------------------------------------------- matchers
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  ToyData(300, 3, &x, &y);
+  DecisionTree tree;
+  tree.Train(x, y);
+  EXPECT_GT(Accuracy(tree, x, y), 0.97);
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, PureLeafForConstantLabels) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.2}, {0.3}};
+  std::vector<int> y = {1, 1, 1};
+  DecisionTree tree;
+  tree.Train(x, y);
+  EXPECT_DOUBLE_EQ(tree.PredictProba({0.15}), 1.0);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(rng.Bernoulli(0.5) ? 1 : 0);  // noise -> deep tree if allowed
+  }
+  DecisionTree::Options opts;
+  opts.max_depth = 2;
+  DecisionTree tree(opts);
+  tree.Train(x, y);
+  EXPECT_LE(tree.num_nodes(), 7u);  // depth 2 -> at most 7 nodes
+}
+
+TEST(RandomForestTest, BeatsSingleShallowTreeOnXor) {
+  // XOR-ish pattern needs depth; the forest with depth 10 nails it.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(((a > 0.5) ^ (b > 0.5)) ? 1 : 0);
+  }
+  RandomForest forest;
+  forest.Train(x, y);
+  EXPECT_GT(Accuracy(forest, x, y), 0.9);
+  EXPECT_EQ(forest.num_trees(), 20u);
+}
+
+TEST(RandomForestTest, ProbaIsAverageInUnitInterval) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  ToyData(100, 9, &x, &y);
+  RandomForest forest;
+  forest.Train(x, y);
+  for (size_t i = 0; i < 20; ++i) {
+    double p = forest.PredictProba(x[i]);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticTest, LearnsLinearBoundary) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  ToyData(400, 11, &x, &y);
+  LogisticRegression lr;
+  lr.Train(x, y);
+  EXPECT_GT(Accuracy(lr, x, y), 0.9);
+  // Positive weight on x0 (the discriminative feature).
+  EXPECT_GT(lr.weights()[0], 1.0);
+}
+
+TEST(NeuralMatcherTest, LearnsNonlinearBoundary) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(13);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(((a > 0.5) ^ (b > 0.5)) ? 1 : 0);
+  }
+  NeuralMatcher::Options opts;
+  opts.epochs = 150;
+  NeuralMatcher nm(opts);
+  nm.Train(x, y);
+  EXPECT_GT(Accuracy(nm, x, y), 0.85);
+}
+
+TEST(MatcherInterfaceTest, NamesAreDistinct) {
+  DecisionTree t;
+  RandomForest f;
+  LogisticRegression l;
+  NeuralMatcher n;
+  std::set<std::string> names = {t.name(), f.name(), l.name(), n.name()};
+  EXPECT_EQ(names.size(), 4u);
+}
+
+/// Every matcher separates real matched pairs from random pairs on a
+/// generated ER dataset using Magellan-style features.
+class MatcherOnErData : public testing::TestWithParam<int> {};
+
+TEST_P(MatcherOnErData, SeparatesMatchesFromNonMatches) {
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 31, .scale = 0.04});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  FeatureExtractor fx(spec);
+  Rng rng(17);
+  auto pairs = BuildLabeledPairs(ds, 4.0, &rng);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  fx.ExtractAll(ds, pairs, &x, &y);
+
+  std::unique_ptr<Matcher> matcher;
+  switch (GetParam()) {
+    case 0:
+      matcher = std::make_unique<DecisionTree>();
+      break;
+    case 1:
+      matcher = std::make_unique<RandomForest>();
+      break;
+    case 2:
+      matcher = std::make_unique<LogisticRegression>();
+      break;
+    default: {
+      NeuralMatcher::Options opts;
+      opts.epochs = 40;
+      matcher = std::make_unique<NeuralMatcher>(opts);
+    }
+  }
+  matcher->Train(x, y);
+  EXPECT_GT(Accuracy(*matcher, x, y), 0.9) << matcher->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherOnErData,
+                         testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,227 @@
+// Cross-module property tests: invariants that must hold across all four
+// dataset analogs and across randomized inputs, complementing the
+// per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/cached_sim.h"
+#include "data/dataset_io.h"
+#include "datagen/generators.h"
+#include "gmm/o_distribution.h"
+#include "matcher/features.h"
+#include "text/edit_distance.h"
+#include "text/qgram.h"
+#include "text/token.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+const DatasetKind kAllKinds[] = {
+    DatasetKind::kDblpAcm, DatasetKind::kRestaurant,
+    DatasetKind::kWalmartAmazon, DatasetKind::kItunesAmazon};
+
+class DatasetSweep : public testing::TestWithParam<DatasetKind> {
+ protected:
+  void SetUp() override {
+    ds_ = datagen::Generate(GetParam(), {.seed = 77, .scale = 0.03});
+    spec_ = SimilaritySpec::FromTables(ds_.schema(), {&ds_.a, &ds_.b});
+  }
+  ERDataset ds_;
+  SimilaritySpec spec_;
+};
+
+TEST_P(DatasetSweep, ColumnSimilarityIsSymmetric) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Entity& a = ds_.a.row(rng.UniformInt(ds_.a.size()));
+    const Entity& b = ds_.b.row(rng.UniformInt(ds_.b.size()));
+    for (size_t c = 0; c < ds_.schema().num_columns(); ++c) {
+      EXPECT_NEAR(spec_.ColumnSimilarity(c, a.values[c], b.values[c]),
+                  spec_.ColumnSimilarity(c, b.values[c], a.values[c]),
+                  1e-12);
+    }
+  }
+}
+
+TEST_P(DatasetSweep, SelfSimilarityIsOne) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Entity& a = ds_.a.row(rng.UniformInt(ds_.a.size()));
+    Vec x = spec_.SimilarityVector(a, a);
+    for (double v : x) EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST_P(DatasetSweep, SimilarityVectorsInUnitBox) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Entity& a = ds_.a.row(rng.UniformInt(ds_.a.size()));
+    const Entity& b = ds_.b.row(rng.UniformInt(ds_.b.size()));
+    for (double v : spec_.SimilarityVector(a, b)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_P(DatasetSweep, CachedSimilarityAgreesWithDirect) {
+  CachedSimilarity cached(spec_);
+  Rng rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Entity& a = ds_.a.row(rng.UniformInt(ds_.a.size()));
+    const Entity& b = ds_.b.row(rng.UniformInt(ds_.b.size()));
+    Vec direct = spec_.SimilarityVector(a, b);
+    Vec via = cached.SimilarityVector(cached.MakeDigest(a),
+                                      cached.MakeDigest(b));
+    for (size_t c = 0; c < direct.size(); ++c) {
+      EXPECT_NEAR(direct[c], via[c], 1e-12);
+    }
+  }
+}
+
+TEST_P(DatasetSweep, FeatureExtractorBoundedAndSymmetricDiagonal) {
+  FeatureExtractor fx(spec_);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Entity& a = ds_.a.row(rng.UniformInt(ds_.a.size()));
+    const Entity& b = ds_.b.row(rng.UniformInt(ds_.b.size()));
+    auto f = fx.Extract(a, b);
+    ASSERT_EQ(f.size(), fx.num_features());
+    for (double v : f) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(DatasetSweep, DatasetIoRoundTripsGeneratedData) {
+  std::string dir = testing::TempDir() + "/serd_prop_io_" +
+                    datagen::DatasetKindName(GetParam());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveDataset(ds_, dir).ok());
+  auto loaded = LoadDataset(dir, ds_.name);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->a.size(), ds_.a.size());
+  ASSERT_EQ(loaded->b.size(), ds_.b.size());
+  ASSERT_EQ(loaded->matches.size(), ds_.matches.size());
+  EXPECT_EQ(loaded->self_join, ds_.self_join);
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t i = rng.UniformInt(ds_.a.size());
+    EXPECT_EQ(loaded->a.row(i).values, ds_.a.row(i).values);
+  }
+  // Matches map to the same id pairs.
+  for (size_t m = 0; m < ds_.matches.size(); ++m) {
+    EXPECT_EQ(loaded->a.row(loaded->matches[m].a_idx).id,
+              ds_.a.row(ds_.matches[m].a_idx).id);
+    EXPECT_EQ(loaded->b.row(loaded->matches[m].b_idx).id,
+              ds_.b.row(ds_.matches[m].b_idx).id);
+  }
+}
+
+TEST_P(DatasetSweep, LabeledPairsRespectGroundTruth) {
+  Rng rng(7);
+  auto pairs = BuildLabeledPairs(ds_, 6.0, &rng);
+  auto match_set = ds_.MatchSet();
+  EXPECT_EQ(pairs.NumMatches(), ds_.matches.size());
+  for (const auto& p : pairs.pairs) {
+    EXPECT_EQ(p.match, match_set.count(ds_.PairKey(p.a_idx, p.b_idx)) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         testing::ValuesIn(kAllKinds));
+
+// ------------------------------------------------------- string measures
+
+class StringMeasureSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StringMeasureSweep, MeasuresAgreeOnBoundsAndSymmetry) {
+  Rng rng(GetParam());
+  auto corpus = datagen::BackgroundCorpus(DatasetKind::kDblpAcm, "title",
+                                          20, GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto& a = corpus[rng.UniformInt(corpus.size())];
+    const auto& b = corpus[rng.UniformInt(corpus.size())];
+    using MeasureFn = double (*)(std::string_view, std::string_view);
+    const MeasureFn measures[] = {
+        [](std::string_view x, std::string_view y) {
+          return QgramJaccard(x, y, 3);
+        },
+        [](std::string_view x, std::string_view y) {
+          return TokenJaccard(x, y);
+        },
+    };
+    for (auto measure : measures) {
+      double ab = measure(a, b);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      EXPECT_NEAR(ab, measure(b, a), 1e-12);
+    }
+    EXPECT_NEAR(MongeElkan(a, b), MongeElkan(b, a), 1e-12);
+    EXPECT_EQ(Levenshtein(a, b), Levenshtein(b, a));
+    // Identity of indiscernibles (for these measures' score of 1 / 0).
+    EXPECT_DOUBLE_EQ(QgramJaccard(a, a), 1.0);
+    EXPECT_EQ(Levenshtein(a, a), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringMeasureSweep,
+                         testing::Values(11u, 22u, 33u));
+
+TEST(StringMeasurePropertyTest, NormalizedEditBoundsQgram) {
+  // One char edit changes at most q=3 grams: a single typo keeps qgram
+  // jaccard high. Sanity-check the relationship on perturbed strings.
+  Rng rng(44);
+  auto corpus = datagen::BackgroundCorpus(DatasetKind::kRestaurant, "name",
+                                          30, 9);
+  for (const auto& s : corpus) {
+    if (s.size() < 16) continue;  // one typo hits <= 3 of >= 14 grams
+    std::string t = s;
+    t[3] = t[3] == 'x' ? 'y' : 'x';
+    EXPECT_EQ(Levenshtein(s, t), s[3] == t[3] ? 0u : 1u);
+    // A substitution alters at most 3 grams and adds at most 3, so
+    // jaccard >= (n-3)/(n+3) with n >= 14 grams -> >= 0.64.
+    EXPECT_GT(QgramJaccard(s, t), 0.6) << s;
+  }
+}
+
+// ---------------------------------------------------------- distributions
+
+TEST(PosteriorPropertyTest, PosteriorMonotoneAlongMixtureAxis) {
+  // Moving a point from the N-cluster toward the M-cluster must increase
+  // the match posterior monotonically.
+  Matrix cov(2, 2);
+  cov(0, 0) = cov(1, 1) = 0.02;
+  Gmm m({1.0}, {MultivariateGaussian({0.9, 0.9}, cov)});
+  Gmm n({1.0}, {MultivariateGaussian({0.1, 0.1}, cov)});
+  ODistribution o(0.3, m, n);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    double p = o.PosteriorMatch({0.1 + 0.8 * t, 0.1 + 0.8 * t});
+    EXPECT_GE(p, prev - 1e-9);
+    prev = p;
+  }
+}
+
+TEST(JsdPropertyTest, SymmetricUnderSwap) {
+  Matrix cov(2, 2);
+  cov(0, 0) = cov(1, 1) = 0.02;
+  Gmm m({1.0}, {MultivariateGaussian({0.8, 0.8}, cov)});
+  Gmm n({1.0}, {MultivariateGaussian({0.2, 0.2}, cov)});
+  ODistribution p(0.3, m, n);
+  ODistribution q(0.5, n, m);
+  // JSD is symmetric in its arguments (up to MC noise; same seed pairs
+  // the sample streams differently, so allow a tolerance).
+  double pq = EstimateJsd(p, q, 4000, 5);
+  double qp = EstimateJsd(q, p, 4000, 5);
+  EXPECT_NEAR(pq, qp, 0.05);
+}
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seq2seq/model_bank.h"
+#include "seq2seq/trainer.h"
+#include "seq2seq/transformer.h"
+#include "text/qgram.h"
+
+namespace serd {
+namespace {
+
+TransformerConfig TinyConfig(int vocab_size) {
+  TransformerConfig cfg;
+  cfg.vocab_size = vocab_size;
+  cfg.d_model = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_dim = 32;
+  cfg.max_len = 24;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+// ------------------------------------------------------------ transformer
+
+TEST(TransformerTest, LossIsFiniteAndPositive) {
+  CharVocab vocab;
+  vocab.Fit({"abcde"});
+  Rng rng(1);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  nn::Tape tape;
+  auto loss = model.Loss(&tape, vocab.Encode("abc"), vocab.Encode("cba"),
+                         nullptr);
+  EXPECT_TRUE(std::isfinite(loss->value()[0]));
+  EXPECT_GT(loss->value()[0], 0.0f);
+}
+
+TEST(TransformerTest, TrainingReducesLossOnCopyTask) {
+  CharVocab vocab;
+  vocab.Fit({"abcd"});
+  Rng rng(2);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"ab", "ab"}, {"ba", "ba"}, {"abc", "abc"}, {"cab", "cab"},
+      {"d", "d"},   {"dc", "dc"}, {"abcd", "abcd"}};
+
+  auto mean_loss = [&]() {
+    double total = 0;
+    for (const auto& [s, t] : pairs) {
+      nn::Tape tape;
+      total += model.Loss(&tape, vocab.Encode(s), vocab.Encode(t), nullptr)
+                   ->value()[0];
+    }
+    return total / pairs.size();
+  };
+
+  double before = mean_loss();
+  Seq2SeqTrainOptions opts;
+  opts.epochs = 30;
+  opts.batch_size = 7;
+  opts.dp.enabled = false;
+  opts.learning_rate = 5e-3f;
+  TrainSeq2Seq(&model, vocab, pairs, opts);
+  double after = mean_loss();
+  EXPECT_LT(after, before * 0.7);
+}
+
+TEST(TransformerTest, GenerateTerminatesAndUsesVocab) {
+  CharVocab vocab;
+  vocab.Fit({"xyz"});
+  Rng rng(3);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  Rng gen_rng(4);
+  auto ids = model.Generate(vocab.Encode("xy"), &gen_rng);
+  EXPECT_LT(ids.size(), 24u);
+  for (int id : ids) {
+    EXPECT_GE(id, CharVocab::kNumSpecials);
+    EXPECT_LT(id, vocab.size());
+  }
+}
+
+TEST(TransformerTest, GenerateIsDeterministicGivenSeed) {
+  CharVocab vocab;
+  vocab.Fit({"abc"});
+  Rng rng(5);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  Rng g1(7), g2(7);
+  EXPECT_EQ(model.Generate(vocab.Encode("ab"), &g1),
+            model.Generate(vocab.Encode("ab"), &g2));
+}
+
+TEST(TransformerTest, LongInputsClampedToMaxLen) {
+  CharVocab vocab;
+  vocab.Fit({"a"});
+  Rng rng(8);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  std::string longer(100, 'a');
+  nn::Tape tape;
+  auto loss = model.Loss(&tape, vocab.Encode(longer), vocab.Encode(longer),
+                         nullptr);
+  EXPECT_TRUE(std::isfinite(loss->value()[0]));
+}
+
+// ---------------------------------------------------------------- trainer
+
+TEST(TrainerTest, ReportsStepsAndEpsilon) {
+  CharVocab vocab;
+  vocab.Fit({"ab"});
+  Rng rng(9);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"a", "b"}, {"b", "a"}, {"ab", "ba"}, {"ba", "ab"}};
+  Seq2SeqTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 2;
+  opts.dp.enabled = true;
+  opts.dp.noise_multiplier = 1.0;
+  auto report = TrainSeq2Seq(&model, vocab, pairs, opts);
+  EXPECT_EQ(report.steps, 4);  // 2 epochs x 2 batches
+  EXPECT_GT(report.epsilon, 0.0);
+  EXPECT_TRUE(std::isfinite(report.epsilon));
+}
+
+TEST(TrainerTest, DpOffMeansInfiniteEpsilon) {
+  CharVocab vocab;
+  vocab.Fit({"ab"});
+  Rng rng(10);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  Seq2SeqTrainOptions opts;
+  opts.epochs = 1;
+  opts.dp.enabled = false;
+  auto report = TrainSeq2Seq(&model, vocab, {{"a", "b"}}, opts);
+  EXPECT_TRUE(std::isinf(report.epsilon));
+}
+
+// --------------------------------------------------------------- the bank
+
+StringBankOptions FastBankOptions() {
+  StringBankOptions opts;
+  opts.num_buckets = 4;
+  opts.num_candidates = 3;
+  opts.transformer.d_model = 16;
+  opts.transformer.num_heads = 2;
+  opts.transformer.num_layers = 1;
+  opts.transformer.ffn_dim = 24;
+  opts.transformer.max_len = 32;
+  opts.train.epochs = 1;
+  opts.train.batch_size = 8;
+  opts.train.dp.enabled = true;
+  opts.train.dp.noise_multiplier = 0.6;
+  opts.max_pairs_per_bucket = 24;
+  opts.min_pairs_per_bucket = 4;
+  opts.random_pair_samples = 150;
+  return opts;
+}
+
+double Sim(const std::string& a, const std::string& b) {
+  return QgramJaccard(a, b);
+}
+
+TEST(StringBankTest, BucketMapping) {
+  StringBankOptions opts = FastBankOptions();
+  StringSynthesisBank bank(opts, Sim);
+  EXPECT_EQ(bank.BucketOf(0.0), 0);
+  EXPECT_EQ(bank.BucketOf(0.24), 0);
+  EXPECT_EQ(bank.BucketOf(0.25), 1);
+  EXPECT_EQ(bank.BucketOf(0.99), 3);
+  EXPECT_EQ(bank.BucketOf(1.0), 3);
+  EXPECT_EQ(bank.BucketOf(-0.5), 0);
+  EXPECT_EQ(bank.BucketOf(1.5), 3);
+}
+
+TEST(StringBankTest, TrainRejectsTinyCorpus) {
+  StringSynthesisBank bank(FastBankOptions(), Sim);
+  Rng rng(11);
+  EXPECT_FALSE(bank.Train({"only one"}, &rng).ok());
+}
+
+class StringBankFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = {
+        "adaptive query optimization", "temporal middleware systems",
+        "generalised hash teams",      "join and group-by processing",
+        "frequent elements in streams", "parameterized complexity theory",
+        "entity resolution at scale",  "duplicate detection pipelines",
+        "similarity search indexes",   "schema matching with transformers",
+        "crowdsourced data cleaning",  "probabilistic record linkage",
+    };
+    bank_ = std::make_unique<StringSynthesisBank>(FastBankOptions(), Sim);
+    Rng rng(12);
+    ASSERT_TRUE(bank_->Train(corpus_, &rng).ok());
+  }
+
+  std::vector<std::string> corpus_;
+  std::unique_ptr<StringSynthesisBank> bank_;
+};
+
+TEST_F(StringBankFixture, TrainedWithStats) {
+  EXPECT_TRUE(bank_->trained());
+  const auto& stats = bank_->stats();
+  ASSERT_EQ(stats.pairs_per_bucket.size(), 4u);
+  int total = 0;
+  for (int c : stats.pairs_per_bucket) total += c;
+  EXPECT_GT(total, 0);
+  EXPECT_GT(stats.train_seconds, 0.0);
+}
+
+TEST_F(StringBankFixture, SynthesizeHitsLowTargets) {
+  Rng rng(13);
+  const std::string s = "adaptive query optimization";
+  double target = 0.08;
+  double total_err = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    std::string out = bank_->Synthesize(s, target, &rng);
+    EXPECT_FALSE(out.empty());
+    total_err += std::fabs(Sim(s, out) - target);
+  }
+  EXPECT_LT(total_err / 5, 0.25);
+}
+
+TEST_F(StringBankFixture, SynthesizeHitsHighTargets) {
+  Rng rng(14);
+  const std::string s = "duplicate detection pipelines";
+  double target = 0.8;
+  double total_err = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    std::string out = bank_->Synthesize(s, target, &rng);
+    EXPECT_FALSE(out.empty());
+    total_err += std::fabs(Sim(s, out) - target);
+  }
+  EXPECT_LT(total_err / 5, 0.25);
+}
+
+TEST_F(StringBankFixture, SynthesizeClampsTargets) {
+  Rng rng(15);
+  std::string out = bank_->Synthesize("entity resolution at scale", 1.4,
+                                      &rng);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(StringBankTest, UntrainedFallsBackToHillClimb) {
+  StringSynthesisBank bank(FastBankOptions(), Sim);
+  Rng rng(16);
+  std::string out = bank.Synthesize("some reference string here", 0.7, &rng);
+  EXPECT_FALSE(out.empty());
+  EXPECT_NEAR(Sim("some reference string here", out), 0.7, 0.3);
+}
+
+/// Property sweep: synthesized similarity tracks the target across the
+/// whole range (coarse tolerance; the refinement pass bounds the error).
+class BankTargetSweep : public testing::TestWithParam<double> {};
+
+TEST_P(BankTargetSweep, AchievedSimilarityTracksTarget) {
+  static StringSynthesisBank* bank = [] {
+    auto* b = new StringSynthesisBank(FastBankOptions(), Sim);
+    std::vector<std::string> corpus = {
+        "adaptive query optimization", "temporal middleware systems",
+        "generalised hash teams",      "join and group-by processing",
+        "frequent elements in streams", "parameterized complexity theory",
+        "entity resolution at scale",  "duplicate detection pipelines",
+    };
+    Rng rng(17);
+    SERD_CHECK(b->Train(corpus, &rng).ok());
+    return b;
+  }();
+  Rng rng(18 + static_cast<uint64_t>(GetParam() * 100));
+  std::string out =
+      bank->Synthesize("generalised hash teams", GetParam(), &rng);
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(Sim("generalised hash teams", out), GetParam(), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetRange, BankTargetSweep,
+                         testing::Values(0.05, 0.2, 0.4, 0.6, 0.8, 0.95));
+
+}  // namespace
+}  // namespace serd

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "text/char_vocab.h"
+#include "text/edit_distance.h"
+#include "text/perturb.h"
+#include "text/qgram.h"
+#include "text/token.h"
+
+namespace serd {
+namespace {
+
+// ------------------------------------------------------------------ Qgram
+
+TEST(QgramTest, BasicExtraction) {
+  auto grams = QgramSet("abcd", 3);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "abc");
+  EXPECT_EQ(grams[1], "bcd");
+}
+
+TEST(QgramTest, Lowercases) {
+  EXPECT_EQ(QgramSet("ABC", 3), QgramSet("abc", 3));
+}
+
+TEST(QgramTest, ShortStringIsSingleGram) {
+  auto grams = QgramSet("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QgramTest, EmptyString) { EXPECT_TRUE(QgramSet("", 3).empty()); }
+
+TEST(QgramTest, Deduplicates) {
+  auto grams = QgramSet("aaaa", 3);  // "aaa" twice
+  EXPECT_EQ(grams.size(), 1u);
+}
+
+TEST(QgramJaccardTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("hello world", "hello world"), 1.0);
+}
+
+TEST(QgramJaccardTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("aaaa", "bbbb"), 0.0);
+}
+
+TEST(QgramJaccardTest, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("", ""), 1.0);
+}
+
+TEST(QgramJaccardTest, OneEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("abc", ""), 0.0);
+}
+
+TEST(QgramJaccardTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("forest family", "family forest"),
+                   QgramJaccard("family forest", "forest family"));
+}
+
+TEST(QgramJaccardTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("Hello", "hello"), 1.0);
+}
+
+TEST(QgramJaccardTest, InUnitInterval) {
+  Rng rng(3);
+  const char* samples[] = {"sigmod conference", "vldb",
+                           "management of data", "icde", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double s = QgramJaccard(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+// ------------------------------------------------------------ Levenshtein
+
+TEST(LevenshteinTest, ClassicCases) {
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("", "abc"), 3u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, SymmetricProperty) {
+  EXPECT_EQ(Levenshtein("abcdef", "azced"), Levenshtein("azced", "abcdef"));
+}
+
+TEST(LevenshteinTest, TriangleInequality) {
+  const char* s[] = {"query", "quary", "qry", "optimization"};
+  for (const char* a : s) {
+    for (const char* b : s) {
+      for (const char* c : s) {
+        EXPECT_LE(Levenshtein(a, c), Levenshtein(a, b) + Levenshtein(b, c));
+      }
+    }
+  }
+}
+
+TEST(NormalizedEditTest, Bounds) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(BoundedLevenshteinTest, MatchesExactWithinBound) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 10), 3u);
+}
+
+TEST(BoundedLevenshteinTest, EarlyExitBeyondBound) {
+  EXPECT_EQ(BoundedLevenshtein("aaaaaaaaaa", "bbbbbbbbbb", 3), 4u);
+}
+
+TEST(BoundedLevenshteinTest, LengthDifferenceShortcut) {
+  EXPECT_EQ(BoundedLevenshtein("ab", "abcdefgh", 2), 3u);
+}
+
+// ----------------------------------------------------------------- Tokens
+
+TEST(TokenTest, WordTokensSplitsAndLowercases) {
+  auto t = WordTokens("Hello, World! 42");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "hello");
+  EXPECT_EQ(t[1], "world");
+  EXPECT_EQ(t[2], "42");
+}
+
+TEST(TokenTest, TokenJaccardIgnoresOrder) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "c b a"), 1.0);
+}
+
+TEST(TokenTest, TokenJaccardPartial) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "b c"), 1.0 / 3.0);
+}
+
+TEST(TokenTest, OverlapCoefficientContainment) {
+  EXPECT_DOUBLE_EQ(TokenOverlapCoefficient("a b", "a b c d"), 1.0);
+}
+
+TEST(TokenTest, MongeElkanIdentical) {
+  EXPECT_NEAR(MongeElkan("donald kossmann", "donald kossmann"), 1.0, 1e-12);
+}
+
+TEST(TokenTest, MongeElkanToleratesTypos) {
+  double s = MongeElkan("donald kossmann", "donald kossman");
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(TokenTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(MongeElkan("", ""), 1.0);
+}
+
+// -------------------------------------------------------------- CharVocab
+
+TEST(CharVocabTest, FitAssignsIds) {
+  CharVocab vocab;
+  vocab.Fit({"ab", "bc"});
+  EXPECT_EQ(vocab.size(), CharVocab::kNumSpecials + 3);
+  EXPECT_NE(vocab.CharId('a'), CharVocab::kUnk);
+  EXPECT_EQ(vocab.CharId('z'), CharVocab::kUnk);
+}
+
+TEST(CharVocabTest, EncodeAddsBosEos) {
+  CharVocab vocab;
+  vocab.Fit({"ab"});
+  auto ids = vocab.Encode("ab");
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids.front(), CharVocab::kBos);
+  EXPECT_EQ(ids.back(), CharVocab::kEos);
+}
+
+TEST(CharVocabTest, EncodeDecodeRoundTrip) {
+  CharVocab vocab;
+  vocab.Fit({"hello world"});
+  EXPECT_EQ(vocab.Decode(vocab.Encode("hello world")), "hello world");
+}
+
+TEST(CharVocabTest, DecodeSkipsSpecialsAndUnknown) {
+  CharVocab vocab;
+  vocab.Fit({"ab"});
+  std::vector<int> ids = {CharVocab::kBos, vocab.CharId('a'), CharVocab::kUnk,
+                          vocab.CharId('b'), CharVocab::kEos, 9999};
+  EXPECT_EQ(vocab.Decode(ids), "ab");
+}
+
+// ---------------------------------------------------------------- Perturb
+
+TEST(PerturbTest, DropWordRemovesOne) {
+  Rng rng(1);
+  std::string out =
+      ApplyPerturbation("alpha beta gamma", PerturbOp::kDropWord, {}, &rng);
+  EXPECT_EQ(SplitWhitespace(out).size(), 2u);
+}
+
+TEST(PerturbTest, AbbreviateProducesInitial) {
+  Rng rng(2);
+  std::string out = ApplyPerturbation("Donald Kossmann",
+                                      PerturbOp::kAbbreviateWord, {}, &rng);
+  EXPECT_EQ(out, "D. Kossmann");
+}
+
+TEST(PerturbTest, TypoChangesEditDistanceByOne) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::string out =
+        ApplyPerturbation("database", PerturbOp::kTypo, {}, &rng);
+    EXPECT_LE(Levenshtein("database", out), 1u);
+  }
+}
+
+TEST(PerturbTest, InsertUsesPool) {
+  Rng rng(4);
+  std::string out = ApplyPerturbation("a b", PerturbOp::kInsertWord,
+                                      {"zzz"}, &rng);
+  EXPECT_NE(out.find("zzz"), std::string::npos);
+}
+
+TEST(PerturbTest, RandomPerturbationNeverCrashesOnEdgeInputs) {
+  Rng rng(5);
+  for (const char* s : {"", "x", "a b", "word"}) {
+    for (int i = 0; i < 50; ++i) {
+      RandomPerturbation(s, {"pool", "words"}, &rng);
+    }
+  }
+}
+
+TEST(HillClimbTest, ReachesHighTarget) {
+  Rng rng(6);
+  auto sim = [](const std::string& a, const std::string& b) {
+    return QgramJaccard(a, b);
+  };
+  std::string ref = "adaptive query optimization in temporal middleware";
+  std::string out = HillClimbToSimilarity(ref, ref, 0.7, sim,
+                                          {"systems", "data", "join"}, &rng);
+  EXPECT_NEAR(sim(ref, out), 0.7, 0.15);
+}
+
+TEST(HillClimbTest, ReachesLowTargetFromUnrelatedStart) {
+  Rng rng(7);
+  auto sim = [](const std::string& a, const std::string& b) {
+    return QgramJaccard(a, b);
+  };
+  std::string ref = "generalised hash teams for join and group-by";
+  std::string out = HillClimbToSimilarity(
+      ref, "completely different text about music", 0.1, sim,
+      {"streams", "cache", "parallel"}, &rng);
+  EXPECT_NEAR(sim(ref, out), 0.1, 0.15);
+}
+
+TEST(HillClimbTest, ZeroIterationsReturnsStart) {
+  Rng rng(8);
+  HillClimbOptions opts;
+  opts.max_iters = 0;
+  auto sim = [](const std::string& a, const std::string& b) {
+    return QgramJaccard(a, b);
+  };
+  EXPECT_EQ(HillClimbToSimilarity("abc", "start", 0.5, sim, {}, &rng, opts),
+            "start");
+}
+
+/// Property sweep: perturbation output stays non-degenerate across ops.
+class PerturbOpSweep : public testing::TestWithParam<PerturbOp> {};
+
+TEST_P(PerturbOpSweep, OutputNonEmptyForRealisticInput) {
+  Rng rng(42);
+  std::vector<std::string> pool = {"alpha", "beta"};
+  for (int i = 0; i < 30; ++i) {
+    std::string out = ApplyPerturbation("adaptive query evaluation",
+                                        GetParam(), pool, &rng);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, PerturbOpSweep,
+    testing::Values(PerturbOp::kDropWord, PerturbOp::kSwapWords,
+                    PerturbOp::kAbbreviateWord, PerturbOp::kTypo,
+                    PerturbOp::kInsertWord, PerturbOp::kReplaceWord,
+                    PerturbOp::kTruncate, PerturbOp::kDuplicateWord));
+
+}  // namespace
+}  // namespace serd
