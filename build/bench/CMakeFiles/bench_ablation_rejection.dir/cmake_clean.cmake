@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rejection.dir/bench_ablation_rejection.cc.o"
+  "CMakeFiles/bench_ablation_rejection.dir/bench_ablation_rejection.cc.o.d"
+  "bench_ablation_rejection"
+  "bench_ablation_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_user_study.dir/bench_exp1_user_study.cc.o"
+  "CMakeFiles/bench_exp1_user_study.dir/bench_exp1_user_study.cc.o.d"
+  "bench_exp1_user_study"
+  "bench_exp1_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

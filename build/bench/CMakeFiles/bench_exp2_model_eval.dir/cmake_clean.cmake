@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_model_eval.dir/bench_exp2_model_eval.cc.o"
+  "CMakeFiles/bench_exp2_model_eval.dir/bench_exp2_model_eval.cc.o.d"
+  "bench_exp2_model_eval"
+  "bench_exp2_model_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_model_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp3_data_eval.
+# This may be replaced when dependencies are built.

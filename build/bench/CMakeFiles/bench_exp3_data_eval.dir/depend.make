@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp3_data_eval.
+# This may be replaced when dependencies are built.

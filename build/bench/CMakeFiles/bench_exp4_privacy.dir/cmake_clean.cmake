@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_privacy.dir/bench_exp4_privacy.cc.o"
+  "CMakeFiles/bench_exp4_privacy.dir/bench_exp4_privacy.cc.o.d"
+  "bench_exp4_privacy"
+  "bench_exp4_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

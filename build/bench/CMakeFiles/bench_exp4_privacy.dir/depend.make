@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp4_privacy.
+# This may be replaced when dependencies are built.

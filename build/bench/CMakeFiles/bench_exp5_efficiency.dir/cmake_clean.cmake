@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp5_efficiency.dir/bench_exp5_efficiency.cc.o"
+  "CMakeFiles/bench_exp5_efficiency.dir/bench_exp5_efficiency.cc.o.d"
+  "bench_exp5_efficiency"
+  "bench_exp5_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp5_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

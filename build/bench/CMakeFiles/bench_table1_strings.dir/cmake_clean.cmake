@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_strings.dir/bench_table1_strings.cc.o"
+  "CMakeFiles/bench_table1_strings.dir/bench_table1_strings.cc.o.d"
+  "bench_table1_strings"
+  "bench_table1_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

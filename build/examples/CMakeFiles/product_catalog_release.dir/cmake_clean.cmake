@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_catalog_release.dir/product_catalog_release.cpp.o"
+  "CMakeFiles/product_catalog_release.dir/product_catalog_release.cpp.o.d"
+  "product_catalog_release"
+  "product_catalog_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_catalog_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

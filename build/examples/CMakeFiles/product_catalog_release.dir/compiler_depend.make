@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for product_catalog_release.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publications_release.dir/publications_release.cpp.o"
+  "CMakeFiles/publications_release.dir/publications_release.cpp.o.d"
+  "publications_release"
+  "publications_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publications_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for publications_release.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_cli.dir/serd_cli.cpp.o"
+  "CMakeFiles/serd_cli.dir/serd_cli.cpp.o.d"
+  "serd_cli"
+  "serd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("text")
+subdirs("data")
+subdirs("datagen")
+subdirs("gmm")
+subdirs("nn")
+subdirs("dp")
+subdirs("seq2seq")
+subdirs("gan")
+subdirs("embench")
+subdirs("matcher")
+subdirs("eval")
+subdirs("core")

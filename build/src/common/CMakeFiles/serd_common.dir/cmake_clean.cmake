@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_common.dir/csv.cc.o"
+  "CMakeFiles/serd_common.dir/csv.cc.o.d"
+  "CMakeFiles/serd_common.dir/logging.cc.o"
+  "CMakeFiles/serd_common.dir/logging.cc.o.d"
+  "CMakeFiles/serd_common.dir/matrix.cc.o"
+  "CMakeFiles/serd_common.dir/matrix.cc.o.d"
+  "CMakeFiles/serd_common.dir/rng.cc.o"
+  "CMakeFiles/serd_common.dir/rng.cc.o.d"
+  "CMakeFiles/serd_common.dir/status.cc.o"
+  "CMakeFiles/serd_common.dir/status.cc.o.d"
+  "CMakeFiles/serd_common.dir/strings.cc.o"
+  "CMakeFiles/serd_common.dir/strings.cc.o.d"
+  "libserd_common.a"
+  "libserd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_core.dir/cached_sim.cc.o"
+  "CMakeFiles/serd_core.dir/cached_sim.cc.o.d"
+  "CMakeFiles/serd_core.dir/serd.cc.o"
+  "CMakeFiles/serd_core.dir/serd.cc.o.d"
+  "libserd_core.a"
+  "libserd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

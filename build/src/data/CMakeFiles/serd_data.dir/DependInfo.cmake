@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/serd_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/serd_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/date.cc" "src/data/CMakeFiles/serd_data.dir/date.cc.o" "gcc" "src/data/CMakeFiles/serd_data.dir/date.cc.o.d"
+  "/root/repo/src/data/er_dataset.cc" "src/data/CMakeFiles/serd_data.dir/er_dataset.cc.o" "gcc" "src/data/CMakeFiles/serd_data.dir/er_dataset.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/serd_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/serd_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/similarity.cc" "src/data/CMakeFiles/serd_data.dir/similarity.cc.o" "gcc" "src/data/CMakeFiles/serd_data.dir/similarity.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/serd_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/serd_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/serd_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

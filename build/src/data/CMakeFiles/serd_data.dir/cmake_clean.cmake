@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_data.dir/dataset_io.cc.o"
+  "CMakeFiles/serd_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/serd_data.dir/date.cc.o"
+  "CMakeFiles/serd_data.dir/date.cc.o.d"
+  "CMakeFiles/serd_data.dir/er_dataset.cc.o"
+  "CMakeFiles/serd_data.dir/er_dataset.cc.o.d"
+  "CMakeFiles/serd_data.dir/schema.cc.o"
+  "CMakeFiles/serd_data.dir/schema.cc.o.d"
+  "CMakeFiles/serd_data.dir/similarity.cc.o"
+  "CMakeFiles/serd_data.dir/similarity.cc.o.d"
+  "CMakeFiles/serd_data.dir/table.cc.o"
+  "CMakeFiles/serd_data.dir/table.cc.o.d"
+  "libserd_data.a"
+  "libserd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_datagen.dir/generators.cc.o"
+  "CMakeFiles/serd_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/serd_datagen.dir/vocab_data.cc.o"
+  "CMakeFiles/serd_datagen.dir/vocab_data.cc.o.d"
+  "libserd_datagen.a"
+  "libserd_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_dp.dir/accountant.cc.o"
+  "CMakeFiles/serd_dp.dir/accountant.cc.o.d"
+  "CMakeFiles/serd_dp.dir/dp_sgd.cc.o"
+  "CMakeFiles/serd_dp.dir/dp_sgd.cc.o.d"
+  "libserd_dp.a"
+  "libserd_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_embench.dir/embench.cc.o"
+  "CMakeFiles/serd_embench.dir/embench.cc.o.d"
+  "libserd_embench.a"
+  "libserd_embench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_embench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_eval.dir/crowd.cc.o"
+  "CMakeFiles/serd_eval.dir/crowd.cc.o.d"
+  "CMakeFiles/serd_eval.dir/metrics.cc.o"
+  "CMakeFiles/serd_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/serd_eval.dir/privacy.cc.o"
+  "CMakeFiles/serd_eval.dir/privacy.cc.o.d"
+  "libserd_eval.a"
+  "libserd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

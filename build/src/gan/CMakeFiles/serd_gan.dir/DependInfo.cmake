@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gan/entity_encoder.cc" "src/gan/CMakeFiles/serd_gan.dir/entity_encoder.cc.o" "gcc" "src/gan/CMakeFiles/serd_gan.dir/entity_encoder.cc.o.d"
+  "/root/repo/src/gan/entity_gan.cc" "src/gan/CMakeFiles/serd_gan.dir/entity_gan.cc.o" "gcc" "src/gan/CMakeFiles/serd_gan.dir/entity_gan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/serd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/serd_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_gan.dir/entity_encoder.cc.o"
+  "CMakeFiles/serd_gan.dir/entity_encoder.cc.o.d"
+  "CMakeFiles/serd_gan.dir/entity_gan.cc.o"
+  "CMakeFiles/serd_gan.dir/entity_gan.cc.o.d"
+  "libserd_gan.a"
+  "libserd_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for serd_gan.
+# This may be replaced when dependencies are built.

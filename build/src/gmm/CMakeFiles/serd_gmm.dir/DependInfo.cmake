@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmm/gaussian.cc" "src/gmm/CMakeFiles/serd_gmm.dir/gaussian.cc.o" "gcc" "src/gmm/CMakeFiles/serd_gmm.dir/gaussian.cc.o.d"
+  "/root/repo/src/gmm/gmm.cc" "src/gmm/CMakeFiles/serd_gmm.dir/gmm.cc.o" "gcc" "src/gmm/CMakeFiles/serd_gmm.dir/gmm.cc.o.d"
+  "/root/repo/src/gmm/incremental.cc" "src/gmm/CMakeFiles/serd_gmm.dir/incremental.cc.o" "gcc" "src/gmm/CMakeFiles/serd_gmm.dir/incremental.cc.o.d"
+  "/root/repo/src/gmm/o_distribution.cc" "src/gmm/CMakeFiles/serd_gmm.dir/o_distribution.cc.o" "gcc" "src/gmm/CMakeFiles/serd_gmm.dir/o_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

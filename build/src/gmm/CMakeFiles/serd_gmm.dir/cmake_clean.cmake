@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_gmm.dir/gaussian.cc.o"
+  "CMakeFiles/serd_gmm.dir/gaussian.cc.o.d"
+  "CMakeFiles/serd_gmm.dir/gmm.cc.o"
+  "CMakeFiles/serd_gmm.dir/gmm.cc.o.d"
+  "CMakeFiles/serd_gmm.dir/incremental.cc.o"
+  "CMakeFiles/serd_gmm.dir/incremental.cc.o.d"
+  "CMakeFiles/serd_gmm.dir/o_distribution.cc.o"
+  "CMakeFiles/serd_gmm.dir/o_distribution.cc.o.d"
+  "libserd_gmm.a"
+  "libserd_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libserd_gmm.a"
+)

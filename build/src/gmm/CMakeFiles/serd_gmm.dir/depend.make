@@ -1,0 +1,2 @@
+# Empty dependencies file for serd_gmm.
+# This may be replaced when dependencies are built.

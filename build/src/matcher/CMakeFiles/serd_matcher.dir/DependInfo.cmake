@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matcher/decision_tree.cc" "src/matcher/CMakeFiles/serd_matcher.dir/decision_tree.cc.o" "gcc" "src/matcher/CMakeFiles/serd_matcher.dir/decision_tree.cc.o.d"
+  "/root/repo/src/matcher/features.cc" "src/matcher/CMakeFiles/serd_matcher.dir/features.cc.o" "gcc" "src/matcher/CMakeFiles/serd_matcher.dir/features.cc.o.d"
+  "/root/repo/src/matcher/logistic.cc" "src/matcher/CMakeFiles/serd_matcher.dir/logistic.cc.o" "gcc" "src/matcher/CMakeFiles/serd_matcher.dir/logistic.cc.o.d"
+  "/root/repo/src/matcher/neural_matcher.cc" "src/matcher/CMakeFiles/serd_matcher.dir/neural_matcher.cc.o" "gcc" "src/matcher/CMakeFiles/serd_matcher.dir/neural_matcher.cc.o.d"
+  "/root/repo/src/matcher/random_forest.cc" "src/matcher/CMakeFiles/serd_matcher.dir/random_forest.cc.o" "gcc" "src/matcher/CMakeFiles/serd_matcher.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/serd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/serd_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_matcher.dir/decision_tree.cc.o"
+  "CMakeFiles/serd_matcher.dir/decision_tree.cc.o.d"
+  "CMakeFiles/serd_matcher.dir/features.cc.o"
+  "CMakeFiles/serd_matcher.dir/features.cc.o.d"
+  "CMakeFiles/serd_matcher.dir/logistic.cc.o"
+  "CMakeFiles/serd_matcher.dir/logistic.cc.o.d"
+  "CMakeFiles/serd_matcher.dir/neural_matcher.cc.o"
+  "CMakeFiles/serd_matcher.dir/neural_matcher.cc.o.d"
+  "CMakeFiles/serd_matcher.dir/random_forest.cc.o"
+  "CMakeFiles/serd_matcher.dir/random_forest.cc.o.d"
+  "libserd_matcher.a"
+  "libserd_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

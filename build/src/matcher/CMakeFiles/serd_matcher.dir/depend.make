@@ -1,0 +1,2 @@
+# Empty dependencies file for serd_matcher.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/modules.cc" "src/nn/CMakeFiles/serd_nn.dir/modules.cc.o" "gcc" "src/nn/CMakeFiles/serd_nn.dir/modules.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/serd_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/serd_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/tape.cc" "src/nn/CMakeFiles/serd_nn.dir/tape.cc.o" "gcc" "src/nn/CMakeFiles/serd_nn.dir/tape.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/serd_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/serd_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_nn.dir/modules.cc.o"
+  "CMakeFiles/serd_nn.dir/modules.cc.o.d"
+  "CMakeFiles/serd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/serd_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/serd_nn.dir/tape.cc.o"
+  "CMakeFiles/serd_nn.dir/tape.cc.o.d"
+  "CMakeFiles/serd_nn.dir/tensor.cc.o"
+  "CMakeFiles/serd_nn.dir/tensor.cc.o.d"
+  "libserd_nn.a"
+  "libserd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

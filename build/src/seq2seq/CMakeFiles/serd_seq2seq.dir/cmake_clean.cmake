@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_seq2seq.dir/model_bank.cc.o"
+  "CMakeFiles/serd_seq2seq.dir/model_bank.cc.o.d"
+  "CMakeFiles/serd_seq2seq.dir/trainer.cc.o"
+  "CMakeFiles/serd_seq2seq.dir/trainer.cc.o.d"
+  "CMakeFiles/serd_seq2seq.dir/transformer.cc.o"
+  "CMakeFiles/serd_seq2seq.dir/transformer.cc.o.d"
+  "libserd_seq2seq.a"
+  "libserd_seq2seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_seq2seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/char_vocab.cc" "src/text/CMakeFiles/serd_text.dir/char_vocab.cc.o" "gcc" "src/text/CMakeFiles/serd_text.dir/char_vocab.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/serd_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/serd_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/perturb.cc" "src/text/CMakeFiles/serd_text.dir/perturb.cc.o" "gcc" "src/text/CMakeFiles/serd_text.dir/perturb.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/text/CMakeFiles/serd_text.dir/qgram.cc.o" "gcc" "src/text/CMakeFiles/serd_text.dir/qgram.cc.o.d"
+  "/root/repo/src/text/token.cc" "src/text/CMakeFiles/serd_text.dir/token.cc.o" "gcc" "src/text/CMakeFiles/serd_text.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

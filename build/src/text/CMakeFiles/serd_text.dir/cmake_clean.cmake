@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serd_text.dir/char_vocab.cc.o"
+  "CMakeFiles/serd_text.dir/char_vocab.cc.o.d"
+  "CMakeFiles/serd_text.dir/edit_distance.cc.o"
+  "CMakeFiles/serd_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/serd_text.dir/perturb.cc.o"
+  "CMakeFiles/serd_text.dir/perturb.cc.o.d"
+  "CMakeFiles/serd_text.dir/qgram.cc.o"
+  "CMakeFiles/serd_text.dir/qgram.cc.o.d"
+  "CMakeFiles/serd_text.dir/token.cc.o"
+  "CMakeFiles/serd_text.dir/token.cc.o.d"
+  "libserd_text.a"
+  "libserd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

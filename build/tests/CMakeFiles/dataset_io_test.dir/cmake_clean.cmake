@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_io_test.dir/dataset_io_test.cc.o"
+  "CMakeFiles/dataset_io_test.dir/dataset_io_test.cc.o.d"
+  "dataset_io_test"
+  "dataset_io_test.pdb"
+  "dataset_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embench_test.dir/embench_test.cc.o"
+  "CMakeFiles/embench_test.dir/embench_test.cc.o.d"
+  "embench_test"
+  "embench_test.pdb"
+  "embench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gan_test.cc" "tests/CMakeFiles/gan_test.dir/gan_test.cc.o" "gcc" "tests/CMakeFiles/gan_test.dir/gan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gan/CMakeFiles/serd_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/serd_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/serd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/serd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

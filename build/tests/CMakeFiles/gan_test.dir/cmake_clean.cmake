@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gan_test.dir/gan_test.cc.o"
+  "CMakeFiles/gan_test.dir/gan_test.cc.o.d"
+  "gan_test"
+  "gan_test.pdb"
+  "gan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

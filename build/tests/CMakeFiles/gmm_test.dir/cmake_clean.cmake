@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmm_test.dir/gmm_test.cc.o"
+  "CMakeFiles/gmm_test.dir/gmm_test.cc.o.d"
+  "gmm_test"
+  "gmm_test.pdb"
+  "gmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

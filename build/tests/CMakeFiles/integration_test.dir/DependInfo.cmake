@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/serd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/serd_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/embench/CMakeFiles/serd_embench.dir/DependInfo.cmake"
+  "/root/repo/build/src/matcher/CMakeFiles/serd_matcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/serd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq2seq/CMakeFiles/serd_seq2seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/serd_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/serd_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/serd_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/serd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/serd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq2seq_test.dir/seq2seq_test.cc.o"
+  "CMakeFiles/seq2seq_test.dir/seq2seq_test.cc.o.d"
+  "seq2seq_test"
+  "seq2seq_test.pdb"
+  "seq2seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq2seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
