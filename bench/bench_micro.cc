@@ -1,13 +1,24 @@
 // Micro-benchmarks (google-benchmark) for the performance-sensitive
 // substrates, including the ablation DESIGN.md calls out: incremental GMM
-// maintenance (paper Eqs. 8-9) vs full sufficient-statistics recompute.
+// maintenance (paper Eqs. 8-9) vs full sufficient-statistics recompute,
+// and the 1-thread vs N-thread rows of the parallel runtime hot paths.
+//
+// Besides the console table, results are written machine-readably to
+// BENCH_micro.json in the working directory (google-benchmark JSON schema;
+// parallel benchmarks carry their thread count as the trailing /N arg).
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/cached_sim.h"
 #include "datagen/generators.h"
 #include "gmm/gmm.h"
 #include "gmm/incremental.h"
 #include "gmm/o_distribution.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
 
@@ -15,6 +26,12 @@ namespace serd {
 namespace {
 
 using datagen::DatasetKind;
+
+/// Pool with `threads` total executors (caller included); null = serial.
+std::unique_ptr<runtime::ThreadPool> MakePool(int threads) {
+  if (threads <= 1) return nullptr;
+  return std::make_unique<runtime::ThreadPool>(threads - 1);
+}
 
 std::vector<Vec> ClusterData(int n, uint64_t seed) {
   Rng rng(seed);
@@ -144,5 +161,88 @@ void BM_GmmSample(benchmark::State& state) {
 }
 BENCHMARK(BM_GmmSample);
 
+// ---- Parallel runtime rows: same work at 1 thread and at N threads. ----
+// The trailing benchmark arg is the executor count; results must be
+// bit-identical across rows (the runtime's determinism contract), only
+// wall time may differ.
+
+void BM_ParallelBatchSimilarity(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 1, .scale = 0.04});
+  auto spec = SimilaritySpec::FromTables(ds.schema(), {&ds.a, &ds.b});
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < ds.a.size() && pairs.size() < 4000; ++i) {
+    for (size_t j = 0; j < ds.b.size() && pairs.size() < 4000; ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+  auto pool = MakePool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spec.BatchSimilarityVectors(ds.a, ds.b, pairs, pool.get()));
+  }
+}
+BENCHMARK(BM_ParallelBatchSimilarity)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelGmmFitWithAic(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto data = ClusterData(1000, 3);
+  auto pool = MakePool(threads);
+  GmmFitOptions opts;
+  opts.num_restarts = 1;
+  opts.pool = pool.get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gmm::FitWithAic(data, opts));
+  }
+}
+BENCHMARK(BM_ParallelGmmFitWithAic)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelJsdEstimate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto data = ClusterData(400, 9);
+  auto m = Gmm::FitEM(data, 2, GmmFitOptions{});
+  ODistribution p(0.3, m.value(), m.value());
+  ODistribution q(0.4, m.value(), m.value());
+  auto pool = MakePool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJsd(p, q, 4096, 1, pool.get()));
+  }
+}
+BENCHMARK(BM_ParallelJsdEstimate)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace serd
+
+int main(int argc, char** argv) {
+  // Console table for humans plus BENCH_micro.json for tooling: default
+  // the --benchmark_out flags unless the caller overrides them.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,8 @@
 //   serd_cli --dataset dblp-acm|restaurant|walmart-amazon|itunes-amazon
 //            [--scale 0.04] [--seed 42] [--out DIR] [--no-rejection]
 //            [--alpha 1.0] [--beta 0.6] [--buckets 10] [--candidates 10]
+//            [--threads N]   (0 = all hardware threads; output is
+//                             bit-identical for any N)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +26,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --dataset dblp-acm|restaurant|walmart-amazon|itunes-amazon\n"
       "          [--scale S] [--seed N] [--out DIR] [--no-rejection]\n"
-      "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n",
+      "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n"
+      "          [--threads N]\n",
       argv0);
   return 2;
 }
@@ -87,6 +90,8 @@ int main(int argc, char** argv) {
       options.string_bank.num_buckets = std::atoi(next("--buckets"));
     } else if (arg == "--candidates") {
       options.string_bank.num_candidates = std::atoi(next("--candidates"));
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next("--threads"));
     } else {
       return Usage(argv[0]);
     }
@@ -124,11 +129,13 @@ int main(int argc, char** argv) {
   std::printf(
       "synthesized: |A|=%zu |B|=%zu matches=%zu\n"
       "offline %.2fs online %.2fs rejected(disc)=%d rejected(dist)=%d "
-      "forced=%d\nmean transformer epsilon %.2f (delta=1e-5)\n",
+      "forced=%d\nmean transformer epsilon %.2f (delta=1e-5)\n"
+      "threads=%d parallel speedup %.2fx\n",
       result->a.size(), result->b.size(), result->matches.size(),
       report.offline_seconds, report.online_seconds,
       report.rejected_by_discriminator, report.rejected_by_distribution,
-      report.forced_accepts, report.mean_bank_epsilon);
+      report.forced_accepts, report.mean_bank_epsilon, report.threads_used,
+      report.parallel_speedup);
 
   auto jsd = synth.EvaluateSyntheticJsd(result.value());
   if (jsd.ok()) std::printf("JSD(O_real, O_syn) = %.4f\n", jsd.value());

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "runtime/parallel_for.h"
 
 namespace serd {
 
@@ -13,6 +14,14 @@ SerdSynthesizer::SerdSynthesizer(const ERDataset& real, SerdOptions options)
     : real_(&real), options_(std::move(options)) {
   spec_ = SimilaritySpec::FromTables(real.schema(), {&real.a, &real.b});
   cached_sim_ = std::make_unique<CachedSimilarity>(spec_);
+  resolved_threads_ = runtime::ResolveThreads(options_.threads);
+  if (resolved_threads_ > 1) {
+    // Workers = threads - 1: the calling thread drains chunks too, so the
+    // total executor count matches the requested thread count.
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        static_cast<int>(resolved_threads_ - 1));
+  }
+  options_.gmm.pool = pool_.get();
 }
 
 Status SerdSynthesizer::Fit(
@@ -23,9 +32,10 @@ Status SerdSynthesizer::Fit(
 
   // ----- S1: learn the M- and N-distributions from E_real. -----
   LabeledPairSet pairs =
-      BuildLabeledPairs(*real_, options_.neg_pairs_per_match, &rng);
+      BuildLabeledPairs(*real_, options_.neg_pairs_per_match, &rng,
+                        pool_.get());
   std::vector<Vec> x_pos, x_neg;
-  ComputeSimilarityVectors(*real_, spec_, pairs, &x_pos, &x_neg);
+  ComputeSimilarityVectors(*real_, spec_, pairs, &x_pos, &x_neg, pool_.get());
   if (x_pos.empty() || x_neg.empty()) {
     return Status::FailedPrecondition(
         "real dataset must contain both matching and non-matching pairs");
@@ -60,6 +70,7 @@ Status SerdSynthesizer::Fit(
     if (schema.column(c).type != ColumnType::kText) continue;
     StringBankOptions bank_opts = options_.string_bank;
     bank_opts.train.seed = options_.seed + 7919ULL * (c + 1);
+    bank_opts.train.pool = pool_.get();
     auto sim = [this, c](const std::string& a, const std::string& b) {
       return spec_.ColumnSimilarity(c, a, b);
     };
@@ -184,6 +195,8 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
     return Status::FailedPrecondition("Fit() must succeed before Synthesize()");
   }
   WallTimer timer;
+  if (pool_ != nullptr) pool_->ResetStats();
+  report_.threads_used = static_cast<int>(resolved_threads_);
   Rng rng(options_.seed ^ 0x51e2d5ULL);
 
   const size_t na = options_.target_a > 0 ? options_.target_a : real_->a.size();
@@ -317,7 +330,8 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
         pi_new = std::clamp(pi_new, 0.001, 0.999);
         ODistribution o_syn_new(pi_new, m_preview, n_preview);
         double jsd_new =
-            EstimateJsd(o_syn_new, o_real_, options_.jsd_samples, jsd_seed);
+            EstimateJsd(o_syn_new, o_real_, options_.jsd_samples, jsd_seed,
+                        pool_.get());
         if (jsd_new > options_.alpha * current_jsd && attempt <
             options_.max_reject_retries) {
           ++report_.rejected_by_distribution;
@@ -378,7 +392,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
         syn_neg_count = warm_neg.size();
         current_jsd =
             EstimateJsd(current_o_syn(), o_real_, options_.jsd_samples,
-                        jsd_seed);
+                        jsd_seed, pool_.get());
       }
     }
   }
@@ -398,32 +412,43 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
       options_.max_label_pairs == 0
           ? total_pairs
           : std::min(total_pairs, options_.max_label_pairs);
-  if (label_cap >= total_pairs) {
-    for (size_t i = 0; i < syn.a.size(); ++i) {
-      for (size_t j = 0; j < syn.b.size(); ++j) {
-        uint64_t key = static_cast<uint64_t>(i) * syn.b.size() + j;
-        if (known.count(key)) continue;
-        Vec x = cached_sim_->SimilarityVector(a_digests[i], b_digests[j]);
-        if (o_real_.LabelAsMatch(x)) syn.matches.push_back({i, j});
-      }
-    }
-  } else {
-    // Deterministic stride subsample of the cross product.
-    double stride = static_cast<double>(total_pairs) / label_cap;
-    for (size_t k = 0; k < label_cap; ++k) {
-      size_t flat = static_cast<size_t>(k * stride);
-      size_t i = flat / syn.b.size();
-      size_t j = flat % syn.b.size();
-      uint64_t key = static_cast<uint64_t>(i) * syn.b.size() + j;
-      if (known.count(key)) continue;
-      Vec x = cached_sim_->SimilarityVector(a_digests[i], b_digests[j]);
-      if (o_real_.LabelAsMatch(x)) syn.matches.push_back({i, j});
-    }
+  // Candidate pairs are labeled concurrently into a flag array, then
+  // appended in ascending pair order, so the match list is identical to
+  // the serial scan for any thread count.
+  const bool full_scan = label_cap >= total_pairs;
+  const size_t scan_count = full_scan ? total_pairs : label_cap;
+  const double stride =
+      full_scan ? 1.0 : static_cast<double>(total_pairs) / label_cap;
+  auto pair_at = [&](size_t k) {
+    size_t flat = full_scan ? k : static_cast<size_t>(k * stride);
+    return std::make_pair(flat / syn.b.size(), flat % syn.b.size());
+  };
+  std::vector<uint8_t> is_match_flag(scan_count, 0);
+  runtime::ParallelFor(
+      pool_.get(), 0, scan_count, 512, [&](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+          auto [i, j] = pair_at(k);
+          uint64_t key = static_cast<uint64_t>(i) * syn.b.size() + j;
+          if (known.count(key)) continue;
+          Vec x = cached_sim_->SimilarityVector(a_digests[i], b_digests[j]);
+          if (o_real_.LabelAsMatch(x)) is_match_flag[k] = 1;
+        }
+      });
+  for (size_t k = 0; k < scan_count; ++k) {
+    if (!is_match_flag[k]) continue;
+    auto [i, j] = pair_at(k);
+    syn.matches.push_back({i, j});
   }
 
   if (m_syn != nullptr && n_syn != nullptr) {
     report_.jsd_real_vs_syn = EstimateJsd(current_o_syn(), o_real_,
-                                          options_.jsd_samples, jsd_seed);
+                                          options_.jsd_samples, jsd_seed,
+                                          pool_.get());
+  }
+  if (pool_ != nullptr) {
+    report_.parallel_speedup = pool_->stats().Speedup();
+  } else {
+    report_.parallel_speedup = 1.0;
   }
   report_.online_seconds = timer.Seconds();
   if (options_.verbose) {
@@ -438,7 +463,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
 LabeledPairSet SerdSynthesizer::LabelPairs(const ERDataset& syn,
                                            double neg_per_pos,
                                            Rng* rng) const {
-  return BuildLabeledPairs(syn, neg_per_pos, rng);
+  return BuildLabeledPairs(syn, neg_per_pos, rng, pool_.get());
 }
 
 Result<double> SerdSynthesizer::EvaluateSyntheticJsd(const ERDataset& syn,
@@ -449,9 +474,9 @@ Result<double> SerdSynthesizer::EvaluateSyntheticJsd(const ERDataset& syn,
   }
   Rng rng(seed);
   LabeledPairSet pairs = BuildLabeledPairs(syn, options_.neg_pairs_per_match,
-                                           &rng);
+                                           &rng, pool_.get());
   std::vector<Vec> x_pos, x_neg;
-  ComputeSimilarityVectors(syn, spec_, pairs, &x_pos, &x_neg);
+  ComputeSimilarityVectors(syn, spec_, pairs, &x_pos, &x_neg, pool_.get());
   if (x_pos.empty() || x_neg.empty()) {
     return Status::FailedPrecondition(
         "synthesized dataset lacks matching or non-matching pairs");
@@ -463,7 +488,8 @@ Result<double> SerdSynthesizer::EvaluateSyntheticJsd(const ERDataset& syn,
   double pi = static_cast<double>(x_pos.size()) /
               static_cast<double>(x_pos.size() + x_neg.size());
   ODistribution o_syn(pi, m_fit.value(), n_fit.value());
-  return EstimateJsd(o_syn, o_real_, jsd_samples, seed ^ 0x9e37ULL);
+  return EstimateJsd(o_syn, o_real_, jsd_samples, seed ^ 0x9e37ULL,
+                     pool_.get());
 }
 
 }  // namespace serd

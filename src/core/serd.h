@@ -10,6 +10,7 @@
 #include "gan/entity_gan.h"
 #include "gmm/incremental.h"
 #include "gmm/o_distribution.h"
+#include "runtime/thread_pool.h"
 #include "seq2seq/model_bank.h"
 
 namespace serd {
@@ -56,6 +57,13 @@ struct SerdOptions {
 
   uint64_t seed = 2024;
   bool verbose = false;
+
+  // --- runtime ---
+  /// Worker threads for the parallel hot paths (GMM EM, similarity
+  /// batches, S3 labeling, JSD sampling, per-example training). 0 uses
+  /// hardware_concurrency; 1 runs serial. Results are bit-identical for
+  /// any value (see DESIGN.md "Deterministic parallel runtime").
+  int threads = 0;
 };
 
 /// Outcome statistics of one synthesis run (feeds Tables III-IV and the
@@ -71,6 +79,26 @@ struct SerdReport {
   double jsd_real_vs_syn = 0.0;    ///< JSD(O_real, O_syn) at the end
   int m_components = 0;          ///< AIC-selected component counts
   int n_components = 0;
+  int threads_used = 1;          ///< resolved SerdOptions::threads
+  /// Achieved parallel speedup of the last Synthesize(): total busy time
+  /// across executors / wall time inside parallel regions. 1.0 when serial.
+  double parallel_speedup = 1.0;
+
+  /// Resets the per-run (online) statistics in place, keeping everything
+  /// the offline Fit() phase computed. New online fields must be added
+  /// here; resetting field-by-field (instead of copying the keepers into a
+  /// fresh struct) means a forgotten field surfaces as stale data rather
+  /// than being silently zeroed along with the offline numbers.
+  void ResetOnlineStats() {
+    online_seconds = 0.0;
+    accepted_entities = 0;
+    rejected_by_discriminator = 0;
+    rejected_by_distribution = 0;
+    forced_accepts = 0;
+    jsd_real_vs_syn = 0.0;
+    threads_used = 1;
+    parallel_speedup = 1.0;
+  }
 };
 
 /// The SERD synthesizer (paper Algorithm overview, Section III):
@@ -110,12 +138,7 @@ class SerdSynthesizer {
   /// phase is identical by construction). Resets the run statistics.
   void set_enable_rejection(bool enabled) {
     options_.enable_rejection = enabled;
-    SerdReport fresh;
-    fresh.offline_seconds = report_.offline_seconds;
-    fresh.mean_bank_epsilon = report_.mean_bank_epsilon;
-    fresh.m_components = report_.m_components;
-    fresh.n_components = report_.n_components;
-    report_ = fresh;
+    report_.ResetOnlineStats();
   }
 
   /// Offline models (for the Exp-1 user-study harness; null before Fit).
@@ -157,6 +180,12 @@ class SerdSynthesizer {
   SerdOptions options_;
   SimilaritySpec spec_;
   std::unique_ptr<CachedSimilarity> cached_sim_;
+  /// Shared worker pool for every parallel hot path; null when the
+  /// resolved thread count is 1 (pure serial, no pool overhead). The pool
+  /// holds `threads - 1` workers because the calling thread participates
+  /// in every parallel region.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  size_t resolved_threads_ = 1;
 
   ODistribution o_real_;
   std::vector<std::unique_ptr<StringSynthesisBank>> banks_;  // per column (null for non-text)

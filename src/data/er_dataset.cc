@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.h"
 #include "text/qgram.h"
 
 namespace serd {
@@ -60,7 +61,7 @@ size_t BlockingColumn(const ERDataset& dataset) {
 }  // namespace
 
 LabeledPairSet BuildLabeledPairs(const ERDataset& dataset, double neg_per_pos,
-                                 Rng* rng) {
+                                 Rng* rng, runtime::ThreadPool* pool) {
   SERD_CHECK(rng != nullptr);
   LabeledPairSet out;
   auto match_set = dataset.MatchSet();
@@ -85,9 +86,13 @@ LabeledPairSet BuildLabeledPairs(const ERDataset& dataset, double neg_per_pos,
   // the highest blocking-column q-gram similarity that is not its match.
   const size_t block_col = BlockingColumn(dataset);
   std::vector<std::vector<std::string>> b_grams(dataset.b.size());
-  for (size_t j = 0; j < dataset.b.size(); ++j) {
-    b_grams[j] = QgramSet(dataset.b.row(j).values[block_col], 3);
-  }
+  runtime::ParallelFor(pool, 0, dataset.b.size(), 64,
+                       [&](size_t lo, size_t hi) {
+                         for (size_t j = lo; j < hi; ++j) {
+                           b_grams[j] =
+                               QgramSet(dataset.b.row(j).values[block_col], 3);
+                         }
+                       });
 
   size_t added = 0;
   size_t hard_target = target / 2;
@@ -159,14 +164,19 @@ void ComputeSimilarityVectors(const ERDataset& dataset,
                               const SimilaritySpec& spec,
                               const LabeledPairSet& pairs,
                               std::vector<Vec>* x_pos,
-                              std::vector<Vec>* x_neg) {
+                              std::vector<Vec>* x_neg,
+                              runtime::ThreadPool* pool) {
   SERD_CHECK(x_pos != nullptr && x_neg != nullptr);
   x_pos->clear();
   x_neg->clear();
-  for (const auto& p : pairs.pairs) {
-    Vec x = spec.SimilarityVector(dataset.a.row(p.a_idx),
-                                  dataset.b.row(p.b_idx));
-    (p.match ? x_pos : x_neg)->push_back(std::move(x));
+  std::vector<std::pair<size_t, size_t>> refs;
+  refs.reserve(pairs.pairs.size());
+  for (const auto& p : pairs.pairs) refs.emplace_back(p.a_idx, p.b_idx);
+  std::vector<Vec> vectors =
+      spec.BatchSimilarityVectors(dataset.a, dataset.b, refs, pool);
+  for (size_t k = 0; k < pairs.pairs.size(); ++k) {
+    (pairs.pairs[k].match ? x_pos : x_neg)
+        ->push_back(std::move(vectors[k]));
   }
 }
 

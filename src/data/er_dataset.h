@@ -71,19 +71,26 @@ struct LabeledPairSet {
 /// negatives that share a blocking signal (q-gram overlap on the first
 /// text column) with some entity, mimicking the blocked candidate sets ER
 /// systems train on. Self-join diagonals are excluded.
+///
+/// The pair sampling itself consumes `rng` sequentially (so the sampled
+/// set is a pure function of the seed); only the per-entity blocking-gram
+/// precompute runs on `pool`.
 LabeledPairSet BuildLabeledPairs(const ERDataset& dataset, double neg_per_pos,
-                                 Rng* rng);
+                                 Rng* rng,
+                                 runtime::ThreadPool* pool = nullptr);
 
 /// Splits a labeled pair set into train/test with the given test fraction,
 /// stratified by label so both splits keep the match ratio.
 void SplitPairs(const LabeledPairSet& all, double test_fraction, Rng* rng,
                 LabeledPairSet* train, LabeledPairSet* test);
 
-/// Similarity vectors X+ (matches) and X- (non-matches) of a labeled set.
+/// Similarity vectors X+ (matches) and X- (non-matches) of a labeled set,
+/// in pair order. Vector computation batches onto `pool` when given.
 void ComputeSimilarityVectors(const ERDataset& dataset,
                               const SimilaritySpec& spec,
                               const LabeledPairSet& pairs,
-                              std::vector<Vec>* x_pos, std::vector<Vec>* x_neg);
+                              std::vector<Vec>* x_pos, std::vector<Vec>* x_neg,
+                              runtime::ThreadPool* pool = nullptr);
 
 }  // namespace serd
 

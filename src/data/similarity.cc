@@ -5,9 +5,17 @@
 #include <cstdlib>
 
 #include "data/date.h"
+#include "runtime/parallel_for.h"
 #include "text/qgram.h"
 
 namespace serd {
+
+namespace {
+/// One similarity vector costs a handful of q-gram set builds; small
+/// batches stay serial, large ones split into fixed chunks (thread-count
+/// independent boundaries).
+constexpr size_t kBatchSimilarityGrain = 16;
+}  // namespace
 
 SimilaritySpec::SimilaritySpec(Schema schema, std::vector<ColumnStats> stats)
     : schema_(std::move(schema)), stats_(std::move(stats)) {
@@ -82,6 +90,22 @@ double SimilaritySpec::ColumnSimilarity(size_t col, const std::string& va,
       return QgramJaccard(va, vb, 3);
   }
   return 0.0;
+}
+
+std::vector<Vec> SimilaritySpec::BatchSimilarityVectors(
+    const Table& a, const Table& b,
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    runtime::ThreadPool* pool) const {
+  std::vector<Vec> out(pairs.size());
+  runtime::ParallelFor(
+      pool, 0, pairs.size(), kBatchSimilarityGrain,
+      [&](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+          out[k] = SimilarityVector(a.row(pairs[k].first),
+                                    b.row(pairs[k].second));
+        }
+      });
+  return out;
 }
 
 Vec SimilaritySpec::SimilarityVector(const Entity& a, const Entity& b) const {

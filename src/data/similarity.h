@@ -2,11 +2,13 @@
 #define SERD_DATA_SIMILARITY_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.h"
 #include "data/schema.h"
 #include "data/table.h"
+#include "runtime/thread_pool.h"
 
 namespace serd {
 
@@ -39,6 +41,14 @@ class SimilaritySpec {
 
   /// The similarity vector x_(a,b) = (f_i(a[C_i], b[C_i]))_i.
   Vec SimilarityVector(const Entity& a, const Entity& b) const;
+
+  /// Similarity vectors of many row pairs at once, `pairs[k]` = (row in
+  /// `a`, row in `b`). Output slot k depends only on pair k, so the batch
+  /// runs on `pool` (nullptr = serial) with identical results either way.
+  std::vector<Vec> BatchSimilarityVectors(
+      const Table& a, const Table& b,
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      runtime::ThreadPool* pool = nullptr) const;
 
   /// Parses a numeric or date column value into its double representation
   /// (day count for dates). Returns false on failure.

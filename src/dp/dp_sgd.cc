@@ -42,6 +42,46 @@ double PerExampleGradAccumulator::AccumulateExample() {
   return norm;
 }
 
+double PerExampleGradAccumulator::ClipInto(
+    const std::vector<nn::TensorPtr>& replica_params,
+    ClippedGrad* out) const {
+  SERD_CHECK(out != nullptr);
+  SERD_CHECK_EQ(replica_params.size(), params_.size());
+  out->resize(replica_params.size());
+  double norm_sq = 0.0;
+  for (const auto& p : replica_params) {
+    for (float g : p->grad()) norm_sq += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(norm_sq);
+  double scale = 1.0;
+  if (config_.enabled) {
+    scale = 1.0 / std::max(1.0, norm / config_.clip_norm);
+  }
+  for (size_t pi = 0; pi < replica_params.size(); ++pi) {
+    // A parameter untouched by this example's graph may have no grad
+    // buffer; record it as an empty (all-zero) contribution.
+    const auto& g = replica_params[pi]->grad();
+    auto& o = (*out)[pi];
+    o.resize(g.size());
+    for (size_t i = 0; i < g.size(); ++i) {
+      o[i] = static_cast<float>(g[i] * scale);
+    }
+    replica_params[pi]->ZeroGrad();
+  }
+  return norm;
+}
+
+void PerExampleGradAccumulator::MergeClipped(const ClippedGrad& clipped) {
+  SERD_CHECK_EQ(clipped.size(), sum_.size());
+  for (size_t pi = 0; pi < sum_.size(); ++pi) {
+    auto& s = sum_[pi];
+    const auto& c = clipped[pi];
+    if (c.empty()) continue;
+    SERD_CHECK_EQ(c.size(), s.size());
+    for (size_t i = 0; i < s.size(); ++i) s[i] += c[i];
+  }
+}
+
 void PerExampleGradAccumulator::FinishBatch(size_t batch_size, Rng* rng) {
   SERD_CHECK_GT(batch_size, 0u);
   SERD_CHECK(rng != nullptr);

@@ -39,6 +39,22 @@ class PerExampleGradAccumulator {
   /// example starts clean. Returns the example's pre-clip gradient norm.
   double AccumulateExample();
 
+  /// Per-example clipped gradient, parallel to the parameter list.
+  using ClippedGrad = std::vector<std::vector<float>>;
+
+  /// Parallel-training variant of AccumulateExample, split so worker
+  /// threads can clip concurrently while the batch sum stays ordered:
+  /// clips the gradients stored in `replica_params` (a value-identical
+  /// copy of the trained model's parameters) into `out` and zeroes them.
+  /// Returns the pre-clip norm. Touches no accumulator state.
+  double ClipInto(const std::vector<nn::TensorPtr>& replica_params,
+                  ClippedGrad* out) const;
+
+  /// Adds one clipped per-example gradient into the batch sum. Callers
+  /// merge examples in ascending example order so the floating-point sum
+  /// is independent of which thread produced each gradient.
+  void MergeClipped(const ClippedGrad& clipped);
+
   /// Adds Gaussian noise (if enabled), divides by `batch_size`, and writes
   /// the result back into the parameters' grad buffers.
   void FinishBatch(size_t batch_size, Rng* rng);

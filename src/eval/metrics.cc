@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include "common/strings.h"
+#include "runtime/parallel_for.h"
 
 namespace serd {
 
@@ -35,15 +36,18 @@ PrfMetrics ComputePrf(const std::vector<int>& truth,
 PrfMetrics EvaluateMatcher(const Matcher& matcher,
                            const FeatureExtractor& features,
                            const ERDataset& data,
-                           const LabeledPairSet& pairs) {
-  std::vector<int> truth, predictions;
-  truth.reserve(pairs.pairs.size());
-  predictions.reserve(pairs.pairs.size());
-  for (const auto& p : pairs.pairs) {
-    auto f = features.Extract(data.a.row(p.a_idx), data.b.row(p.b_idx));
-    truth.push_back(p.match ? 1 : 0);
-    predictions.push_back(matcher.Predict(f) ? 1 : 0);
-  }
+                           const LabeledPairSet& pairs,
+                           runtime::ThreadPool* pool) {
+  const size_t n = pairs.pairs.size();
+  std::vector<int> truth(n, 0), predictions(n, 0);
+  runtime::ParallelFor(pool, 0, n, 32, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const auto& p = pairs.pairs[i];
+      auto f = features.Extract(data.a.row(p.a_idx), data.b.row(p.b_idx));
+      truth[i] = p.match ? 1 : 0;
+      predictions[i] = matcher.Predict(f) ? 1 : 0;
+    }
+  });
   return ComputePrf(truth, predictions);
 }
 
@@ -53,13 +57,22 @@ PrfMetrics TrainAndEvaluate(Matcher* matcher,
                             const LabeledPairSet& train_pairs,
                             const FeatureExtractor& test_features,
                             const ERDataset& test_data,
-                            const LabeledPairSet& test_pairs) {
+                            const LabeledPairSet& test_pairs,
+                            runtime::ThreadPool* pool) {
   SERD_CHECK(matcher != nullptr);
-  std::vector<std::vector<double>> x;
-  std::vector<int> y;
-  train_features.ExtractAll(train_data, train_pairs, &x, &y);
+  const size_t n = train_pairs.pairs.size();
+  std::vector<std::vector<double>> x(n);
+  std::vector<int> y(n, 0);
+  runtime::ParallelFor(pool, 0, n, 32, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const auto& p = train_pairs.pairs[i];
+      x[i] = train_features.Extract(train_data.a.row(p.a_idx),
+                                    train_data.b.row(p.b_idx));
+      y[i] = p.match ? 1 : 0;
+    }
+  });
   matcher->Train(x, y);
-  return EvaluateMatcher(*matcher, test_features, test_data, test_pairs);
+  return EvaluateMatcher(*matcher, test_features, test_data, test_pairs, pool);
 }
 
 }  // namespace serd

@@ -6,6 +6,7 @@
 
 #include "data/er_dataset.h"
 #include "matcher/features.h"
+#include "runtime/thread_pool.h"
 
 namespace serd {
 
@@ -26,19 +27,23 @@ PrfMetrics ComputePrf(const std::vector<int>& truth,
 /// Trains `matcher` on (train) and evaluates on (test), both taken from
 /// their own datasets — this is the paper's core harness: the training
 /// pairs may come from E_syn while the test pairs come from E_real.
+/// Feature extraction and prediction fan out onto `pool` when given; the
+/// metrics are identical for any pool size.
 PrfMetrics TrainAndEvaluate(Matcher* matcher,
                             const FeatureExtractor& train_features,
                             const ERDataset& train_data,
                             const LabeledPairSet& train_pairs,
                             const FeatureExtractor& test_features,
                             const ERDataset& test_data,
-                            const LabeledPairSet& test_pairs);
+                            const LabeledPairSet& test_pairs,
+                            runtime::ThreadPool* pool = nullptr);
 
 /// Evaluates an already-trained matcher on a labeled pair set.
 PrfMetrics EvaluateMatcher(const Matcher& matcher,
                            const FeatureExtractor& features,
                            const ERDataset& data,
-                           const LabeledPairSet& pairs);
+                           const LabeledPairSet& pairs,
+                           runtime::ThreadPool* pool = nullptr);
 
 }  // namespace serd
 

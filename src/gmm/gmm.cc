@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_for.h"
+
 namespace serd {
 
 Gmm::Gmm(std::vector<double> weights,
@@ -103,10 +105,16 @@ Matrix SampleCovariance(const std::vector<Vec>& data, const Vec& mean) {
   return cov;
 }
 
+/// Per-point work in the E-/M-steps is O(g * d^2); this grain keeps chunks
+/// in the tens-of-microseconds range. Fixed (never derived from the thread
+/// count) so chunked reductions associate identically for any pool size.
+constexpr size_t kEmGrain = 128;
+
 EmRun RunEmOnce(const std::vector<Vec>& data, int g,
                 const GmmFitOptions& options, Rng* rng) {
   const size_t n = data.size();
   const size_t d = data[0].size();
+  runtime::ThreadPool* pool = options.pool;
 
   // Initialization: means at distinct random points; covariance = global
   // sample covariance; uniform weights.
@@ -133,31 +141,108 @@ EmRun RunEmOnce(const std::vector<Vec>& data, int g,
   }
   Gmm model(weights, std::move(comps));
 
+  // Per-chunk first moments of the M-step: responsibilities mass and
+  // responsibility-weighted data sums per component.
+  struct Moments {
+    std::vector<double> gamma_sum;
+    std::vector<Vec> mu_sum;
+  };
+  // Per-chunk second moments: responsibility-weighted outer products.
+  struct CovPartial {
+    std::vector<Matrix> cov;
+  };
+
   double prev_ll = -std::numeric_limits<double>::infinity();
   std::vector<Vec> gammas(n);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // E-step (paper Eq. 5) + log-likelihood.
-    double ll = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      gammas[i] = model.Responsibilities(data[i]);
-      ll += model.LogPdf(data[i]);
-    }
+    // E-step (paper Eq. 5) + log-likelihood. gammas[i] depends only on i;
+    // the log-likelihood is reduced in chunk order.
+    double ll = runtime::ParallelReduce<double>(
+        pool, 0, n, kEmGrain, 0.0,
+        [&](size_t lo, size_t hi) {
+          double part = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            gammas[i] = model.Responsibilities(data[i]);
+            part += model.LogPdf(data[i]);
+          }
+          return part;
+        },
+        [](double a, double b) { return a + b; });
     if (iter > 0 && ll - prev_ll < options.tolerance) {
       return {model, ll};
     }
     prev_ll = ll;
 
-    // M-step (paper Eq. 6).
+    // M-step (paper Eq. 6), two chunked passes: first moments, then
+    // covariances around the updated means.
+    Moments moments = runtime::ParallelReduce<Moments>(
+        pool, 0, n, kEmGrain, Moments{},
+        [&](size_t lo, size_t hi) {
+          Moments part;
+          part.gamma_sum.assign(g, 0.0);
+          part.mu_sum.assign(g, Vec(d, 0.0));
+          for (size_t i = lo; i < hi; ++i) {
+            for (int k = 0; k < g; ++k) {
+              const double gk = gammas[i][k];
+              part.gamma_sum[k] += gk;
+              for (size_t j = 0; j < d; ++j) {
+                part.mu_sum[k][j] += gk * data[i][j];
+              }
+            }
+          }
+          return part;
+        },
+        [](Moments acc, Moments part) {
+          if (acc.gamma_sum.empty()) return part;
+          for (size_t k = 0; k < acc.gamma_sum.size(); ++k) {
+            acc.gamma_sum[k] += part.gamma_sum[k];
+            AddInPlace(&acc.mu_sum[k], part.mu_sum[k]);
+          }
+          return acc;
+        });
+
+    std::vector<Vec> mu(g, Vec(d, 0.0));
+    for (int k = 0; k < g; ++k) {
+      if (moments.gamma_sum[k] < 1e-10) continue;
+      mu[k] = moments.mu_sum[k];
+      ScaleInPlace(&mu[k], 1.0 / moments.gamma_sum[k]);
+    }
+
+    CovPartial covs = runtime::ParallelReduce<CovPartial>(
+        pool, 0, n, kEmGrain, CovPartial{},
+        [&](size_t lo, size_t hi) {
+          CovPartial part;
+          part.cov.assign(g, Matrix(d, d));
+          for (size_t i = lo; i < hi; ++i) {
+            for (int k = 0; k < g; ++k) {
+              if (moments.gamma_sum[k] < 1e-10) continue;
+              Vec diff = Sub(data[i], mu[k]);
+              const double gk = gammas[i][k];
+              Matrix& cov = part.cov[k];
+              for (size_t r = 0; r < d; ++r) {
+                for (size_t c = 0; c < d; ++c) {
+                  cov(r, c) += gk * diff[r] * diff[c];
+                }
+              }
+            }
+          }
+          return part;
+        },
+        [](CovPartial acc, CovPartial part) {
+          if (acc.cov.empty()) return part;
+          for (size_t k = 0; k < acc.cov.size(); ++k) {
+            auto& a = acc.cov[k].data();
+            const auto& p = part.cov[k].data();
+            for (size_t i = 0; i < a.size(); ++i) a[i] += p[i];
+          }
+          return acc;
+        });
+
     std::vector<double> new_weights(g);
     std::vector<MultivariateGaussian> new_comps;
     new_comps.reserve(g);
     for (int k = 0; k < g; ++k) {
-      double gamma_sum = 0.0;
-      Vec mu(d, 0.0);
-      for (size_t i = 0; i < n; ++i) {
-        gamma_sum += gammas[i][k];
-        for (size_t j = 0; j < d; ++j) mu[j] += gammas[i][k] * data[i][j];
-      }
+      const double gamma_sum = moments.gamma_sum[k];
       if (gamma_sum < 1e-10) {
         // Dead component: re-seed at a random point.
         new_comps.emplace_back(data[rng->UniformInt(n)], global_cov,
@@ -165,23 +250,21 @@ EmRun RunEmOnce(const std::vector<Vec>& data, int g,
         new_weights[k] = 1.0 / static_cast<double>(n);
         continue;
       }
-      ScaleInPlace(&mu, 1.0 / gamma_sum);
-      Matrix cov(d, d);
-      for (size_t i = 0; i < n; ++i) {
-        Vec diff = Sub(data[i], mu);
-        double gk = gammas[i][k];
-        for (size_t r = 0; r < d; ++r) {
-          for (size_t c = 0; c < d; ++c) cov(r, c) += gk * diff[r] * diff[c];
-        }
-      }
+      Matrix cov = std::move(covs.cov[k]);
       for (auto& v : cov.data()) v /= gamma_sum;
-      new_comps.emplace_back(std::move(mu), std::move(cov), var_floor);
+      new_comps.emplace_back(std::move(mu[k]), std::move(cov), var_floor);
       new_weights[k] = gamma_sum / static_cast<double>(n);
     }
     model = Gmm(std::move(new_weights), std::move(new_comps));
   }
-  double ll = 0.0;
-  for (const auto& x : data) ll += model.LogPdf(x);
+  double ll = runtime::ParallelReduce<double>(
+      pool, 0, n, kEmGrain, 0.0,
+      [&](size_t lo, size_t hi) {
+        double part = 0.0;
+        for (size_t i = lo; i < hi; ++i) part += model.LogPdf(data[i]);
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   return {model, ll};
 }
 
@@ -209,20 +292,42 @@ Result<Gmm> Gmm::FitWithAic(const std::vector<Vec>& data,
     return Status::InvalidArgument("cannot fit a GMM on empty data");
   }
   const int d = static_cast<int>(data[0].size());
-  double best_aic = std::numeric_limits<double>::infinity();
-  Result<Gmm> best = Status::Internal("no model fitted");
   const int max_g =
       std::max(1, std::min<int>(options.max_components,
                                 static_cast<int>(data.size())));
-  for (int g = 1; g <= max_g; ++g) {
-    auto fitted = FitEM(data, g, options);
-    if (!fitted.ok()) continue;
-    double ll = 0.0;
-    for (const auto& x : data) ll += fitted->LogPdf(x);
-    double aic = 2.0 * NumFreeParameters(g, d) - 2.0 * ll;
-    if (aic < best_aic) {
-      best_aic = aic;
-      best = std::move(fitted);
+
+  // Fit all candidate component counts concurrently: every candidate seeds
+  // its own Rng from (options.seed, g), so the fits are independent and the
+  // ascending-g selection below matches the serial algorithm exactly. Each
+  // fit's inner E-/M-loops share the same pool; the caller-participation
+  // guarantee of ParallelFor makes the nesting deadlock-free.
+  std::vector<Result<Gmm>> fits(max_g, Status::Internal("not fitted"));
+  std::vector<double> aics(max_g,
+                           std::numeric_limits<double>::infinity());
+  runtime::ParallelFor(
+      options.pool, 0, static_cast<size_t>(max_g), 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t gi = lo; gi < hi; ++gi) {
+          const int g = static_cast<int>(gi) + 1;
+          auto fitted = FitEM(data, g, options);
+          if (!fitted.ok()) {
+            fits[gi] = std::move(fitted);
+            continue;
+          }
+          double ll = 0.0;
+          for (const auto& x : data) ll += fitted->LogPdf(x);
+          aics[gi] = 2.0 * NumFreeParameters(g, d) - 2.0 * ll;
+          fits[gi] = std::move(fitted);
+        }
+      });
+
+  double best_aic = std::numeric_limits<double>::infinity();
+  Result<Gmm> best = Status::Internal("no model fitted");
+  for (int gi = 0; gi < max_g; ++gi) {
+    if (!fits[gi].ok()) continue;
+    if (aics[gi] < best_aic) {
+      best_aic = aics[gi];
+      best = std::move(fits[gi]);
     }
   }
   return best;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "gmm/gaussian.h"
+#include "runtime/thread_pool.h"
 
 namespace serd {
 
@@ -17,6 +18,11 @@ struct GmmFitOptions {
   int max_components = 4;       ///< upper bound for AIC model selection
   uint64_t seed = 17;           ///< EM initialization seed
   int num_restarts = 2;         ///< random restarts per component count
+
+  /// Worker pool for the E-/M-step loops and the AIC candidate fits
+  /// (not owned; may outlive the fit call only). nullptr = serial. Results
+  /// are bit-identical for any pool size (ordered chunk reduction).
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// A multivariate Gaussian Mixture Model: p(x) = sum_i pi_i N(x; mu_i, S_i).

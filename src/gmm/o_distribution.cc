@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_for.h"
+#include "runtime/sharded_rng.h"
+
 namespace serd {
 
 ODistribution::ODistribution(double pi, Gmm m, Gmm n)
@@ -41,32 +44,69 @@ double ODistribution::PosteriorMatch(const Vec& x) const {
   return zm / (zm + zn);
 }
 
-double EstimateJsd(const ODistribution& p, const ODistribution& q,
-                   int num_samples, uint64_t seed) {
-  SERD_CHECK_GT(num_samples, 0);
+namespace {
+
+/// Draws per Monte-Carlo block; each block owns an independent RNG stream
+/// so the estimate is thread-count independent. Fixed by contract.
+constexpr int kJsdBlock = 64;
+
+/// Sum over one block of draws from `sampler` of the sampled side's log
+/// density minus the log mixture density.
+double JsdBlockSum(const ODistribution& sample_side, const ODistribution& p,
+                   const ODistribution& q, int lo, int hi, Rng* rng) {
   constexpr double kLogHalf = -0.6931471805599453;
-  Rng rng(seed);
-  double kl_p = 0.0;
-  for (int i = 0; i < num_samples; ++i) {
-    Vec x = p.Sample(&rng).x;
+  double sum = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    Vec x = sample_side.Sample(rng).x;
     double lp = p.LogPdf(x);
     double lq = q.LogPdf(x);
-    double hi = std::max(lp, lq);
-    double log_mix = kLogHalf + hi + std::log(std::exp(lp - hi) +
-                                              std::exp(lq - hi));
-    kl_p += lp - log_mix;
+    double hi_l = std::max(lp, lq);
+    double log_mix = kLogHalf + hi_l + std::log(std::exp(lp - hi_l) +
+                                                std::exp(lq - hi_l));
+    sum += (&sample_side == &p ? lp : lq) - log_mix;
   }
-  double kl_q = 0.0;
-  for (int i = 0; i < num_samples; ++i) {
-    Vec x = q.Sample(&rng).x;
-    double lp = p.LogPdf(x);
-    double lq = q.LogPdf(x);
-    double hi = std::max(lp, lq);
-    double log_mix = kLogHalf + hi + std::log(std::exp(lp - hi) +
-                                              std::exp(lq - hi));
-    kl_q += lq - log_mix;
-  }
-  double jsd = 0.5 * (kl_p + kl_q) / static_cast<double>(num_samples);
+  return sum;
+}
+
+}  // namespace
+
+double EstimateJsd(const ODistribution& p, const ODistribution& q,
+                   int num_samples, uint64_t seed,
+                   runtime::ThreadPool* pool) {
+  SERD_CHECK_GT(num_samples, 0);
+  // Even blocks draw from p, odd blocks from q; block b uses the RNG stream
+  // derived from (seed, b). Partial sums are folded in block order.
+  const size_t blocks_per_side =
+      (static_cast<size_t>(num_samples) + kJsdBlock - 1) / kJsdBlock;
+  struct KlPair {
+    double kl_p = 0.0;
+    double kl_q = 0.0;
+  };
+  KlPair kl = runtime::ParallelReduce<KlPair>(
+      pool, 0, 2 * blocks_per_side, 1, KlPair{},
+      [&](size_t lo, size_t hi) {
+        KlPair part;
+        for (size_t b = lo; b < hi; ++b) {
+          const bool from_p = (b % 2) == 0;
+          const int block = static_cast<int>(b / 2);
+          const int s_lo = block * kJsdBlock;
+          const int s_hi = std::min(num_samples, s_lo + kJsdBlock);
+          Rng rng(runtime::ShardedRng::DeriveSeed(seed, b));
+          if (from_p) {
+            part.kl_p += JsdBlockSum(p, p, q, s_lo, s_hi, &rng);
+          } else {
+            part.kl_q += JsdBlockSum(q, p, q, s_lo, s_hi, &rng);
+          }
+        }
+        return part;
+      },
+      [](KlPair acc, KlPair part) {
+        acc.kl_p += part.kl_p;
+        acc.kl_q += part.kl_q;
+        return acc;
+      });
+  double jsd =
+      0.5 * (kl.kl_p + kl.kl_q) / static_cast<double>(num_samples);
   // MC noise can push the estimate slightly negative near zero divergence.
   return std::max(0.0, jsd);
 }

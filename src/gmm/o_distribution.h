@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "gmm/gmm.h"
+#include "runtime/thread_pool.h"
 
 namespace serd {
 
@@ -52,8 +53,14 @@ class ODistribution {
 /// Uses `num_samples` draws from each side with the provided seed so that
 /// successive estimates in the rejection test share randomness (common
 /// random numbers -> the comparison in Eq. 10 is low-variance).
+///
+/// The draws are sharded into fixed-size blocks, each with its own RNG
+/// stream derived from (seed, block); blocks run on `pool` when given.
+/// The estimate is a pure function of (p, q, num_samples, seed) — the
+/// same for any pool size, including none.
 double EstimateJsd(const ODistribution& p, const ODistribution& q,
-                   int num_samples, uint64_t seed);
+                   int num_samples, uint64_t seed,
+                   runtime::ThreadPool* pool = nullptr);
 
 }  // namespace serd
 

@@ -1,0 +1,113 @@
+#include "runtime/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "common/timer.h"
+
+namespace serd::runtime {
+
+namespace {
+
+/// Shared state of one parallel region. Helper tasks hold a shared_ptr so
+/// a task that is dequeued after the region already completed (all chunks
+/// claimed by other participants) finds next >= num_chunks and returns
+/// without touching freed memory.
+struct RegionState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  ThreadPool* pool = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  std::mutex ex_mu;
+  std::exception_ptr first_exception;
+  size_t first_exception_chunk = static_cast<size_t>(-1);
+
+  /// Claims and executes chunks until none remain. Every participant
+  /// (pool workers and the calling thread) runs this same loop.
+  void Drain() {
+    WallTimer timer;
+    bool worked = false;
+    for (;;) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      worked = true;
+      const size_t lo = begin + c * grain;
+      const size_t hi = std::min(end, lo + grain);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(ex_mu);
+        if (c < first_exception_chunk) {
+          first_exception_chunk = c;
+          first_exception = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+    if (worked && pool != nullptr) pool->RecordRegion(timer.Seconds(), 0.0);
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  if (pool == nullptr || pool->num_threads() == 0 || num_chunks == 1) {
+    // Serial path: same chunk boundaries, ascending order. An exception
+    // from fn propagates directly — by construction it is the one from the
+    // lowest-indexed throwing chunk, matching the parallel path.
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      const size_t hi = std::min(end, lo + grain);
+      fn(lo, hi);
+    }
+    return;
+  }
+
+  WallTimer region_timer;
+  auto state = std::make_shared<RegionState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+  state->pool = pool;
+
+  const size_t helpers = std::min(pool->num_threads(), num_chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) >= num_chunks;
+    });
+  }
+  pool->RecordRegion(0.0, region_timer.Seconds());
+
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+}
+
+}  // namespace serd::runtime

@@ -1,0 +1,28 @@
+#include "runtime/sharded_rng.h"
+
+namespace serd::runtime {
+
+ShardedRng::ShardedRng(uint64_t root_seed, size_t num_shards) {
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(DeriveSeed(root_seed, i));
+  }
+}
+
+Rng& ShardedRng::shard(size_t i) {
+  SERD_CHECK_LT(i, shards_.size());
+  return shards_[i];
+}
+
+uint64_t ShardedRng::DeriveSeed(uint64_t root_seed, uint64_t shard_index) {
+  // splitmix64 finalizer over (root ^ golden-ratio-spread index): adjacent
+  // shard indices land far apart, and Rng's own splitmix seeding decorrelates
+  // the resulting xoshiro states further.
+  uint64_t z = root_seed ^ (shard_index * 0x9e3779b97f4a7c15ULL +
+                            0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace serd::runtime

@@ -1,0 +1,41 @@
+#ifndef SERD_RUNTIME_SHARDED_RNG_H_
+#define SERD_RUNTIME_SHARDED_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace serd::runtime {
+
+/// Derives independent deterministic Rng streams from one root seed, one
+/// per shard. A "shard" is a unit of data decomposition — a ParallelFor
+/// chunk, a minibatch example, a Monte-Carlo sample block — NOT a thread:
+/// stream i depends only on (root_seed, i), so any schedule of shards onto
+/// threads consumes identical randomness and results are bit-identical for
+/// every thread count (DESIGN.md determinism contract).
+class ShardedRng {
+ public:
+  /// Pre-creates `num_shards` streams.
+  ShardedRng(uint64_t root_seed, size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The stateful stream of shard `i`. The caller must ensure that a given
+  /// shard's stream is used by one thread at a time (the natural situation
+  /// when shard i is processed inside chunk i).
+  Rng& shard(size_t i);
+
+  /// The seed of shard `shard_index`'s stream: a splitmix64-style mix of
+  /// the root seed and the index. Exposed so call sites with unbounded or
+  /// short-lived shards (per-example training RNGs) can construct
+  /// Rng(DeriveSeed(root, i)) on the fly instead of holding a ShardedRng.
+  static uint64_t DeriveSeed(uint64_t root_seed, uint64_t shard_index);
+
+ private:
+  std::vector<Rng> shards_;
+};
+
+}  // namespace serd::runtime
+
+#endif  // SERD_RUNTIME_SHARDED_RNG_H_

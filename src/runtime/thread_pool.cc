@@ -1,0 +1,79 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace serd::runtime {
+
+size_t ResolveThreads(int threads) {
+  if (threads >= 1) return static_cast<size_t>(threads);
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_t n = ResolveThreads(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // After Shutdown there are no workers left; degrade to inline execution
+  // so late submitters still make progress.
+  task();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ThreadPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = Stats();
+}
+
+void ThreadPool::RecordRegion(double busy_seconds, double wall_seconds) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.busy_seconds += busy_seconds;
+  stats_.wall_seconds += wall_seconds;
+}
+
+}  // namespace serd::runtime

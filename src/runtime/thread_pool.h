@@ -1,0 +1,84 @@
+#ifndef SERD_RUNTIME_THREAD_POOL_H_
+#define SERD_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace serd::runtime {
+
+/// Resolves a user-facing thread-count knob: values <= 0 select
+/// std::thread::hardware_concurrency() (at least 1), values >= 1 are
+/// returned unchanged.
+size_t ResolveThreads(int threads);
+
+/// A fixed-size worker pool with a shared FIFO task queue.
+///
+/// Deliberately work-stealing-free: tasks are coarse chunk-drain loops
+/// submitted by ParallelFor (parallel_for.h), so a single shared queue is
+/// contention-light and keeps the implementation small enough to reason
+/// about under TSan. The pool never executes caller code on construction;
+/// Shutdown() (or the destructor) drains the queue and joins all workers.
+///
+/// Thread-safety: Submit() may be called from any thread, including from
+/// inside a running task (ParallelFor nests this way).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (<= 0 resolves to hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (ParallelFor catches chunk
+  /// exceptions itself); a throwing task aborts the process.
+  void Submit(std::function<void()> task);
+
+  /// Finishes all queued tasks and joins the workers. Idempotent; called
+  /// by the destructor. Submit() after Shutdown() runs the task inline on
+  /// the calling thread.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Utilization accounting for the parallel regions executed against this
+  /// pool (filled by ParallelFor). `busy_seconds` sums the time every
+  /// participant (workers and the calling thread) spent executing chunks;
+  /// `wall_seconds` sums the elapsed time of the regions themselves, so
+  /// busy / wall is the achieved parallel speedup over those regions.
+  struct Stats {
+    double busy_seconds = 0.0;
+    double wall_seconds = 0.0;
+
+    double Speedup() const {
+      return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 1.0;
+    }
+  };
+
+  Stats stats() const;
+  void ResetStats();
+
+  /// Internal (used by ParallelFor): adds to the utilization counters.
+  void RecordRegion(double busy_seconds, double wall_seconds);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace serd::runtime
+
+#endif  // SERD_RUNTIME_THREAD_POOL_H_

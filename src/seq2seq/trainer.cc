@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "runtime/parallel_for.h"
+#include "runtime/sharded_rng.h"
 
 namespace serd {
+
+namespace {
+
+/// Salt separating per-example dropout streams from other uses of the
+/// training seed.
+constexpr uint64_t kDropoutSalt = 0x5eedd40b0a5a17e5ULL;
+
+}  // namespace
 
 Seq2SeqTrainReport TrainSeq2Seq(
     TransformerSeq2Seq* model, const CharVocab& vocab,
@@ -16,7 +30,10 @@ Seq2SeqTrainReport TrainSeq2Seq(
   SERD_CHECK(!pairs.empty());
   Rng rng(options.seed);
   Rng noise_rng = rng.Fork();
-  Rng dropout_rng = rng.Fork();
+  // Dropout no longer draws from a shared sequential stream (each example
+  // derives its own stream below), but the fork is kept so the shuffle
+  // stream in `rng` is unchanged.
+  (void)rng.Fork();
 
   // Pre-encode all pairs.
   std::vector<std::pair<std::vector<int>, std::vector<int>>> encoded;
@@ -32,6 +49,33 @@ Seq2SeqTrainReport TrainSeq2Seq(
   const size_t batch = std::min<size_t>(
       std::max(1, options.batch_size), n);
 
+  // Forward/backward replicas. Replica 0 is the trained model itself;
+  // extra replicas are value-synced copies so concurrent Backward calls
+  // never share gradient buffers. More replicas than examples per batch
+  // would never all be in flight at once.
+  const size_t executors =
+      options.pool != nullptr ? options.pool->num_threads() + 1 : 1;
+  const size_t num_replicas = std::max<size_t>(1, std::min(executors, batch));
+  std::vector<std::unique_ptr<TransformerSeq2Seq>> extra_replicas;
+  for (size_t r = 1; r < num_replicas; ++r) {
+    Rng init_rng(options.seed + r);  // overwritten by the per-batch sync
+    extra_replicas.push_back(
+        std::make_unique<TransformerSeq2Seq>(model->config(), &init_rng));
+  }
+  auto replica_model = [&](size_t r) {
+    return r == 0 ? model : extra_replicas[r - 1].get();
+  };
+  auto sync_replicas = [&]() {
+    const auto& master = model->parameters();
+    for (auto& rep : extra_replicas) {
+      const auto& params = rep->parameters();
+      SERD_CHECK_EQ(params.size(), master.size());
+      for (size_t pi = 0; pi < master.size(); ++pi) {
+        params[pi]->value() = master[pi]->value();
+      }
+    }
+  };
+
   Seq2SeqTrainReport report;
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
@@ -42,19 +86,58 @@ Seq2SeqTrainReport TrainSeq2Seq(
     double epoch_loss = 0.0;
     size_t epoch_examples = 0;
     for (size_t start = 0; start < n; start += batch) {
-      size_t end = std::min(n, start + batch);
+      const size_t end = std::min(n, start + batch);
+      const size_t bs = end - start;
       accumulator.BeginBatch();
       optimizer.ZeroGrad();
-      for (size_t i = start; i < end; ++i) {
-        const auto& [src, tgt] = encoded[order[i]];
-        nn::Tape tape;
-        auto loss = model->Loss(&tape, src, tgt, &dropout_rng);
-        epoch_loss += loss->value()[0];
+      sync_replicas();
+
+      // Each example runs on whichever replica is free, but its dropout
+      // stream comes from its global example index and its clipped
+      // gradient lands in its own slot, so nothing depends on the
+      // example-to-thread assignment.
+      std::vector<PerExampleGradAccumulator::ClippedGrad> slots(bs);
+      std::vector<double> losses(bs, 0.0);
+      std::vector<size_t> free_replicas(num_replicas);
+      for (size_t r = 0; r < num_replicas; ++r) free_replicas[r] = r;
+      std::mutex free_mu;
+
+      runtime::ParallelFor(
+          options.pool, 0, bs, 1, [&](size_t lo, size_t hi) {
+            for (size_t k = lo; k < hi; ++k) {
+              size_t rid;
+              {
+                std::lock_guard<std::mutex> lock(free_mu);
+                SERD_CHECK(!free_replicas.empty());
+                rid = free_replicas.back();
+                free_replicas.pop_back();
+              }
+              TransformerSeq2Seq* m = replica_model(rid);
+              const auto& [src, tgt] = encoded[order[start + k]];
+              const uint64_t example_id =
+                  static_cast<uint64_t>(epoch) * n + (start + k);
+              Rng ex_rng(runtime::ShardedRng::DeriveSeed(
+                  options.seed ^ kDropoutSalt, example_id));
+              nn::Tape tape;
+              auto loss = m->Loss(&tape, src, tgt, &ex_rng);
+              losses[k] = loss->value()[0];
+              tape.Backward(loss);
+              accumulator.ClipInto(m->parameters(), &slots[k]);
+              {
+                std::lock_guard<std::mutex> lock(free_mu);
+                free_replicas.push_back(rid);
+              }
+            }
+          });
+
+      // Ordered merge: the batch gradient sum is a function of the example
+      // order alone.
+      for (size_t k = 0; k < bs; ++k) {
+        epoch_loss += losses[k];
         ++epoch_examples;
-        tape.Backward(loss);
-        accumulator.AccumulateExample();
+        accumulator.MergeClipped(slots[k]);
       }
-      accumulator.FinishBatch(end - start, &noise_rng);
+      accumulator.FinishBatch(bs, &noise_rng);
       optimizer.Step();
       ++report.steps;
     }

@@ -7,6 +7,7 @@
 
 #include "dp/accountant.h"
 #include "dp/dp_sgd.h"
+#include "runtime/thread_pool.h"
 #include "seq2seq/transformer.h"
 #include "text/char_vocab.h"
 
@@ -20,6 +21,12 @@ struct Seq2SeqTrainOptions {
   DpSgdConfig dp;          ///< clip bound V, noise scale sigma
   uint64_t seed = 7;
   bool verbose = false;
+  /// Worker pool for per-example forward/backward + clipping (not owned;
+  /// nullptr = serial). Each example draws its dropout stream from the
+  /// seed and its global example index and clipped gradients merge in
+  /// example order, so the trained weights are bit-identical for any pool
+  /// size.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Result of a training run, including the DP guarantee actually spent.

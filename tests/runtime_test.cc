@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+#include "runtime/parallel_for.h"
+#include "runtime/sharded_rng.h"
+#include "runtime/thread_pool.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  runtime::ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndLateSubmitRunsInline) {
+  runtime::ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });  // runs on the caller
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_GE(runtime::ResolveThreads(0), 1u);
+  EXPECT_EQ(runtime::ResolveThreads(1), 1u);
+  EXPECT_EQ(runtime::ResolveThreads(5), 5u);
+  EXPECT_GE(runtime::ResolveThreads(-3), 1u);
+}
+
+TEST(ThreadPoolTest, StatsAccumulateAndReset) {
+  runtime::ThreadPool pool(2);
+  std::vector<int> data(1000, 1);
+  runtime::ParallelFor(&pool, 0, data.size(), 10, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) data[i] += 1;
+  });
+  auto stats = pool.stats();
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.Speedup(), 0.0);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().wall_seconds, 0.0);
+}
+
+// ------------------------------------------------------------ ParallelFor
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  runtime::ParallelFor(&pool, 0, hits.size(), 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  runtime::ThreadPool pool(2);
+  bool called = false;
+  runtime::ParallelFor(&pool, 5, 5, 4,
+                       [&](size_t, size_t) { called = true; });
+  runtime::ParallelFor(nullptr, 0, 0, 1,
+                       [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RangeSmallerThanGrainIsOneChunk) {
+  runtime::ThreadPool pool(2);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  std::mutex mu;
+  runtime::ParallelFor(&pool, 3, 7, 100, [&](size_t lo, size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 3u);
+  EXPECT_EQ(chunks[0].second, 7u);
+}
+
+TEST(ParallelForTest, NullPoolRunsSerial) {
+  std::vector<int> data(100, 0);
+  runtime::ParallelFor(nullptr, 0, data.size(), 7, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) data[i] = static_cast<int>(i);
+  });
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromWorkerChunk) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(
+      runtime::ParallelFor(&pool, 0, 100, 1,
+                           [&](size_t lo, size_t) {
+                             if (lo == 37) {
+                               throw std::runtime_error("chunk 37 failed");
+                             }
+                           }),
+      std::runtime_error);
+  // The pool must still be usable after an exception.
+  std::atomic<int> counter{0};
+  runtime::ParallelFor(&pool, 0, 10, 1,
+                       [&](size_t, size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  runtime::ParallelFor(&pool, 0, 8, 1, [&](size_t, size_t) {
+    runtime::ParallelFor(&pool, 0, 8, 1,
+                         [&](size_t, size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// --------------------------------------------------------- ParallelReduce
+
+TEST(ParallelReduceTest, OrderedSumMatchesSerialBitForBit) {
+  // Floating-point addition is not associative; the ordered reduction must
+  // reproduce the serial left fold exactly, for every pool size.
+  std::vector<double> values(10007);
+  Rng rng(99);
+  for (auto& v : values) v = rng.Uniform(-1.0, 1.0) * 1e6;
+
+  auto sum_with = [&](runtime::ThreadPool* pool) {
+    return runtime::ParallelReduce<double>(
+        pool, 0, values.size(), 64, 0.0,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+
+  // Reference: the same chunked fold run serially.
+  const double serial = sum_with(nullptr);
+  for (int threads : {1, 2, 4, 7}) {
+    runtime::ThreadPool pool(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(sum_with(&pool), serial) << "threads=" << threads;
+    }
+  }
+}
+
+// ------------------------------------------------------------- ShardedRng
+
+TEST(ShardedRngTest, StreamsAreReproducibleAndIndependent) {
+  runtime::ShardedRng a(1234, 8);
+  runtime::ShardedRng b(1234, 8);
+  for (size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(a.shard(s).Next(), b.shard(s).Next());
+  }
+  // Different shards of the same root seed diverge immediately.
+  runtime::ShardedRng c(1234, 2);
+  EXPECT_NE(c.shard(0).Next(), c.shard(1).Next());
+  // DeriveSeed is a pure function.
+  EXPECT_EQ(runtime::ShardedRng::DeriveSeed(7, 3),
+            runtime::ShardedRng::DeriveSeed(7, 3));
+  EXPECT_NE(runtime::ShardedRng::DeriveSeed(7, 3),
+            runtime::ShardedRng::DeriveSeed(7, 4));
+  EXPECT_NE(runtime::ShardedRng::DeriveSeed(7, 3),
+            runtime::ShardedRng::DeriveSeed(8, 3));
+}
+
+// --------------------------------------------- end-to-end determinism
+
+SerdOptions DeterminismOptions(int threads) {
+  SerdOptions opts;
+  opts.seed = 77;
+  opts.threads = threads;
+  opts.string_bank.num_buckets = 4;
+  opts.string_bank.num_candidates = 2;
+  opts.string_bank.transformer.d_model = 16;
+  opts.string_bank.transformer.num_heads = 2;
+  opts.string_bank.transformer.num_layers = 1;
+  opts.string_bank.transformer.ffn_dim = 24;
+  opts.string_bank.transformer.max_len = 32;
+  opts.string_bank.train.epochs = 1;
+  opts.string_bank.train.batch_size = 16;
+  opts.string_bank.max_pairs_per_bucket = 16;
+  opts.string_bank.random_pair_samples = 120;
+  opts.gan.epochs = 4;
+  opts.gan.batch_size = 16;
+  opts.jsd_samples = 48;
+  opts.rejection_partner_sample = 8;
+  opts.max_label_pairs = 20000;
+  return opts;
+}
+
+Result<ERDataset> SynthesizeWithThreads(int threads) {
+  const DatasetKind kind = DatasetKind::kDblpAcm;
+  ERDataset real = datagen::Generate(kind, {.seed = 3, .scale = 0.02});
+  std::vector<std::vector<std::string>> corpora;
+  size_t idx = 0;
+  for (const auto& col : real.schema().columns()) {
+    if (col.type != ColumnType::kText) continue;
+    corpora.push_back(datagen::BackgroundCorpus(kind, col.name, 60,
+                                                100 + idx++));
+  }
+  Table background = datagen::BackgroundEntities(kind, 50, 11);
+
+  SerdSynthesizer synth(real, DeterminismOptions(threads));
+  Status fit = synth.Fit(corpora, background);
+  if (!fit.ok()) return fit;
+  return synth.Synthesize();
+}
+
+std::string Serialize(const Table& t) {
+  std::string out;
+  for (const auto& row : t.rows()) {
+    out += row.id;
+    out += '\x1e';
+    for (const auto& v : row.values) {
+      out += v;
+      out += '\x1f';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(RuntimeDeterminismTest, SynthesizeIsByteIdenticalAcrossThreadCounts) {
+  auto serial = SynthesizeWithThreads(1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = SynthesizeWithThreads(4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  // Entities byte-for-byte.
+  EXPECT_EQ(Serialize(serial->a), Serialize(parallel->a));
+  EXPECT_EQ(Serialize(serial->b), Serialize(parallel->b));
+
+  // Labels (match set) byte-for-byte.
+  ASSERT_EQ(serial->matches.size(), parallel->matches.size());
+  for (size_t k = 0; k < serial->matches.size(); ++k) {
+    EXPECT_EQ(serial->matches[k].a_idx, parallel->matches[k].a_idx);
+    EXPECT_EQ(serial->matches[k].b_idx, parallel->matches[k].b_idx);
+  }
+}
+
+}  // namespace
+}  // namespace serd
