@@ -8,6 +8,7 @@
 // parallel benchmarks carry their thread count as the trailing /N arg).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "gmm/gmm.h"
 #include "gmm/incremental.h"
 #include "gmm/o_distribution.h"
+#include "nn/arena.h"
+#include "nn/kernels.h"
+#include "nn/modules.h"
+#include "nn/tape.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "text/edit_distance.h"
@@ -100,6 +105,119 @@ void BM_CachedSimilarityVector(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CachedSimilarityVector);
+
+// ---- Kernel-layer rows (single thread; `--kernels` selects these and ----
+// ---- writes BENCH_kernels.json; see main() below).                   ----
+
+/// Random [rows, cols] float matrix for the SGEMM/tape rows.
+std::vector<float> RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> m(rows * cols);
+  for (float& v : m) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return m;
+}
+
+// SGEMM shapes from the transformer forward pass (TransformerConfig
+// defaults d_model 32, ffn 64, max_len 64; CharVocab ~100 symbols):
+// {T, d, d} attention projections, {T, ffn, d} feed-forward, {T, V, d}
+// output projection, and one square shape well past the L1 tile.
+#define SGEMM_SHAPES            \
+  Args({64, 32, 32})            \
+      ->Args({64, 64, 32})      \
+      ->Args({64, 100, 32})     \
+      ->Args({256, 256, 256})
+
+void BM_SgemmReference(benchmark::State& state) {
+  // The pre-kernel-layer scalar triple loop: the "before" row.
+  const size_t m = state.range(0), n = state.range(1), k = state.range(2);
+  auto a = RandomMatrix(m, k, 21);
+  auto b = RandomMatrix(k, n, 22);
+  std::vector<float> c(m * n, 0.0f);
+  for (auto _ : state) {
+    nn::kernels::ReferenceGemmNN(m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_SgemmReference)->SGEMM_SHAPES;
+
+void BM_SgemmBlocked(benchmark::State& state) {
+  const size_t m = state.range(0), n = state.range(1), k = state.range(2);
+  auto a = RandomMatrix(m, k, 21);
+  auto b = RandomMatrix(k, n, 22);
+  std::vector<float> c(m * n, 0.0f);
+  for (auto _ : state) {
+    nn::kernels::GemmNN(m, n, k, a.data(), b.data(), c.data(), true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_SgemmBlocked)->SGEMM_SHAPES;
+
+#undef SGEMM_SHAPES
+
+/// Entity-value-sized strings for the q-gram throughput comparison.
+std::vector<std::string> QgramCorpus() {
+  auto ds = datagen::Generate(DatasetKind::kDblpAcm,
+                              {.seed = 5, .scale = 0.02});
+  std::vector<std::string> values;
+  for (const auto& r : ds.a.rows()) values.push_back(r.values[0]);
+  for (const auto& r : ds.b.rows()) values.push_back(r.values[0]);
+  return values;
+}
+
+void BM_QgramJaccardStrings(benchmark::State& state) {
+  // The old representation: per-gram std::string sets, string-compare
+  // merge. Kept (QgramSet) as the correctness reference.
+  auto corpus = QgramCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = corpus[i % corpus.size()];
+    const auto& b = corpus[(i + 1) % corpus.size()];
+    benchmark::DoNotOptimize(
+        JaccardOfSortedSets(QgramSet(a, 3), QgramSet(b, 3)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QgramJaccardStrings);
+
+void BM_QgramJaccardHashed(benchmark::State& state) {
+  auto corpus = QgramCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = corpus[i % corpus.size()];
+    const auto& b = corpus[(i + 1) % corpus.size()];
+    benchmark::DoNotOptimize(
+        JaccardOfHashedSets(HashedQgramSet(a, 3), HashedQgramSet(b, 3)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QgramJaccardHashed);
+
+/// One forward/backward step of a small MLP on the tape; arg 0 selects
+/// heap allocation (0) or the tensor arena (1).
+void BM_TapeStep(benchmark::State& state) {
+  const bool use_arena = state.range(0) != 0;
+  Rng rng(31);
+  nn::Linear l1(32, 64, &rng), l2(64, 32, &rng);
+  auto x = nn::MakeTensor(16, 32);
+  for (float& v : x->value()) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  nn::TensorArena arena;
+  for (auto _ : state) {
+    nn::Tape tape;
+    if (use_arena) {
+      arena.Reset();
+      tape.set_arena(&arena);
+    }
+    auto h = l1.ForwardRelu(&tape, x);
+    auto loss = tape.MeanAll(l2.Forward(&tape, h));
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(loss->value()[0]);
+  }
+}
+BENCHMARK(BM_TapeStep)->Arg(0)->Arg(1);
 
 void BM_GmmFitEM(benchmark::State& state) {
   auto data = ClusterData(static_cast<int>(state.range(0)), 3);
@@ -226,18 +344,38 @@ BENCHMARK(BM_ParallelJsdEstimate)
 int main(int argc, char** argv) {
   // Console table for humans plus BENCH_micro.json for tooling: default
   // the --benchmark_out flags unless the caller overrides them.
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_micro.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
+  //
+  // `--kernels` (or a non-empty SERD_BENCH_KERNELS env var) runs only the
+  // kernel-layer before/after rows (SGEMM reference vs blocked, string vs
+  // hashed q-grams, heap vs arena tape steps) and writes BENCH_kernels.json
+  // instead, so the single-thread kernel numbers live in their own file.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  bool kernels_only = std::getenv("SERD_BENCH_KERNELS") != nullptr &&
+                      std::string(std::getenv("SERD_BENCH_KERNELS")) != "";
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--kernels") {
+      kernels_only = true;
+      continue;
+    }
     if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
       has_out = true;
     }
+    args.push_back(argv[i]);
   }
+  std::string out_flag = kernels_only
+                             ? "--benchmark_out=BENCH_kernels.json"
+                             : "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::string filter_flag =
+      "--benchmark_filter=Sgemm|QgramJaccard(Strings|Hashed)|TapeStep";
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
+  }
+  if (kernels_only) {
+    args.push_back(filter_flag.data());
   }
   int ac = static_cast<int>(args.size());
   benchmark::Initialize(&ac, args.data());

@@ -24,7 +24,7 @@ CachedSimilarity::Digest CachedSimilarity::MakeDigest(
     switch (spec_->schema().column(c).type) {
       case ColumnType::kText:
       case ColumnType::kCategorical:
-        d.grams[c] = QgramSet(v, 3);
+        d.grams[c] = HashedQgramSet(v, 3);
         break;
       case ColumnType::kNumeric:
       case ColumnType::kDate: {
@@ -56,7 +56,7 @@ Vec CachedSimilarity::SimilarityVector(const Digest& a,
     switch (spec_->schema().column(c).type) {
       case ColumnType::kText:
       case ColumnType::kCategorical:
-        x[c] = JaccardOfSortedSets(a.grams[c], b.grams[c]);
+        x[c] = JaccardOfHashedSets(a.grams[c], b.grams[c]);
         break;
       case ColumnType::kNumeric:
       case ColumnType::kDate: {

@@ -1,6 +1,7 @@
 #ifndef SERD_CORE_CACHED_SIM_H_
 #define SERD_CORE_CACHED_SIM_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,8 +21,12 @@ class CachedSimilarity {
 
   /// Pre-digested representation of one entity.
   struct Digest {
-    /// Sorted 3-gram sets for text/categorical columns (empty otherwise).
-    std::vector<std::vector<std::string>> grams;
+    /// Sorted hashed 3-gram profiles (HashedQgramSet) for text/categorical
+    /// columns (empty otherwise). 32-bit FNV-1a hashes replace the string
+    /// sets: comparisons are linear merges over uint32_t with no per-gram
+    /// allocation, and agree with the string sets absent hash collisions
+    /// (see DESIGN.md for the collision bound).
+    std::vector<std::vector<uint32_t>> grams;
     /// Parsed value and validity flag for numeric/date columns.
     std::vector<double> numeric;
     std::vector<bool> numeric_ok;

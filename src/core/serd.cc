@@ -22,6 +22,26 @@ SerdSynthesizer::SerdSynthesizer(const ERDataset& real, SerdOptions options)
         static_cast<int>(resolved_threads_ - 1));
   }
   options_.gmm.pool = pool_.get();
+
+  // Precompute the categorical similarity tables (CatSimTable). Domains
+  // are small (distinct values of one column), so the O(|domain|^2) build
+  // is paid once here instead of two O(|domain|) q-gram scans per
+  // synthesized categorical cell.
+  const Schema& schema = spec_.schema();
+  cat_sim_.resize(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type != ColumnType::kCategorical) continue;
+    const auto& domain = spec_.stats()[c].domain;
+    CatSimTable& table = cat_sim_[c];
+    table.rows.resize(domain.size());
+    for (size_t i = 0; i < domain.size(); ++i) {
+      table.index.emplace(domain[i], i);
+      table.rows[i].resize(domain.size());
+      for (size_t j = 0; j < domain.size(); ++j) {
+        table.rows[i][j] = spec_.ColumnSimilarity(c, domain[i], domain[j]);
+      }
+    }
+  }
 }
 
 Status SerdSynthesizer::Fit(
@@ -145,23 +165,38 @@ Entity SerdSynthesizer::SynthesizeFrom(const Entity& e, const Vec& x,
       }
       case ColumnType::kCategorical: {
         // Closest existing value to the target similarity; ties within a
-        // small margin are broken uniformly for variety.
+        // small margin are broken uniformly for variety. Similarities to
+        // the domain come from the precomputed CatSimTable row of the
+        // source value (same ColumnSimilarity semantics by construction).
         const auto& domain = spec_.stats()[c].domain;
         if (domain.empty()) {
           out.values[c] = e.values[c];
           break;
         }
+        const CatSimTable& table = cat_sim_[c];
+        const std::vector<double>* row;
+        std::vector<double> fallback;
+        auto it = table.index.find(e.values[c]);
+        if (it != table.index.end()) {
+          row = &table.rows[it->second];
+        } else {
+          // Source value outside the domain (cold-start decode from the
+          // background pool): compute its row once.
+          fallback.resize(domain.size());
+          for (size_t i = 0; i < domain.size(); ++i) {
+            fallback[i] = spec_.ColumnSimilarity(c, e.values[c], domain[i]);
+          }
+          row = &fallback;
+        }
         double best_err = 2.0;
-        for (const auto& v : domain) {
-          best_err = std::min(
-              best_err,
-              std::fabs(spec_.ColumnSimilarity(c, e.values[c], v) - target));
+        for (size_t i = 0; i < domain.size(); ++i) {
+          best_err = std::min(best_err, std::fabs((*row)[i] - target));
         }
         std::vector<const std::string*> near;
-        for (const auto& v : domain) {
-          double err =
-              std::fabs(spec_.ColumnSimilarity(c, e.values[c], v) - target);
-          if (err <= best_err + 0.02) near.push_back(&v);
+        for (size_t i = 0; i < domain.size(); ++i) {
+          if (std::fabs((*row)[i] - target) <= best_err + 0.02) {
+            near.push_back(&domain[i]);
+          }
         }
         out.values[c] = *near[rng->UniformInt(near.size())];
         break;

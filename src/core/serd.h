@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cached_sim.h"
@@ -166,6 +167,18 @@ class SerdSynthesizer {
     CachedSimilarity::Digest digest;
   };
 
+  /// Precomputed categorical similarities for one column:
+  /// rows[index[v]][j] == ColumnSimilarity(c, v, domain[j]). Synthesizing a
+  /// categorical cell previously scanned the full domain twice, rebuilding
+  /// both q-gram sets per comparison; with the table it is one hash lookup
+  /// plus a linear pass over a precomputed row. Sources outside the domain
+  /// (cold-start decodes from the background pool) fall back to computing
+  /// their row on the fly.
+  struct CatSimTable {
+    std::unordered_map<std::string, size_t> index;
+    std::vector<std::vector<double>> rows;
+  };
+
   /// Synthesizes e' from e so that sim(e, e') ≈ x (paper Section IV-B1).
   Entity SynthesizeFrom(const Entity& e, const Vec& x, Rng* rng) const;
 
@@ -180,6 +193,8 @@ class SerdSynthesizer {
   SerdOptions options_;
   SimilaritySpec spec_;
   std::unique_ptr<CachedSimilarity> cached_sim_;
+  /// One table per column; only categorical columns are populated.
+  std::vector<CatSimTable> cat_sim_;
   /// Shared worker pool for every parallel hot path; null when the
   /// resolved thread count is 1 (pure serial, no pool overhead). The pool
   /// holds `threads - 1` workers because the calling thread participates

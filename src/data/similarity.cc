@@ -50,18 +50,20 @@ std::string SimilaritySpec::FormatValue(size_t col, double v) const {
   if (type == ColumnType::kDate) {
     return FormatDaysAsDate(static_cast<int64_t>(std::llround(v)));
   }
-  // Integer columns (years, counts) round and render without a decimal
-  // point; other values keep two decimals (prices).
-  if (stats_[col].integral) v = std::round(v);
-  double rounded = std::round(v);
-  if (std::fabs(v - rounded) < 1e-9) {
-    char buf[32];
+  // Integer columns (years, counts) and values within rounding noise of
+  // an integer render without a decimal point; everything else keeps two
+  // decimals (prices). One rounding decision feeds one snprintf so the
+  // integral flag and the near-integer test cannot disagree (previously
+  // the value was rounded twice, and a non-integral column holding e.g.
+  // 1999.9999999 fell through to the float path).
+  const double rounded = std::round(v);
+  char buf[32];
+  if (stats_[col].integral || std::fabs(v - rounded) < 1e-6) {
     std::snprintf(buf, sizeof(buf), "%lld",
                   static_cast<long long>(rounded));
-    return buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.2f", v);
   return buf;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/arena.h"
 #include "nn/tape.h"
 
 namespace serd {
@@ -32,15 +33,15 @@ EntityGan::EntityGan(size_t feature_dim, GanConfig config)
 }
 
 TensorPtr EntityGan::GeneratorForward(Tape* tape, const TensorPtr& z) const {
-  TensorPtr h = tape->Relu(g1_->Forward(tape, z));
-  h = tape->Relu(g2_->Forward(tape, h));
+  TensorPtr h = g1_->ForwardRelu(tape, z);
+  h = g2_->ForwardRelu(tape, h);
   return tape->Sigmoid(g3_->Forward(tape, h));
 }
 
 TensorPtr EntityGan::DiscriminatorForward(Tape* tape,
                                           const TensorPtr& x) const {
-  TensorPtr h = tape->Relu(d1_->Forward(tape, x));
-  h = tape->Relu(d2_->Forward(tape, h));
+  TensorPtr h = d1_->ForwardRelu(tape, x);
+  h = d2_->ForwardRelu(tape, h);
   return d3_->Forward(tape, h);
 }
 
@@ -59,8 +60,9 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
 
+  nn::TensorArena arena;
   auto make_batch_tensor = [&](size_t start, size_t count) {
-    auto x = nn::MakeTensor(count, feature_dim_);
+    auto x = arena.Allocate(count, feature_dim_);
     for (size_t r = 0; r < count; ++r) {
       const auto& f = real_features[order[start + r]];
       std::copy(f.begin(), f.end(), x->value().begin() + r * feature_dim_);
@@ -68,7 +70,7 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
     return x;
   };
   auto make_noise = [&](size_t count) {
-    auto z = nn::MakeTensor(count, config_.latent_dim);
+    auto z = arena.Allocate(count, config_.latent_dim);
     for (auto& v : z->value()) {
       v = static_cast<float>(rng.Gaussian());
     }
@@ -81,10 +83,12 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
       // --- Discriminator step: real -> 1, fake -> 0.
       {
         Tape tape;
+        arena.Reset();
+        tape.set_arena(&arena);
         TensorPtr real = make_batch_tensor(start, batch);
         TensorPtr fake = GeneratorForward(&tape, make_noise(batch));
         // Block generator gradients: detach by copying values.
-        auto fake_detached = nn::MakeTensor(batch, feature_dim_);
+        auto fake_detached = arena.Allocate(batch, feature_dim_);
         fake_detached->value() = fake->value();
         TensorPtr real_logits = DiscriminatorForward(&tape, real);
         TensorPtr fake_logits = DiscriminatorForward(&tape, fake_detached);
@@ -99,6 +103,8 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
       // --- Generator step: non-saturating loss, fake -> 1.
       {
         Tape tape;
+        arena.Reset();
+        tape.set_arena(&arena);
         TensorPtr fake = GeneratorForward(&tape, make_noise(batch));
         TensorPtr fake_logits = DiscriminatorForward(&tape, fake);
         TensorPtr loss = tape.BceWithLogits(fake_logits, 1.0f);
@@ -115,9 +121,14 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
 double EntityGan::DiscriminatorScore(
     const std::vector<float>& features) const {
   SERD_CHECK_EQ(features.size(), feature_dim_);
+  // The rejection test scores one entity at a time, many times per run;
+  // a per-thread arena makes each call allocation-free in steady state.
+  thread_local nn::TensorArena score_arena;
   Tape tape;
+  score_arena.Reset();
+  tape.set_arena(&score_arena);
   tape.set_recording(false);
-  auto x = nn::MakeTensor(1, feature_dim_);
+  auto x = score_arena.Allocate(1, feature_dim_);
   x->value().assign(features.begin(), features.end());
   TensorPtr logit = DiscriminatorForward(&tape, x);
   return 1.0 / (1.0 + std::exp(-static_cast<double>(logit->value()[0])));
@@ -125,9 +136,12 @@ double EntityGan::DiscriminatorScore(
 
 std::vector<float> EntityGan::GenerateFeatures(Rng* rng) const {
   SERD_CHECK(rng != nullptr);
+  thread_local nn::TensorArena gen_arena;
   Tape tape;
+  gen_arena.Reset();
+  tape.set_arena(&gen_arena);
   tape.set_recording(false);
-  auto z = nn::MakeTensor(1, config_.latent_dim);
+  auto z = gen_arena.Allocate(1, config_.latent_dim);
   for (auto& v : z->value()) v = static_cast<float>(rng->Gaussian());
   TensorPtr out = GeneratorForward(&tape, z);
   return out->value();

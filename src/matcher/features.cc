@@ -43,7 +43,10 @@ std::vector<double> FeatureExtractor::Extract(const Entity& a,
     const auto& vb = b.values[c];
     switch (spec_->schema().column(c).type) {
       case ColumnType::kText: {
-        f.push_back(QgramJaccard(va, vb, 3));
+        // Hashed q-gram profiles: no per-gram string allocation, merge
+        // Jaccard over sorted uint32_t (see text/qgram.h).
+        f.push_back(JaccardOfHashedSets(HashedQgramSet(va, 3),
+                                        HashedQgramSet(vb, 3)));
         f.push_back(NormalizedEditSimilarity(va, vb));
         f.push_back(TokenJaccard(va, vb));
         f.push_back(MongeElkan(va, vb));
@@ -58,7 +61,8 @@ std::vector<double> FeatureExtractor::Extract(const Entity& a,
       }
       case ColumnType::kCategorical: {
         f.push_back(va == vb ? 1.0 : 0.0);
-        f.push_back(QgramJaccard(va, vb, 3));
+        f.push_back(JaccardOfHashedSets(HashedQgramSet(va, 3),
+                                        HashedQgramSet(vb, 3)));
         break;
       }
       case ColumnType::kNumeric:

@@ -1,0 +1,23 @@
+#include "nn/arena.h"
+
+namespace serd::nn {
+
+TensorPtr TensorArena::Allocate(size_t rows, size_t cols) {
+  if (cursor_ == pool_.size()) {
+    pool_.push_back(MakeTensor(rows, cols));
+    pool_.back()->EnsureGrad();
+    return pool_[cursor_++];
+  }
+  TensorPtr& slot = pool_[cursor_];
+  if (slot.use_count() > 1) {
+    // The tensor escaped a previous scope (e.g. the encoder memory held
+    // across decode steps): leave it with its owner and pool a fresh one.
+    slot = MakeTensor(rows, cols);
+    slot->EnsureGrad();
+  } else {
+    slot->ResizeAndZero(rows, cols);
+  }
+  return pool_[cursor_++];
+}
+
+}  // namespace serd::nn

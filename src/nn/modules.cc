@@ -44,6 +44,11 @@ TensorPtr Linear::Forward(Tape* tape, const TensorPtr& x) const {
   return y;
 }
 
+TensorPtr Linear::ForwardRelu(Tape* tape, const TensorPtr& x) const {
+  SERD_CHECK(bias_ != nullptr);
+  return tape->BiasRelu(tape->MatMul(x, weight_), bias_);
+}
+
 Embedding::Embedding(size_t vocab_size, size_t dim, Rng* rng) {
   auto t = MakeTensor(vocab_size, dim);
   t->FillGaussian(rng, 0.02f);

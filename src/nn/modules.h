@@ -41,6 +41,9 @@ class Linear : public Module {
 
   TensorPtr Forward(Tape* tape, const TensorPtr& x) const;
 
+  /// relu(x W + b) with the fused bias-relu epilogue (requires bias).
+  TensorPtr ForwardRelu(Tape* tape, const TensorPtr& x) const;
+
   const TensorPtr& weight() const { return weight_; }
   const TensorPtr& bias() const { return bias_; }
 

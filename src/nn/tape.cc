@@ -2,9 +2,14 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace serd::nn {
 
+namespace k = kernels;
+
 TensorPtr Tape::NewResult(size_t rows, size_t cols) {
+  if (arena_ != nullptr) return arena_->Allocate(rows, cols);
   auto t = MakeTensor(rows, cols);
   t->EnsureGrad();
   return t;
@@ -17,48 +22,18 @@ void Tape::Record(std::function<void()> backward_fn) {
 
 TensorPtr Tape::MatMul(const TensorPtr& a, const TensorPtr& b) {
   SERD_CHECK_EQ(a->cols(), b->rows());
-  const size_t m = a->rows(), k = a->cols(), n = b->cols();
+  const size_t m = a->rows(), kk = a->cols(), n = b->cols();
   auto out = NewResult(m, n);
-  const float* av = a->value().data();
-  const float* bv = b->value().data();
-  float* ov = out->value().data();
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t p = 0; p < k; ++p) {
-      float x = av[i * k + p];
-      if (x == 0.0f) continue;
-      const float* brow = bv + p * n;
-      float* orow = ov + i * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += x * brow[j];
-    }
-  }
+  k::GemmNN(m, n, kk, a->value().data(), b->value().data(),
+            out->value().data(), /*accumulate=*/false);
   a->EnsureGrad();
   b->EnsureGrad();
-  Record([a, b, out, m, k, n] {
-    const float* go = out->grad().data();
-    const float* av2 = a->value().data();
-    const float* bv2 = b->value().data();
-    float* ga = a->grad().data();
-    float* gb = b->grad().data();
-    // dA = dOut * B^T
-    for (size_t i = 0; i < m; ++i) {
-      for (size_t p = 0; p < k; ++p) {
-        float s = 0.0f;
-        const float* gorow = go + i * n;
-        const float* brow = bv2 + p * n;
-        for (size_t j = 0; j < n; ++j) s += gorow[j] * brow[j];
-        ga[i * k + p] += s;
-      }
-    }
-    // dB = A^T * dOut
-    for (size_t p = 0; p < k; ++p) {
-      for (size_t i = 0; i < m; ++i) {
-        float x = av2[i * k + p];
-        if (x == 0.0f) continue;
-        const float* gorow = go + i * n;
-        float* gbrow = gb + p * n;
-        for (size_t j = 0; j < n; ++j) gbrow[j] += x * gorow[j];
-      }
-    }
+  Record([a, b, out, m, kk, n] {
+    // dA += dOut * B^T, dB += A^T * dOut.
+    k::GemmNT(m, kk, n, out->grad().data(), b->value().data(),
+              a->grad().data(), /*accumulate=*/true);
+    k::GemmTN(kk, n, m, a->value().data(), out->grad().data(),
+              b->grad().data(), /*accumulate=*/true);
   });
   return out;
 }
@@ -66,16 +41,13 @@ TensorPtr Tape::MatMul(const TensorPtr& a, const TensorPtr& b) {
 TensorPtr Tape::Add(const TensorPtr& a, const TensorPtr& b) {
   SERD_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
   auto out = NewResult(a->rows(), a->cols());
-  for (size_t i = 0; i < a->size(); ++i) {
-    out->value()[i] = a->value()[i] + b->value()[i];
-  }
+  k::Add(a->size(), a->value().data(), b->value().data(),
+         out->value().data());
   a->EnsureGrad();
   b->EnsureGrad();
   Record([a, b, out] {
-    for (size_t i = 0; i < out->size(); ++i) {
-      a->grad()[i] += out->grad()[i];
-      b->grad()[i] += out->grad()[i];
-    }
+    k::AddInto(out->size(), out->grad().data(), a->grad().data());
+    k::AddInto(out->size(), out->grad().data(), b->grad().data());
   });
   return out;
 }
@@ -86,18 +58,42 @@ TensorPtr Tape::AddRowBroadcast(const TensorPtr& x, const TensorPtr& bias) {
   auto out = NewResult(x->rows(), x->cols());
   const size_t n = x->cols();
   for (size_t r = 0; r < x->rows(); ++r) {
-    for (size_t c = 0; c < n; ++c) {
-      out->value()[r * n + c] = x->value()[r * n + c] + bias->value()[c];
-    }
+    k::Add(n, x->value().data() + r * n, bias->value().data(),
+           out->value().data() + r * n);
   }
   x->EnsureGrad();
   bias->EnsureGrad();
   Record([x, bias, out, n] {
+    k::AddInto(out->size(), out->grad().data(), x->grad().data());
     for (size_t r = 0; r < x->rows(); ++r) {
+      k::AddInto(n, out->grad().data() + r * n, bias->grad().data());
+    }
+  });
+  return out;
+}
+
+TensorPtr Tape::BiasRelu(const TensorPtr& x, const TensorPtr& bias) {
+  SERD_CHECK_EQ(bias->rows(), 1u);
+  SERD_CHECK_EQ(bias->cols(), x->cols());
+  auto out = NewResult(x->rows(), x->cols());
+  const size_t n = x->cols();
+  k::BiasRelu(x->rows(), n, x->value().data(), bias->value().data(),
+              out->value().data());
+  x->EnsureGrad();
+  bias->EnsureGrad();
+  Record([x, bias, out, n] {
+    // The kink gradient convention matches Relu: d/dv max(0, v) = 0 at
+    // v <= 0, tested on out->value() (= max(0, x + bias)).
+    for (size_t r = 0; r < x->rows(); ++r) {
+      const float* ov = out->value().data() + r * n;
+      const float* go = out->grad().data() + r * n;
+      float* gx = x->grad().data() + r * n;
+      float* gb = bias->grad().data();
       for (size_t c = 0; c < n; ++c) {
-        float g = out->grad()[r * n + c];
-        x->grad()[r * n + c] += g;
-        bias->grad()[c] += g;
+        if (ov[c] > 0.0f) {
+          gx[c] += go[c];
+          gb[c] += go[c];
+        }
       }
     }
   });
@@ -123,12 +119,10 @@ TensorPtr Tape::Mul(const TensorPtr& a, const TensorPtr& b) {
 
 TensorPtr Tape::Scale(const TensorPtr& x, float s) {
   auto out = NewResult(x->rows(), x->cols());
-  for (size_t i = 0; i < x->size(); ++i) out->value()[i] = x->value()[i] * s;
+  k::ScaleCopy(x->size(), s, x->value().data(), out->value().data());
   x->EnsureGrad();
   Record([x, out, s] {
-    for (size_t i = 0; i < out->size(); ++i) {
-      x->grad()[i] += out->grad()[i] * s;
-    }
+    k::Axpy(out->size(), s, out->grad().data(), x->grad().data());
   });
   return out;
 }
@@ -156,34 +150,19 @@ TensorPtr Tape::RowSoftmax(const TensorPtr& x,
   if (add_mask != nullptr) SERD_CHECK_EQ(add_mask->size(), x->size());
   auto out = NewResult(x->rows(), x->cols());
   const size_t n = x->cols();
-  for (size_t r = 0; r < x->rows(); ++r) {
-    float hi = -1e30f;
-    for (size_t c = 0; c < n; ++c) {
-      float v = x->value()[r * n + c];
-      if (add_mask) v += (*add_mask)[r * n + c];
-      out->value()[r * n + c] = v;
-      hi = std::max(hi, v);
-    }
-    float total = 0.0f;
-    for (size_t c = 0; c < n; ++c) {
-      float e = std::exp(out->value()[r * n + c] - hi);
-      out->value()[r * n + c] = e;
-      total += e;
-    }
-    for (size_t c = 0; c < n; ++c) out->value()[r * n + c] /= total;
-  }
+  k::SoftmaxRows(x->rows(), n, x->value().data(),
+                 add_mask != nullptr ? add_mask->data() : nullptr,
+                 out->value().data());
   x->EnsureGrad();
   Record([x, out, n] {
     // dX_rc = y_rc * (dY_rc - sum_j dY_rj y_rj)
     for (size_t r = 0; r < x->rows(); ++r) {
+      const float* ov = out->value().data() + r * n;
+      const float* go = out->grad().data() + r * n;
+      float* gx = x->grad().data() + r * n;
       float dot = 0.0f;
-      for (size_t c = 0; c < n; ++c) {
-        dot += out->grad()[r * n + c] * out->value()[r * n + c];
-      }
-      for (size_t c = 0; c < n; ++c) {
-        x->grad()[r * n + c] +=
-            out->value()[r * n + c] * (out->grad()[r * n + c] - dot);
-      }
+      for (size_t c = 0; c < n; ++c) dot += go[c] * ov[c];
+      for (size_t c = 0; c < n; ++c) gx[c] += ov[c] * (go[c] - dot);
     }
   });
   return out;
@@ -195,46 +174,43 @@ TensorPtr Tape::LayerNorm(const TensorPtr& x, const TensorPtr& gamma,
   SERD_CHECK_EQ(beta->cols(), x->cols());
   const size_t n = x->cols();
   auto out = NewResult(x->rows(), n);
-  // Cache per-row mean / inv-std and the normalized values for backward.
+  if (!recording_) {
+    // Inference: no caches for backward.
+    k::LayerNormRows(x->rows(), n, x->value().data(), gamma->value().data(),
+                     beta->value().data(), eps, out->value().data(),
+                     nullptr, nullptr);
+    return out;
+  }
+  // Cache per-row inv-std and the normalized values for backward.
   auto xhat = std::make_shared<std::vector<float>>(x->size());
   auto inv_std = std::make_shared<std::vector<float>>(x->rows());
-  for (size_t r = 0; r < x->rows(); ++r) {
-    float mean = 0.0f;
-    for (size_t c = 0; c < n; ++c) mean += x->value()[r * n + c];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (size_t c = 0; c < n; ++c) {
-      float d = x->value()[r * n + c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(n);
-    float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[r] = istd;
-    for (size_t c = 0; c < n; ++c) {
-      float h = (x->value()[r * n + c] - mean) * istd;
-      (*xhat)[r * n + c] = h;
-      out->value()[r * n + c] = h * gamma->value()[c] + beta->value()[c];
-    }
-  }
+  k::LayerNormRows(x->rows(), n, x->value().data(), gamma->value().data(),
+                   beta->value().data(), eps, out->value().data(),
+                   xhat->data(), inv_std->data());
   x->EnsureGrad();
   gamma->EnsureGrad();
   beta->EnsureGrad();
   Record([x, gamma, beta, out, xhat, inv_std, n] {
+    const float inv_n = 1.0f / static_cast<float>(n);
     for (size_t r = 0; r < x->rows(); ++r) {
+      const float* go = out->grad().data() + r * n;
+      const float* hr = xhat->data() + r * n;
+      const float* gv = gamma->value().data();
       float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
       for (size_t c = 0; c < n; ++c) {
-        float dy = out->grad()[r * n + c] * gamma->value()[c];
+        const float dy = go[c] * gv[c];
         sum_dy += dy;
-        sum_dy_xhat += dy * (*xhat)[r * n + c];
+        sum_dy_xhat += dy * hr[c];
       }
-      float inv_n = 1.0f / static_cast<float>(n);
+      float* gx = x->grad().data() + r * n;
+      float* gg = gamma->grad().data();
+      float* gb = beta->grad().data();
+      const float istd = (*inv_std)[r];
       for (size_t c = 0; c < n; ++c) {
-        float dy = out->grad()[r * n + c] * gamma->value()[c];
-        float h = (*xhat)[r * n + c];
-        x->grad()[r * n + c] +=
-            (*inv_std)[r] * (dy - inv_n * sum_dy - h * inv_n * sum_dy_xhat);
-        gamma->grad()[c] += out->grad()[r * n + c] * h;
-        beta->grad()[c] += out->grad()[r * n + c];
+        const float dy = go[c] * gv[c];
+        gx[c] += istd * (dy - inv_n * sum_dy - hr[c] * inv_n * sum_dy_xhat);
+        gg[c] += go[c] * hr[c];
+        gb[c] += go[c];
       }
     }
   });
@@ -243,9 +219,8 @@ TensorPtr Tape::LayerNorm(const TensorPtr& x, const TensorPtr& gamma,
 
 TensorPtr Tape::Relu(const TensorPtr& x) {
   auto out = NewResult(x->rows(), x->cols());
-  for (size_t i = 0; i < x->size(); ++i) {
-    out->value()[i] = x->value()[i] > 0.0f ? x->value()[i] : 0.0f;
-  }
+  k::BiasRelu(x->rows(), x->cols(), x->value().data(), nullptr,
+              out->value().data());
   x->EnsureGrad();
   Record([x, out] {
     for (size_t i = 0; i < x->size(); ++i) {
@@ -315,18 +290,17 @@ TensorPtr Tape::EmbeddingLookup(const TensorPtr& table,
     SERD_CHECK(ids[r] >= 0 &&
                static_cast<size_t>(ids[r]) < table->rows())
         << "embedding id out of range: " << ids[r];
-    for (size_t c = 0; c < d; ++c) {
-      out->value()[r * d + c] = table->at(static_cast<size_t>(ids[r]), c);
-    }
+    const float* row = table->value().data() +
+                       static_cast<size_t>(ids[r]) * d;
+    std::copy(row, row + d, out->value().data() + r * d);
   }
   table->EnsureGrad();
   auto ids_copy = std::make_shared<std::vector<int>>(ids);
   Record([table, out, ids_copy, d] {
     for (size_t r = 0; r < ids_copy->size(); ++r) {
       size_t row = static_cast<size_t>((*ids_copy)[r]);
-      for (size_t c = 0; c < d; ++c) {
-        table->grad()[row * d + c] += out->grad()[r * d + c];
-      }
+      k::AddInto(d, out->grad().data() + r * d,
+                 table->grad().data() + row * d);
     }
   });
   return out;
@@ -336,16 +310,14 @@ TensorPtr Tape::SliceCols(const TensorPtr& x, size_t start, size_t len) {
   SERD_CHECK_LE(start + len, x->cols());
   auto out = NewResult(x->rows(), len);
   for (size_t r = 0; r < x->rows(); ++r) {
-    for (size_t c = 0; c < len; ++c) {
-      out->value()[r * len + c] = x->at(r, start + c);
-    }
+    const float* src = x->value().data() + r * x->cols() + start;
+    std::copy(src, src + len, out->value().data() + r * len);
   }
   x->EnsureGrad();
   Record([x, out, start, len] {
     for (size_t r = 0; r < x->rows(); ++r) {
-      for (size_t c = 0; c < len; ++c) {
-        x->grad()[r * x->cols() + start + c] += out->grad()[r * len + c];
-      }
+      k::AddInto(len, out->grad().data() + r * len,
+                 x->grad().data() + r * x->cols() + start);
     }
   });
   return out;
@@ -363,9 +335,9 @@ TensorPtr Tape::ConcatCols(const std::vector<TensorPtr>& xs) {
   size_t offset = 0;
   for (const auto& x : xs) {
     for (size_t r = 0; r < rows; ++r) {
-      for (size_t c = 0; c < x->cols(); ++c) {
-        out->value()[r * total_cols + offset + c] = x->at(r, c);
-      }
+      const float* src = x->value().data() + r * x->cols();
+      std::copy(src, src + x->cols(),
+                out->value().data() + r * total_cols + offset);
     }
     x->EnsureGrad();
     offset += x->cols();
@@ -375,10 +347,8 @@ TensorPtr Tape::ConcatCols(const std::vector<TensorPtr>& xs) {
     size_t off = 0;
     for (const auto& x : xs_copy) {
       for (size_t r = 0; r < rows; ++r) {
-        for (size_t c = 0; c < x->cols(); ++c) {
-          x->grad()[r * x->cols() + c] +=
-              out->grad()[r * total_cols + off + c];
-        }
+        k::AddInto(x->cols(), out->grad().data() + r * total_cols + off,
+                   x->grad().data() + r * x->cols());
       }
       off += x->cols();
     }
@@ -413,20 +383,11 @@ TensorPtr Tape::CrossEntropy(const TensorPtr& logits,
   const size_t v = logits->cols();
   auto out = NewResult(1, 1);
   auto probs = std::make_shared<std::vector<float>>(logits->size());
+  k::SoftmaxRows(logits->rows(), v, logits->value().data(), nullptr,
+                 probs->data());
   size_t counted = 0;
   double total = 0.0;
   for (size_t r = 0; r < logits->rows(); ++r) {
-    float hi = -1e30f;
-    for (size_t c = 0; c < v; ++c) {
-      hi = std::max(hi, logits->value()[r * v + c]);
-    }
-    float z = 0.0f;
-    for (size_t c = 0; c < v; ++c) {
-      float e = std::exp(logits->value()[r * v + c] - hi);
-      (*probs)[r * v + c] = e;
-      z += e;
-    }
-    for (size_t c = 0; c < v; ++c) (*probs)[r * v + c] /= z;
     if (targets[r] == ignore_index) continue;
     SERD_CHECK(targets[r] >= 0 && static_cast<size_t>(targets[r]) < v);
     total += -std::log(
@@ -442,10 +403,10 @@ TensorPtr Tape::CrossEntropy(const TensorPtr& logits,
     for (size_t r = 0; r < logits->rows(); ++r) {
       int t = (*targets_copy)[r];
       if (t == ignore_index) continue;
-      for (size_t c = 0; c < v; ++c) {
-        float onehot = (static_cast<size_t>(t) == c) ? 1.0f : 0.0f;
-        logits->grad()[r * v + c] += g * ((*probs)[r * v + c] - onehot);
-      }
+      const float* pr = probs->data() + r * v;
+      float* gl = logits->grad().data() + r * v;
+      for (size_t c = 0; c < v; ++c) gl[c] += g * pr[c];
+      gl[static_cast<size_t>(t)] -= g;
     }
   });
   return out;

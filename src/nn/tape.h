@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/arena.h"
 #include "nn/tensor.h"
 
 namespace serd::nn {
@@ -30,6 +31,10 @@ class Tape {
 
   /// x[m,n] + bias[1,n] broadcast over rows.
   TensorPtr AddRowBroadcast(const TensorPtr& x, const TensorPtr& bias);
+
+  /// max(0, x + bias) with bias[1,n] broadcast over rows: the fused
+  /// linear-layer epilogue (kernels::BiasRelu).
+  TensorPtr BiasRelu(const TensorPtr& x, const TensorPtr& bias);
 
   /// Elementwise a * b (same shape).
   TensorPtr Mul(const TensorPtr& a, const TensorPtr& b);
@@ -103,11 +108,18 @@ class Tape {
   void set_recording(bool recording) { recording_ = recording; }
   bool recording() const { return recording_; }
 
+  /// Allocates all op results from `arena` instead of the heap. The arena
+  /// must outlive the tape and may only be Reset() after the tape (and
+  /// any result tensors the caller wants recycled) are dropped.
+  void set_arena(TensorArena* arena) { arena_ = arena; }
+  TensorArena* arena() const { return arena_; }
+
  private:
   TensorPtr NewResult(size_t rows, size_t cols);
   void Record(std::function<void()> backward_fn);
 
   std::vector<std::function<void()>> nodes_;
+  TensorArena* arena_ = nullptr;
   bool recording_ = true;
 };
 

@@ -46,6 +46,17 @@ class Tensor {
   void EnsureGrad() {
     if (grad_.size() != value_.size()) grad_.assign(value_.size(), 0.0f);
   }
+
+  /// Reshapes to rows x cols with value and grad zero-filled. Buffer
+  /// capacity is kept, so a recycled tensor (TensorArena) reaches its
+  /// steady-state shape without further heap traffic.
+  void ResizeAndZero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    value_.assign(rows * cols, 0.0f);
+    grad_.assign(rows * cols, 0.0f);
+  }
+
   void ZeroGrad() {
     if (!grad_.empty()) std::fill(grad_.begin(), grad_.end(), 0.0f);
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "nn/arena.h"
 #include "nn/optimizer.h"
 #include "runtime/parallel_for.h"
 #include "runtime/sharded_rng.h"
@@ -65,6 +66,11 @@ Seq2SeqTrainReport TrainSeq2Seq(
   auto replica_model = [&](size_t r) {
     return r == 0 ? model : extra_replicas[r - 1].get();
   };
+  // One tensor arena per replica: a replica is held by exactly one worker
+  // at a time, so the arena is never shared, and resetting it when the
+  // replica is acquired recycles the previous example's intermediate
+  // tensors (steady-state training allocates nothing per op).
+  std::vector<nn::TensorArena> arenas(num_replicas);
   auto sync_replicas = [&]() {
     const auto& master = model->parameters();
     for (auto& rep : extra_replicas) {
@@ -119,6 +125,8 @@ Seq2SeqTrainReport TrainSeq2Seq(
               Rng ex_rng(runtime::ShardedRng::DeriveSeed(
                   options.seed ^ kDropoutSalt, example_id));
               nn::Tape tape;
+              arenas[rid].Reset();
+              tape.set_arena(&arenas[rid]);
               auto loss = m->Loss(&tape, src, tgt, &ex_rng);
               losses[k] = loss->value()[0];
               tape.Backward(loss);

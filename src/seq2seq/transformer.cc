@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/arena.h"
 #include "text/char_vocab.h"
 
 namespace serd {
@@ -219,9 +220,17 @@ std::vector<int> TransformerSeq2Seq::Generate(const std::vector<int>& src_ids,
   // from always decoding to max_len, the dominant online cost.
   const int length_cap = std::min<int>(
       config_.max_len, static_cast<int>(src_ids.size()) + 8);
+  // Per-thread arena for the decode steps (the dominant online cost):
+  // each step builds the same graph one token longer, so recycling the
+  // previous step's tensors removes nearly all per-op allocation.
+  // `memory` lives outside the arena (enc_tape has none), so the per-step
+  // reset cannot touch it.
+  thread_local nn::TensorArena decode_arena;
   std::vector<int> generated = {CharVocab::kBos};
   while (static_cast<int>(generated.size()) < length_cap) {
     Tape dec_tape;
+    decode_arena.Reset();
+    dec_tape.set_arena(&decode_arena);
     dec_tape.set_recording(false);
     TensorPtr logits = Decode(&dec_tape, generated, memory, 0.0f, nullptr);
     // Sample from the last row.

@@ -37,22 +37,37 @@ size_t BoundedLevenshtein(std::string_view a, std::string_view b,
   if (diff > bound) return bound + 1;
   if (a.size() < b.size()) std::swap(a, b);
   if (b.empty()) return a.size();
-  std::vector<size_t> row(b.size() + 1);
-  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  lb = b.size();
+  // Ukkonen band: any cell with |i - j| > bound has distance > bound, so
+  // only the diagonal band j in [i - bound, i + bound] is computed. Cells
+  // outside the band (and any cell that exceeds the bound) are clamped to
+  // the INF sentinel bound + 1, which is also the saturated return value.
+  const size_t INF = bound + 1;
+  std::vector<size_t> row(lb + 1, INF);
+  for (size_t j = 0; j <= std::min(bound, lb); ++j) row[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {
-    size_t prev_diag = row[0];
-    row[0] = i;
-    size_t row_min = row[0];
-    for (size_t j = 1; j <= b.size(); ++j) {
+    const size_t jlo = i > bound ? i - bound : 1;
+    const size_t jhi = std::min(lb, i + bound);
+    // row[jlo - 1] still holds the previous row's value (the band moved
+    // right past it); it is this row's left neighbor only at jlo == 1.
+    size_t prev_diag = row[jlo - 1];
+    size_t left = jlo == 1 ? std::min(i, INF) : INF;
+    if (jlo == 1) row[0] = left;
+    size_t row_min = INF;
+    for (size_t j = jlo; j <= jhi; ++j) {
       size_t cur = row[j];
       size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev_diag + cost});
+      size_t d = std::min({cur + 1, left + 1, prev_diag + cost});
+      row[j] = left = std::min(d, INF);
       prev_diag = cur;
       row_min = std::min(row_min, row[j]);
     }
-    if (row_min > bound) return bound + 1;
+    // The cell just right of the band still holds last row's value; reset
+    // it so the next row's up-neighbor read sees INF, not stale data.
+    if (jhi + 1 <= lb) row[jhi + 1] = INF;
+    if (row_min >= INF) return INF;
   }
-  return std::min(row[b.size()], bound + 1);
+  return std::min(row[lb], INF);
 }
 
 }  // namespace serd

@@ -13,9 +13,10 @@ size_t Levenshtein(std::string_view a, std::string_view b);
 /// 1 - ed(a,b) / max(|a|,|b|); two empty strings have similarity 1.
 double NormalizedEditSimilarity(std::string_view a, std::string_view b);
 
-/// Levenshtein with an early-exit bound: returns bound+1 as soon as the
-/// distance provably exceeds `bound` (used by the NP-hardness demo and by
-/// EMBench rule validation).
+/// Levenshtein restricted to the Ukkonen diagonal band |i - j| <= bound:
+/// O(min(|a|,|b|) * bound) time instead of the full O(|a|·|b|) table.
+/// Returns bound+1 as soon as the distance provably exceeds `bound` (used
+/// by the NP-hardness demo and by EMBench rule validation).
 size_t BoundedLevenshtein(std::string_view a, std::string_view b,
                           size_t bound);
 

@@ -4,6 +4,7 @@
 
 #include "core/serd.h"
 #include "datagen/generators.h"
+#include "text/qgram.h"
 
 namespace serd {
 namespace {
@@ -74,6 +75,41 @@ TEST(CachedSimilarityTest, MatchesSpecExactly) {
       ASSERT_EQ(direct.size(), via_digest.size());
       for (size_t c = 0; c < direct.size(); ++c) {
         EXPECT_NEAR(direct[c], via_digest[c], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CachedSimilarityTest, HashedGramsMatchStringSetReference) {
+  // The hashed-profile digests must reproduce the string-set similarity
+  // vector bitwise on real corpus rows: per text/categorical column the
+  // reference is JaccardOfSortedSets over QgramSet, with the same
+  // empty-value rules.
+  auto f = MakeFixture();
+  auto spec = SimilaritySpec::FromTables(f.real.schema(),
+                                         {&f.real.a, &f.real.b});
+  CachedSimilarity cached(spec);
+  const Schema& schema = f.real.schema();
+  auto string_set_sim = [&](const Entity& a, const Entity& b, size_t c) {
+    const std::string& va = a.values[c];
+    const std::string& vb = b.values[c];
+    if (va.empty() && vb.empty()) return 1.0;
+    if (va.empty() || vb.empty()) return 0.0;
+    return JaccardOfSortedSets(QgramSet(va, 3), QgramSet(vb, 3));
+  };
+  for (size_t i = 0; i < std::min<size_t>(f.real.a.size(), 15); ++i) {
+    for (size_t j = 0; j < std::min<size_t>(f.real.b.size(), 15); ++j) {
+      const Entity& ea = f.real.a.row(i);
+      const Entity& eb = f.real.b.row(j);
+      Vec hashed = cached.SimilarityVector(cached.MakeDigest(ea),
+                                           cached.MakeDigest(eb));
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        ColumnType type = schema.column(c).type;
+        if (type != ColumnType::kText && type != ColumnType::kCategorical) {
+          continue;
+        }
+        EXPECT_DOUBLE_EQ(hashed[c], string_set_sim(ea, eb, c))
+            << "row (" << i << ", " << j << ") column " << c;
       }
     }
   }

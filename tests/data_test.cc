@@ -208,6 +208,24 @@ TEST_F(SimilaritySpecTest, FormatValueIntegersAndDates) {
             "2001-05-20");
 }
 
+TEST_F(SimilaritySpecTest, FormatValueNearIntegerBoundary) {
+  // Non-integral numeric column (prices with decimal parts).
+  Table t(TestSchema());
+  t.Append(MakeEntity("a", {"x", "V", "19.5", "1999-01-01"}));
+  t.Append(MakeEntity("b", {"y", "W", "25.25", "2001-01-01"}));
+  auto spec = SimilaritySpec::FromTables(TestSchema(), {&t});
+  // Values within rounding noise of an integer take the integer path in
+  // non-integral columns too. Previously the value was rounded twice with
+  // different thresholds, so 1999.9999999 printed as "2000.00" here while
+  // an integral column printed "2000" for the same input.
+  EXPECT_EQ(spec.FormatValue(2, 1999.9999999), "2000");
+  EXPECT_EQ(spec.FormatValue(2, 0.9999999), "1");
+  EXPECT_EQ(spec.FormatValue(2, 19.25), "19.25");
+  EXPECT_EQ(spec.FormatValue(2, 2001.0), "2001");
+  // The integral column behaves as before.
+  EXPECT_EQ(spec_.FormatValue(2, 1999.9999999), "2000");
+}
+
 // ------------------------------------------------------------- ERDataset
 
 ERDataset SmallDataset() {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/rng.h"
 #include "common/strings.h"
@@ -37,6 +39,52 @@ TEST(QgramTest, EmptyString) { EXPECT_TRUE(QgramSet("", 3).empty()); }
 TEST(QgramTest, Deduplicates) {
   auto grams = QgramSet("aaaa", 3);  // "aaa" twice
   EXPECT_EQ(grams.size(), 1u);
+}
+
+// ------------------------------------------------------------ HashedQgram
+
+TEST(HashedQgramTest, SortedUniqueAndCaseInsensitive) {
+  auto h = HashedQgramSet("Mississippi", 3);
+  EXPECT_EQ(h, HashedQgramSet("mISSISSIPPI", 3));
+  EXPECT_TRUE(std::is_sorted(h.begin(), h.end()));
+  EXPECT_EQ(std::adjacent_find(h.begin(), h.end()), h.end());
+  // Same number of distinct grams as the string-set representation.
+  EXPECT_EQ(h.size(), QgramSet("mississippi", 3).size());
+}
+
+TEST(HashedQgramTest, ShortAndEmptyStringRules) {
+  EXPECT_TRUE(HashedQgramSet("", 3).empty());
+  EXPECT_EQ(HashedQgramSet("ab", 3).size(), 1u);
+  // Whole-string gram: "ab" hashes the same whether q is 3 or 5.
+  EXPECT_EQ(HashedQgramSet("ab", 3), HashedQgramSet("ab", 5));
+}
+
+TEST(HashedQgramTest, JaccardMatchesStringSetsOnFuzzedCorpus) {
+  // The hashed profiles must reproduce the string-set Jaccard *exactly*
+  // (bitwise double equality) on a fuzzed corpus: mixed case, digits,
+  // spaces, punctuation, empty and shorter-than-q strings.
+  Rng rng(123);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .-'&";
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.UniformInt(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng.UniformInt(alphabet.size())]);
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string a = random_string(30);
+    std::string b = rng.Bernoulli(0.5) ? random_string(30) : a;
+    for (int q : {2, 3, 4}) {
+      double hashed =
+          JaccardOfHashedSets(HashedQgramSet(a, q), HashedQgramSet(b, q));
+      double strings = JaccardOfSortedSets(QgramSet(a, q), QgramSet(b, q));
+      EXPECT_DOUBLE_EQ(hashed, strings)
+          << "a=\"" << a << "\" b=\"" << b << "\" q=" << q;
+    }
+  }
 }
 
 TEST(QgramJaccardTest, IdenticalIsOne) {
@@ -119,6 +167,40 @@ TEST(BoundedLevenshteinTest, EarlyExitBeyondBound) {
 
 TEST(BoundedLevenshteinTest, LengthDifferenceShortcut) {
   EXPECT_EQ(BoundedLevenshtein("ab", "abcdefgh", 2), 3u);
+}
+
+TEST(BoundedLevenshteinTest, BandMatchesFullDistanceOnFuzzedPairs) {
+  // The Ukkonen band must agree with the unbanded distance whenever that
+  // distance is within the bound, and saturate to bound+1 otherwise.
+  Rng rng(77);
+  const char alphabet[] = "abcde";
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.UniformInt(max_len + 1);
+    for (size_t i = 0; i < len; ++i) s.push_back(alphabet[rng.UniformInt(5)]);
+    return s;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a = random_string(24);
+    std::string b = random_string(24);
+    size_t full = Levenshtein(a, b);
+    for (size_t bound : {0u, 1u, 2u, 3u, 5u, 10u, 30u}) {
+      size_t banded = BoundedLevenshtein(a, b, bound);
+      if (full <= bound) {
+        EXPECT_EQ(banded, full) << "a=" << a << " b=" << b << " bound="
+                                << bound;
+      } else {
+        EXPECT_EQ(banded, bound + 1) << "a=" << a << " b=" << b << " bound="
+                                     << bound;
+      }
+    }
+  }
+}
+
+TEST(BoundedLevenshteinTest, ZeroBoundDetectsEquality) {
+  EXPECT_EQ(BoundedLevenshtein("same", "same", 0), 0u);
+  EXPECT_EQ(BoundedLevenshtein("same", "sbme", 0), 1u);
+  EXPECT_EQ(BoundedLevenshtein("", "", 0), 0u);
 }
 
 // ----------------------------------------------------------------- Tokens
