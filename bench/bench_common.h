@@ -9,6 +9,7 @@
 #include "core/serd.h"
 #include "datagen/generators.h"
 #include "embench/embench.h"
+#include "obs/manifest.h"
 
 namespace serd::bench {
 
@@ -57,6 +58,9 @@ inline SerdOptions BenchSerdOptions(uint64_t seed) {
   opts.rejection_partner_sample = 16;
   opts.max_reject_retries = 2;
   opts.max_label_pairs = 150000;
+  // The experiment harnesses always emit run manifests; the recording
+  // overhead is far below bench noise (see bench_micro's obs rows).
+  opts.observability = true;
   return opts;
 }
 
@@ -70,6 +74,9 @@ struct Pipeline {
   ERDataset embench;
   SerdReport serd_report;
   SerdReport serd_minus_report;
+  /// Run manifest of the SERD synthesis, captured before the SERD- rerun
+  /// resets the online statistics.
+  obs::Json serd_manifest;
   std::unique_ptr<SerdSynthesizer> synth;
 };
 
@@ -97,6 +104,7 @@ inline Pipeline RunPipeline(DatasetKind kind, uint64_t seed = 42,
 
   p.serd = std::move(p.synth->Synthesize()).value();
   p.serd_report = p.synth->report();
+  p.serd_manifest = p.synth->RunManifestJson();
 
   p.synth->set_enable_rejection(false);
   p.serd_minus = std::move(p.synth->Synthesize()).value();
@@ -105,6 +113,17 @@ inline Pipeline RunPipeline(DatasetKind kind, uint64_t seed = 42,
 
   p.embench = SynthesizeEmbench(p.real, {.seed = seed * 13 + 5});
   return p;
+}
+
+/// Writes the pipeline's SERD-run manifest to
+/// BENCH_<bench>_<dataset>.manifest.json in the working directory.
+inline void WritePipelineManifest(const Pipeline& p,
+                                  const std::string& bench) {
+  std::string path =
+      "BENCH_" + bench + "_" + p.real.name + ".manifest.json";
+  Status wrote = obs::WriteTextFile(path, p.serd_manifest.Dump());
+  SERD_CHECK(wrote.ok()) << wrote.ToString();
+  std::printf("wrote %s\n", path.c_str());
 }
 
 inline void PrintRule(int width = 100) {

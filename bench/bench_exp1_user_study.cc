@@ -33,6 +33,7 @@ void Run() {
 
   for (DatasetKind kind : kAllKinds) {
     Pipeline p = RunPipeline(kind);
+    WritePipelineManifest(p, "exp1");
     CrowdSimulator crowd(p.synth->spec());
 
     // S1: sample up to 500 synthesized entities.

@@ -61,6 +61,7 @@ void Run() {
 
   for (DatasetKind kind : kAllKinds) {
     Pipeline p = RunPipeline(kind);
+    WritePipelineManifest(p, "exp2");
     Rng rng(23);
 
     auto real_pairs = BuildLabeledPairs(p.real, 20.0, &rng);

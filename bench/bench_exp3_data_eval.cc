@@ -48,6 +48,7 @@ void Run() {
 
   for (DatasetKind kind : kAllKinds) {
     Pipeline p = RunPipeline(kind);
+    WritePipelineManifest(p, "exp3");
     Rng rng(29);
     const auto& spec = p.synth->spec();
     FeatureExtractor fx(spec);

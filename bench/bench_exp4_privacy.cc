@@ -25,6 +25,7 @@ void Run() {
 
   for (DatasetKind kind : kAllKinds) {
     Pipeline p = RunPipeline(kind);
+    WritePipelineManifest(p, "exp4");
     const auto& spec = p.synth->spec();
     PrivacyOptions opts;
     opts.similarity_threshold = 0.9;  // paper's threshold

@@ -114,6 +114,7 @@ void Run() {
 
   for (DatasetKind kind : kAllKinds) {
     Pipeline p = RunPipeline(kind);
+    WritePipelineManifest(p, "exp5");
     int text_cols = 0;
     for (const auto& col : p.real.schema().columns()) {
       text_cols += col.type == ColumnType::kText;

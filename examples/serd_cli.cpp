@@ -7,6 +7,9 @@
 //            [--alpha 1.0] [--beta 0.6] [--buckets 10] [--candidates 10]
 //            [--threads N]   (0 = all hardware threads; output is
 //                             bit-identical for any N)
+//            [--manifest FILE.json]  (enables observability; writes the
+//                                     run manifest: options, report,
+//                                     metrics snapshot)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +18,7 @@
 #include "core/serd.h"
 #include "data/dataset_io.h"
 #include "datagen/generators.h"
+#include "obs/manifest.h"
 
 using namespace serd;
 using datagen::DatasetKind;
@@ -27,7 +31,7 @@ int Usage(const char* argv0) {
       "usage: %s --dataset dblp-acm|restaurant|walmart-amazon|itunes-amazon\n"
       "          [--scale S] [--seed N] [--out DIR] [--no-rejection]\n"
       "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n"
-      "          [--threads N]\n",
+      "          [--threads N] [--manifest FILE.json]\n",
       argv0);
   return 2;
 }
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   double scale = 0.04;
   uint64_t seed = 42;
   std::string out_dir;
+  std::string manifest_path;
   SerdOptions options;
   options.string_bank.num_candidates = 3;  // CPU-friendly CLI default
   options.string_bank.num_buckets = 5;
@@ -92,6 +97,9 @@ int main(int argc, char** argv) {
       options.string_bank.num_candidates = std::atoi(next("--candidates"));
     } else if (arg == "--threads") {
       options.threads = std::atoi(next("--threads"));
+    } else if (arg == "--manifest") {
+      manifest_path = next("--manifest");
+      options.observability = true;
     } else {
       return Usage(argv[0]);
     }
@@ -139,6 +147,17 @@ int main(int argc, char** argv) {
 
   auto jsd = synth.EvaluateSyntheticJsd(result.value());
   if (jsd.ok()) std::printf("JSD(O_real, O_syn) = %.4f\n", jsd.value());
+
+  if (!manifest_path.empty()) {
+    Status wrote = obs::WriteTextFile(manifest_path,
+                                      synth.RunManifestJson().Dump());
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "manifest write failed: %s\n",
+                   wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote manifest to %s\n", manifest_path.c_str());
+  }
 
   if (!out_dir.empty()) {
     Status save = SaveDataset(result.value(), out_dir);

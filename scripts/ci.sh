@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 CI: the checks every PR must keep green (ROADMAP.md).
+#
+#   scripts/ci.sh            # build + full test suite + TSan-labeled suites
+#   SKIP_TSAN=1 scripts/ci.sh  # skip the ThreadSanitizer pass (fast local run)
+#
+# Two build trees are used so the sanitizer never contaminates the main
+# binaries: build/ (plain) and build-tsan/ (-DSERD_SANITIZE=thread, only
+# the suites labeled `tsan` — the concurrency-heavy core and runtime
+# tests).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> configure + build (plain)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> ctest (full suite)"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "==> configure + build (ThreadSanitizer)"
+  cmake -B build-tsan -S . -DSERD_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "==> ctest -L tsan (ThreadSanitizer suite)"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
+fi
+
+echo "==> CI green"

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace serd {
@@ -22,6 +24,14 @@ SerdSynthesizer::SerdSynthesizer(const ERDataset& real, SerdOptions options)
         static_cast<int>(resolved_threads_ - 1));
   }
   options_.gmm.pool = pool_.get();
+  if (options_.observability) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  // Thread the shared registry (or null) into every stage's options.
+  options_.gmm.metrics = metrics_.get();
+  options_.string_bank.metrics = metrics_.get();
+  options_.string_bank.train.metrics = metrics_.get();
+  options_.gan.metrics = metrics_.get();
 
   // Precompute the categorical similarity tables (CatSimTable). Domains
   // are small (distinct values of one column), so the O(|domain|^2) build
@@ -51,6 +61,7 @@ Status SerdSynthesizer::Fit(
   Rng rng(options_.seed);
 
   // ----- S1: learn the M- and N-distributions from E_real. -----
+  obs::TraceSpan s1_span(metrics_.get(), "s1.distributions");
   LabeledPairSet pairs =
       BuildLabeledPairs(*real_, options_.neg_pairs_per_match, &rng,
                         pool_.get());
@@ -69,6 +80,12 @@ Status SerdSynthesizer::Fit(
   o_real_ = ODistribution(pi, m_fit.value(), n_fit.value());
   report_.m_components = static_cast<int>(m_fit->num_components());
   report_.n_components = static_cast<int>(n_fit->num_components());
+  s1_span.Stop();
+  if (metrics_ != nullptr) {
+    metrics_->gauge("s1.m_components")->Set(report_.m_components);
+    metrics_->gauge("s1.n_components")->Set(report_.n_components);
+    metrics_->gauge("s1.pi")->Set(pi);
+  }
 
   // ----- Offline: one transformer bank per text column. -----
   const Schema& schema = spec_.schema();
@@ -81,6 +98,7 @@ Status SerdSynthesizer::Fit(
         "need one background corpus per text column");
   }
 
+  obs::TraceSpan banks_span(metrics_.get(), "offline.string_banks");
   banks_.clear();
   banks_.resize(schema.num_columns());
   size_t corpus_idx = 0;
@@ -106,6 +124,7 @@ Status SerdSynthesizer::Fit(
     ++corpus_idx;
   }
   report_.mean_bank_epsilon = eps_count > 0 ? total_eps / eps_count : 0.0;
+  banks_span.Stop();
 
   // ----- Offline: GAN over background entity encodings. -----
   if (!(background_entities.schema() == schema)) {
@@ -234,6 +253,31 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   report_.threads_used = static_cast<int>(resolved_threads_);
   Rng rng(options_.seed ^ 0x51e2d5ULL);
 
+  // Metric handles resolved once, outside the loop (all null when
+  // observability is off; recording through them is then one pointer test
+  // per site).
+  obs::Counter* c_accepted = obs::GetCounter(metrics_.get(), "s2.accepted");
+  obs::Counter* c_rej_disc =
+      obs::GetCounter(metrics_.get(), "s2.rejected_discriminator");
+  obs::Counter* c_rej_dist =
+      obs::GetCounter(metrics_.get(), "s2.rejected_distribution");
+  obs::Counter* c_forced_disc =
+      obs::GetCounter(metrics_.get(), "s2.forced_accepts_discriminator");
+  obs::Counter* c_forced_dist =
+      obs::GetCounter(metrics_.get(), "s2.forced_accepts_distribution");
+  obs::Counter* c_tracked_pos =
+      obs::GetCounter(metrics_.get(), "s2.tracked_pairs_pos");
+  obs::Counter* c_tracked_neg =
+      obs::GetCounter(metrics_.get(), "s2.tracked_pairs_neg");
+  obs::Counter* c_jsd_evals =
+      obs::GetCounter(metrics_.get(), "s2.jsd_evaluations");
+  obs::Counter* c_guard =
+      obs::GetCounter(metrics_.get(), "s2.guard_exhausted");
+  obs::Histogram* h_attempts = obs::GetHistogram(
+      metrics_.get(), "s2.attempts_per_entity", obs::LinearBounds(1.0, 8.0, 8));
+  obs::Histogram* h_jsd_seconds =
+      obs::GetTimer(metrics_.get(), "s2.jsd_seconds");
+
   const size_t na = options_.target_a > 0 ? options_.target_a : real_->a.size();
   const size_t nb = options_.target_b > 0 ? options_.target_b : real_->b.size();
   SERD_CHECK(na > 0 && nb > 0);
@@ -260,6 +304,8 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   // Bootstrap with one GAN-generated A-entity (paper step S2 start).
   append_entity(true, ColdStartEntity(&rng));
   ++report_.accepted_entities;
+  obs::Inc(c_accepted);
+  obs::TraceSpan s2_span(metrics_.get(), "s2.loop");
 
   // O_syn tracking state (paper Section V, case 2).
   std::vector<Vec> warm_pos, warm_neg;
@@ -267,6 +313,22 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   size_t syn_pos_count = 0, syn_neg_count = 0;
   double current_jsd = 0.0;
   const uint64_t jsd_seed = options_.seed ^ 0x15d0ULL;
+  // All JSD estimates during the run go through this wrapper so the
+  // evaluation count and (when observability is on) the per-call wall time
+  // are accounted in one place.
+  auto estimate_jsd = [&](const ODistribution& o_syn) {
+    ++report_.jsd_evaluations;
+    obs::Inc(c_jsd_evals);
+    if (h_jsd_seconds == nullptr) {
+      return EstimateJsd(o_syn, o_real_, options_.jsd_samples, jsd_seed,
+                         pool_.get());
+    }
+    WallTimer jsd_timer;
+    double v = EstimateJsd(o_syn, o_real_, options_.jsd_samples, jsd_seed,
+                           pool_.get());
+    h_jsd_seconds->Record(jsd_timer.Seconds());
+    return v;
+  };
   auto current_o_syn = [&]() {
     double pi_syn =
         static_cast<double>(syn_pos_count) /
@@ -299,7 +361,9 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   };
 
   size_t guard = 0;
-  const size_t max_iterations = 60 * (na + nb) + 1000;
+  const size_t max_iterations = options_.max_loop_iterations > 0
+                                    ? options_.max_loop_iterations
+                                    : 60 * (na + nb) + 1000;
   while ((syn.a.size() < na || syn.b.size() < nb) &&
          guard++ < max_iterations) {
     // --- S2-1: choose the source entity e. ---
@@ -321,18 +385,29 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
     const Entity& e = source_table.row(e_idx);
 
     // --- S2-2 + S2-3 with rejection retries. ---
+    // Every guard iteration accepts exactly one entity: the final
+    // attempt's candidate is kept even when a rejection test fails (a
+    // "forced accept", split by cause below). Crucially, forced accepts
+    // run through the same delta-compute/commit path as normal accepts —
+    // only the Eq. 10 rejection *decision* is skipped — so O_syn tracking
+    // covers every pair the dataset actually contains. (The pre-fix code
+    // synthesized a fresh entity on force and committed nothing, letting
+    // O_syn drift whenever the discriminator was strict.)
     Entity e_new;
     bool is_match = false;
     std::vector<Vec> delta_pos, delta_neg;
-    bool accepted = false;
     for (int attempt = 0; attempt <= options_.max_reject_retries;
          ++attempt) {
+      const bool last_attempt = attempt == options_.max_reject_retries;
       auto sample = sample_vector(&rng);
       Entity candidate = SynthesizeFrom(e, sample.x, &rng);
 
+      bool forced_disc = false;
       if (options_.enable_rejection && RejectedByDiscriminator(candidate)) {
         ++report_.rejected_by_discriminator;
-        continue;
+        obs::Inc(c_rej_disc);
+        if (!last_attempt) continue;
+        forced_disc = true;  // retries exhausted: keep it anyway
       }
 
       // Induced pairs between the candidate and (a sample of) T_e
@@ -343,13 +418,32 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
       size_t partners = source_table.size();
       size_t t_cap = static_cast<size_t>(
           std::max(1, options_.rejection_partner_sample));
-      for (size_t s = 0; s < std::min(partners, t_cap); ++s) {
-        size_t idx = partners <= t_cap ? s : rng.UniformInt(partners);
-        Vec v = cached_sim_->SimilarityVector(source_digests[idx], digest);
-        (o_real_.LabelAsMatch(v) ? delta_pos : delta_neg)
-            .push_back(std::move(v));
+      if (partners <= t_cap) {
+        for (size_t s = 0; s < partners; ++s) {
+          Vec v = cached_sim_->SimilarityVector(source_digests[s], digest);
+          (o_real_.LabelAsMatch(v) ? delta_pos : delta_neg)
+              .push_back(std::move(v));
+        }
+      } else {
+        // Floyd's algorithm: t_cap *distinct* partner indices in t_cap
+        // draws (one UniformInt per selection, like the old
+        // with-replacement loop, which could feed duplicate pairs into
+        // the Eq. 9 delta and double-count them).
+        std::unordered_set<size_t> chosen;
+        chosen.reserve(t_cap);
+        for (size_t j = partners - t_cap; j < partners; ++j) {
+          size_t pick = rng.UniformInt(j + 1);
+          if (!chosen.insert(pick).second) {
+            pick = j;
+            chosen.insert(pick);
+          }
+          Vec v = cached_sim_->SimilarityVector(source_digests[pick], digest);
+          (o_real_.LabelAsMatch(v) ? delta_pos : delta_neg)
+              .push_back(std::move(v));
+        }
       }
 
+      bool forced_dist = false;
       if (options_.enable_rejection && m_syn != nullptr &&
           n_syn != nullptr) {
         // Preview the updated O_syn and apply the paper's Eq. 10 test.
@@ -364,18 +458,17 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
                        delta_neg.size()));
         pi_new = std::clamp(pi_new, 0.001, 0.999);
         ODistribution o_syn_new(pi_new, m_preview, n_preview);
-        double jsd_new =
-            EstimateJsd(o_syn_new, o_real_, options_.jsd_samples, jsd_seed,
-                        pool_.get());
-        if (jsd_new > options_.alpha * current_jsd && attempt <
-            options_.max_reject_retries) {
-          ++report_.rejected_by_distribution;
-          continue;
+        double jsd_new = estimate_jsd(o_syn_new);
+        if (jsd_new > options_.alpha * current_jsd && !forced_disc) {
+          if (!last_attempt) {
+            ++report_.rejected_by_distribution;
+            obs::Inc(c_rej_dist);
+            continue;
+          }
+          forced_dist = true;
         }
-        if (jsd_new > options_.alpha * current_jsd) {
-          ++report_.forced_accepts;
-        }
-        // Accept: commit the deltas.
+        // Accept: commit the deltas (forced accepts included — the pairs
+        // enter the dataset either way).
         m_syn->Commit(dp);
         n_syn->Commit(dn);
         syn_pos_count += delta_pos.size();
@@ -386,24 +479,30 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
         for (auto& v : delta_pos) warm_pos.push_back(std::move(v));
         for (auto& v : delta_neg) warm_neg.push_back(std::move(v));
       }
+      report_.tracked_pairs_pos += static_cast<long>(delta_pos.size());
+      report_.tracked_pairs_neg += static_cast<long>(delta_neg.size());
+      obs::Inc(c_tracked_pos, delta_pos.size());
+      obs::Inc(c_tracked_neg, delta_neg.size());
 
+      if (forced_disc) {
+        ++report_.forced_accepts;
+        ++report_.forced_accepts_discriminator;
+        obs::Inc(c_forced_disc);
+      } else if (forced_dist) {
+        ++report_.forced_accepts;
+        ++report_.forced_accepts_distribution;
+        obs::Inc(c_forced_dist);
+      }
+      obs::Observe(h_attempts, static_cast<double>(attempt + 1));
       e_new = std::move(candidate);
       is_match = sample.from_match;
-      accepted = true;
       break;
-    }
-    if (!accepted) {
-      // All retries rejected by the discriminator: accept the last
-      // synthesis unconditionally to guarantee progress.
-      auto sample = sample_vector(&rng);
-      e_new = SynthesizeFrom(e, sample.x, &rng);
-      is_match = sample.from_match;
-      ++report_.forced_accepts;
     }
 
     // --- S2-4: add e' to the opposite table and record the label. ---
     size_t new_idx = append_entity(!e_from_a, std::move(e_new));
     ++report_.accepted_entities;
+    obs::Inc(c_accepted);
     if (e_from_a) {
       linked.push_back({e_idx, new_idx, is_match});
     } else {
@@ -425,11 +524,23 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
         n_syn = std::make_unique<IncrementalGmm>(n0.value(), warm_neg);
         syn_pos_count = warm_pos.size();
         syn_neg_count = warm_neg.size();
-        current_jsd =
-            EstimateJsd(current_o_syn(), o_real_, options_.jsd_samples,
-                        jsd_seed, pool_.get());
+        current_jsd = estimate_jsd(current_o_syn());
       }
     }
+  }
+  s2_span.Stop();
+
+  if (syn.a.size() < na || syn.b.size() < nb) {
+    // The guard tripped before the targets were reached: report the
+    // shortfall loudly instead of silently handing back a smaller dataset.
+    report_.guard_exhausted = true;
+    report_.shortfall_a = na - syn.a.size();
+    report_.shortfall_b = nb - syn.b.size();
+    obs::Inc(c_guard);
+    SERD_LOG(kWarning) << syn.name << ": S2 guard exhausted after "
+                       << max_iterations << " iterations; returning "
+                       << syn.a.size() << "/" << na << " A and "
+                       << syn.b.size() << "/" << nb << " B entities";
   }
 
   // --- S2-4 bookkeeping: explicit matching links. ---
@@ -438,6 +549,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   }
 
   // --- S3: label remaining pairs by posterior (paper Section IV-C). ---
+  obs::TraceSpan s3_span(metrics_.get(), "s3.label");
   std::unordered_set<uint64_t> known;
   for (const auto& lp : linked) {
     known.insert(static_cast<uint64_t>(lp.a_idx) * syn.b.size() + lp.b_idx);
@@ -469,16 +581,21 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
           if (o_real_.LabelAsMatch(x)) is_match_flag[k] = 1;
         }
       });
+  size_t posterior_matches = 0;
   for (size_t k = 0; k < scan_count; ++k) {
     if (!is_match_flag[k]) continue;
     auto [i, j] = pair_at(k);
     syn.matches.push_back({i, j});
+    ++posterior_matches;
+  }
+  s3_span.Stop();
+  if (metrics_ != nullptr) {
+    metrics_->counter("s3.scanned_pairs")->Add(scan_count);
+    metrics_->counter("s3.posterior_matches")->Add(posterior_matches);
   }
 
   if (m_syn != nullptr && n_syn != nullptr) {
-    report_.jsd_real_vs_syn = EstimateJsd(current_o_syn(), o_real_,
-                                          options_.jsd_samples, jsd_seed,
-                                          pool_.get());
+    report_.jsd_real_vs_syn = estimate_jsd(current_o_syn());
   }
   if (pool_ != nullptr) {
     report_.parallel_speedup = pool_->stats().Speedup();
@@ -486,13 +603,83 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
     report_.parallel_speedup = 1.0;
   }
   report_.online_seconds = timer.Seconds();
+  if (metrics_ != nullptr) {
+    metrics_->gauge("run.online_seconds")->Set(report_.online_seconds);
+    metrics_->gauge("run.parallel_speedup")->Set(report_.parallel_speedup);
+  }
   if (options_.verbose) {
     SERD_LOG(kInfo) << syn.name << ": accepted=" << report_.accepted_entities
                     << " rej_disc=" << report_.rejected_by_discriminator
                     << " rej_dist=" << report_.rejected_by_distribution
+                    << " forced=" << report_.forced_accepts
                     << " jsd=" << report_.jsd_real_vs_syn;
   }
   return syn;
+}
+
+obs::Json SerdSynthesizer::RunManifestJson() const {
+  obs::Json root = obs::Json::Object();
+  root.Set("dataset", real_->name);
+
+  obs::Json opts = obs::Json::Object();
+  opts.Set("seed", options_.seed);
+  opts.Set("threads", options_.threads);
+  opts.Set("threads_resolved", resolved_threads_);
+  opts.Set("alpha", options_.alpha);
+  opts.Set("beta", options_.beta);
+  opts.Set("enable_rejection", options_.enable_rejection);
+  opts.Set("max_reject_retries", options_.max_reject_retries);
+  opts.Set("rejection_partner_sample", options_.rejection_partner_sample);
+  opts.Set("jsd_samples", options_.jsd_samples);
+  opts.Set("o_syn_warmup", options_.o_syn_warmup);
+  opts.Set("max_loop_iterations", options_.max_loop_iterations);
+  opts.Set("target_a", options_.target_a);
+  opts.Set("target_b", options_.target_b);
+  opts.Set("match_link_rate", options_.match_link_rate);
+  opts.Set("max_label_pairs", options_.max_label_pairs);
+  opts.Set("observability", options_.observability);
+  root.Set("options", std::move(opts));
+
+  obs::Json rep = obs::Json::Object();
+  rep.Set("offline_seconds", report_.offline_seconds);
+  rep.Set("online_seconds", report_.online_seconds);
+  rep.Set("accepted_entities", report_.accepted_entities);
+  rep.Set("rejected_by_discriminator", report_.rejected_by_discriminator);
+  rep.Set("rejected_by_distribution", report_.rejected_by_distribution);
+  rep.Set("forced_accepts", report_.forced_accepts);
+  rep.Set("forced_accepts_discriminator",
+          report_.forced_accepts_discriminator);
+  rep.Set("forced_accepts_distribution",
+          report_.forced_accepts_distribution);
+  rep.Set("tracked_pairs_pos", static_cast<int64_t>(report_.tracked_pairs_pos));
+  rep.Set("tracked_pairs_neg", static_cast<int64_t>(report_.tracked_pairs_neg));
+  rep.Set("jsd_evaluations", static_cast<int64_t>(report_.jsd_evaluations));
+  rep.Set("guard_exhausted", report_.guard_exhausted);
+  rep.Set("shortfall_a", report_.shortfall_a);
+  rep.Set("shortfall_b", report_.shortfall_b);
+  rep.Set("mean_bank_epsilon", report_.mean_bank_epsilon);
+  rep.Set("jsd_real_vs_syn", report_.jsd_real_vs_syn);
+  rep.Set("m_components", report_.m_components);
+  rep.Set("n_components", report_.n_components);
+  rep.Set("threads_used", report_.threads_used);
+  rep.Set("parallel_speedup", report_.parallel_speedup);
+  root.Set("report", std::move(rep));
+
+  if (pool_ != nullptr) {
+    runtime::ThreadPool::Stats stats = pool_->stats();
+    obs::Json pool = obs::Json::Object();
+    pool.Set("workers", pool_->num_threads());
+    pool.Set("regions", static_cast<int64_t>(stats.regions));
+    pool.Set("busy_seconds", stats.busy_seconds);
+    pool.Set("wall_seconds", stats.wall_seconds);
+    pool.Set("speedup", stats.Speedup());
+    root.Set("pool", std::move(pool));
+  }
+
+  if (metrics_ != nullptr) {
+    root.Set("metrics", obs::SnapshotToJson(metrics_->TakeSnapshot()));
+  }
+  return root;
 }
 
 LabeledPairSet SerdSynthesizer::LabelPairs(const ERDataset& syn,

@@ -11,6 +11,8 @@
 #include "gan/entity_gan.h"
 #include "gmm/incremental.h"
 #include "gmm/o_distribution.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "seq2seq/model_bank.h"
 
@@ -44,6 +46,11 @@ struct SerdOptions {
   int rejection_partner_sample = 24;  ///< t of paper Remark (1)
   int jsd_samples = 192;        ///< Monte-Carlo draws per JSD estimate
   size_t o_syn_warmup = 12;     ///< entities accepted before O_syn tracking
+  /// Hard cap on S2 guard-loop iterations; 0 selects the automatic bound
+  /// 60 * (target_a + target_b) + 1000. Exhausting the cap returns an
+  /// undersized dataset and sets SerdReport::guard_exhausted (+ shortfall
+  /// fields) instead of failing — callers decide whether that is fatal.
+  size_t max_loop_iterations = 0;
 
   // --- string synthesis (Section VI) ---
   StringBankOptions string_bank;
@@ -58,6 +65,15 @@ struct SerdOptions {
 
   uint64_t seed = 2024;
   bool verbose = false;
+
+  // --- observability ---
+  /// When true the synthesizer owns an obs::MetricsRegistry and every
+  /// stage records counters/histograms/trace spans into it (see
+  /// DESIGN.md "Observability"); RunManifestJson() then carries a full
+  /// metrics snapshot. When false (default) no registry exists and every
+  /// recording site reduces to a null-pointer test — synthesis output is
+  /// byte-identical either way.
+  bool observability = false;
 
   // --- runtime ---
   /// Worker threads for the parallel hot paths (GMM EM, similarity
@@ -75,7 +91,23 @@ struct SerdReport {
   int accepted_entities = 0;
   int rejected_by_discriminator = 0;
   int rejected_by_distribution = 0;
-  int forced_accepts = 0;        ///< retries exhausted
+  int forced_accepts = 0;        ///< retries exhausted (sum of the two below)
+  /// Forced accepts whose last attempt failed the discriminator test
+  /// (paper Section V case 1) vs. the Eq. 10 distribution test (case 2).
+  int forced_accepts_discriminator = 0;
+  int forced_accepts_distribution = 0;
+  /// Similarity vectors fed into O_syn tracking (warmup accumulation plus
+  /// committed deltas), split by the Eq. 9 label. Forced accepts
+  /// contribute here too — O_syn must track every pair the dataset
+  /// actually contains.
+  long tracked_pairs_pos = 0;
+  long tracked_pairs_neg = 0;
+  long jsd_evaluations = 0;      ///< EstimateJsd calls during Synthesize()
+  /// True when the S2 guard loop hit its iteration cap before reaching the
+  /// target sizes; the returned dataset is short by shortfall_a/_b rows.
+  bool guard_exhausted = false;
+  size_t shortfall_a = 0;
+  size_t shortfall_b = 0;
   double mean_bank_epsilon = 0.0;  ///< mean DP epsilon across string banks
   double jsd_real_vs_syn = 0.0;    ///< JSD(O_real, O_syn) at the end
   int m_components = 0;          ///< AIC-selected component counts
@@ -96,6 +128,14 @@ struct SerdReport {
     rejected_by_discriminator = 0;
     rejected_by_distribution = 0;
     forced_accepts = 0;
+    forced_accepts_discriminator = 0;
+    forced_accepts_distribution = 0;
+    tracked_pairs_pos = 0;
+    tracked_pairs_neg = 0;
+    jsd_evaluations = 0;
+    guard_exhausted = false;
+    shortfall_a = 0;
+    shortfall_b = 0;
     jsd_real_vs_syn = 0.0;
     threads_used = 1;
     parallel_speedup = 1.0;
@@ -133,6 +173,15 @@ class SerdSynthesizer {
   const SerdReport& report() const { return report_; }
   const ODistribution& o_real() const { return o_real_; }
   const SimilaritySpec& spec() const { return spec_; }
+
+  /// The run's metrics registry; null unless SerdOptions::observability.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Run manifest: options, seed, report, pool utilization, and (when
+  /// observability is on) a full metrics snapshot — one self-describing
+  /// JSON artifact per run, written by `serd_cli --manifest` and the
+  /// bench harnesses.
+  obs::Json RunManifestJson() const;
 
   /// Toggles rejection (paper Section V) without refitting the offline
   /// models, so SERD and the SERD- baseline share one Fit() (their offline
@@ -201,6 +250,10 @@ class SerdSynthesizer {
   /// in every parallel region.
   std::unique_ptr<runtime::ThreadPool> pool_;
   size_t resolved_threads_ = 1;
+  /// Owned registry; allocated in the constructor iff
+  /// options_.observability, and threaded into the gmm/string-bank/GAN
+  /// sub-options so every stage shares it.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
 
   ODistribution o_real_;
   std::vector<std::unique_ptr<StringSynthesisBank>> banks_;  // per column (null for non-text)

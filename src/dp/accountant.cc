@@ -58,11 +58,16 @@ double RdpAccountant::SingleStepRdp(int alpha) const {
 }
 
 double RdpAccountant::Epsilon(double delta) const {
+  return EpsilonForSteps(steps_, delta);
+}
+
+double RdpAccountant::EpsilonForSteps(int steps, double delta) const {
   SERD_CHECK(delta > 0.0 && delta < 1.0);
-  if (steps_ == 0) return 0.0;
+  SERD_CHECK_GE(steps, 0);
+  if (steps == 0) return 0.0;
   double best = std::numeric_limits<double>::infinity();
   for (int alpha : orders_) {
-    double rdp = steps_ * SingleStepRdp(alpha);
+    double rdp = steps * SingleStepRdp(alpha);
     double eps = rdp + std::log(1.0 / delta) / (alpha - 1);
     best = std::min(best, eps);
   }

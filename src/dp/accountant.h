@@ -26,6 +26,11 @@ class RdpAccountant {
   /// epsilon = min_alpha [ steps * rdp(alpha) + log(1/delta) / (alpha-1) ].
   double Epsilon(double delta) const;
 
+  /// Epsilon after a hypothetical `steps` DP-SGD steps, independent of the
+  /// recorded count. Pure: lets callers report the privacy trajectory
+  /// (e.g. per-epoch) without mutating the accountant.
+  double EpsilonForSteps(int steps, double delta) const;
+
   /// RDP epsilon of a single step at integer order alpha >= 2.
   double SingleStepRdp(int alpha) const;
 

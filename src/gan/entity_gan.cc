@@ -5,6 +5,7 @@
 
 #include "nn/arena.h"
 #include "nn/tape.h"
+#include "obs/trace.h"
 
 namespace serd {
 
@@ -50,6 +51,7 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
   for (const auto& f : real_features) {
     SERD_CHECK_EQ(f.size(), feature_dim_);
   }
+  obs::TraceSpan train_span(config_.metrics, "gan.train");
   Rng rng(config_.seed ^ 0x5bd1e995ULL);
   nn::Adam g_opt(g_params_, config_.lr);
   nn::Adam d_opt(d_params_, config_.lr);
@@ -77,8 +79,14 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
     return z;
   };
 
+  double last_d_loss = 0.0;
+  double last_g_loss = 0.0;
+  long steps = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.Shuffle(&order);
+    double epoch_d_loss = 0.0;
+    double epoch_g_loss = 0.0;
+    size_t epoch_batches = 0;
     for (size_t start = 0; start + batch <= n; start += batch) {
       // --- Discriminator step: real -> 1, fake -> 0.
       {
@@ -95,6 +103,7 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
         TensorPtr loss_real = tape.BceWithLogits(real_logits, 1.0f);
         TensorPtr loss_fake = tape.BceWithLogits(fake_logits, 0.0f);
         TensorPtr loss = tape.Scale(tape.Add(loss_real, loss_fake), 0.5f);
+        epoch_d_loss += loss->value()[0];
         d_opt.ZeroGrad();
         g_opt.ZeroGrad();
         tape.Backward(loss);
@@ -108,12 +117,33 @@ void EntityGan::Train(const std::vector<std::vector<float>>& real_features) {
         TensorPtr fake = GeneratorForward(&tape, make_noise(batch));
         TensorPtr fake_logits = DiscriminatorForward(&tape, fake);
         TensorPtr loss = tape.BceWithLogits(fake_logits, 1.0f);
+        epoch_g_loss += loss->value()[0];
         g_opt.ZeroGrad();
         d_opt.ZeroGrad();
         tape.Backward(loss);
         g_opt.Step();
       }
+      ++epoch_batches;
+      ++steps;
     }
+    if (epoch_batches > 0) {
+      last_d_loss = epoch_d_loss / static_cast<double>(epoch_batches);
+      last_g_loss = epoch_g_loss / static_cast<double>(epoch_batches);
+    }
+    if (config_.metrics != nullptr && epoch_batches > 0) {
+      config_.metrics
+          ->histogram("gan.d_loss_per_epoch", obs::LinearBounds(0.0, 4.0, 16))
+          ->Record(last_d_loss);
+      config_.metrics
+          ->histogram("gan.g_loss_per_epoch", obs::LinearBounds(0.0, 4.0, 16))
+          ->Record(last_g_loss);
+    }
+  }
+  if (config_.metrics != nullptr) {
+    obs::Inc(config_.metrics->counter("gan.steps"),
+             static_cast<uint64_t>(steps));
+    config_.metrics->gauge("gan.final_d_loss")->Set(last_d_loss);
+    config_.metrics->gauge("gan.final_g_loss")->Set(last_g_loss);
   }
   trained_ = true;
 }

@@ -7,6 +7,7 @@
 #include "gan/entity_encoder.h"
 #include "nn/modules.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace serd {
 
@@ -20,6 +21,12 @@ struct GanConfig {
   int batch_size = 32;
   float lr = 2e-3f;
   uint64_t seed = 23;
+
+  /// Observability sink (not owned; nullptr = off): counter gan.steps,
+  /// histograms gan.d_loss_per_epoch / gan.g_loss_per_epoch, gauges
+  /// gan.final_d_loss / gan.final_g_loss, timer gan.train. Training is
+  /// serial, so every recorded value is deterministic.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// MLP generator/discriminator over entity feature encodings. The

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace serd {
@@ -89,6 +90,7 @@ namespace {
 struct EmRun {
   Gmm model = Gmm({1.0}, {MultivariateGaussian({0.0}, Matrix::Identity(1))});
   double log_likelihood = -std::numeric_limits<double>::infinity();
+  int iterations = 0;
 };
 
 Matrix SampleCovariance(const std::vector<Vec>& data, const Vec& mean) {
@@ -169,7 +171,7 @@ EmRun RunEmOnce(const std::vector<Vec>& data, int g,
         },
         [](double a, double b) { return a + b; });
     if (iter > 0 && ll - prev_ll < options.tolerance) {
-      return {model, ll};
+      return {model, ll, iter + 1};
     }
     prev_ll = ll;
 
@@ -265,24 +267,27 @@ EmRun RunEmOnce(const std::vector<Vec>& data, int g,
         return part;
       },
       [](double a, double b) { return a + b; });
-  return {model, ll};
+  return {model, ll, options.max_iterations};
 }
 
 }  // namespace
 
 Result<Gmm> Gmm::FitEM(const std::vector<Vec>& data, int g,
-                       const GmmFitOptions& options) {
+                       const GmmFitOptions& options, long* em_iterations) {
   if (data.empty()) {
     return Status::InvalidArgument("cannot fit a GMM on empty data");
   }
   g = std::max(1, std::min<int>(g, static_cast<int>(data.size())));
   Rng rng(options.seed + static_cast<uint64_t>(g) * 1000003ULL);
   EmRun best;
+  long iterations = 0;
   int restarts = std::max(1, options.num_restarts);
   for (int r = 0; r < restarts; ++r) {
     EmRun run = RunEmOnce(data, g, options, &rng);
+    iterations += run.iterations;
     if (run.log_likelihood > best.log_likelihood) best = std::move(run);
   }
+  if (em_iterations != nullptr) *em_iterations = iterations;
   return best.model;
 }
 
@@ -295,6 +300,7 @@ Result<Gmm> Gmm::FitWithAic(const std::vector<Vec>& data,
   const int max_g =
       std::max(1, std::min<int>(options.max_components,
                                 static_cast<int>(data.size())));
+  obs::TraceSpan fit_span(options.metrics, "gmm.fit");
 
   // Fit all candidate component counts concurrently: every candidate seeds
   // its own Rng from (options.seed, g), so the fits are independent and the
@@ -304,12 +310,16 @@ Result<Gmm> Gmm::FitWithAic(const std::vector<Vec>& data,
   std::vector<Result<Gmm>> fits(max_g, Status::Internal("not fitted"));
   std::vector<double> aics(max_g,
                            std::numeric_limits<double>::infinity());
+  // Per-candidate EM iteration counts land in their own slot and are folded
+  // in ascending-g order below, so the recorded total is thread-count
+  // independent.
+  std::vector<long> em_iters(max_g, 0);
   runtime::ParallelFor(
       options.pool, 0, static_cast<size_t>(max_g), 1,
       [&](size_t lo, size_t hi) {
         for (size_t gi = lo; gi < hi; ++gi) {
           const int g = static_cast<int>(gi) + 1;
-          auto fitted = FitEM(data, g, options);
+          auto fitted = FitEM(data, g, options, &em_iters[gi]);
           if (!fitted.ok()) {
             fits[gi] = std::move(fitted);
             continue;
@@ -322,12 +332,26 @@ Result<Gmm> Gmm::FitWithAic(const std::vector<Vec>& data,
       });
 
   double best_aic = std::numeric_limits<double>::infinity();
+  int best_g = 0;
+  long total_iters = 0;
   Result<Gmm> best = Status::Internal("no model fitted");
   for (int gi = 0; gi < max_g; ++gi) {
+    total_iters += em_iters[gi];
     if (!fits[gi].ok()) continue;
     if (aics[gi] < best_aic) {
       best_aic = aics[gi];
+      best_g = gi + 1;
       best = std::move(fits[gi]);
+    }
+  }
+  if (options.metrics != nullptr) {
+    obs::Inc(options.metrics->counter("gmm.fits"));
+    obs::Inc(options.metrics->counter("gmm.em_iterations"),
+             static_cast<uint64_t>(std::max<long>(0, total_iters)));
+    if (best.ok()) {
+      options.metrics
+          ->histogram("gmm.selected_components", obs::LinearBounds(1.0, 8.0, 8))
+          ->Record(static_cast<double>(best_g));
     }
   }
   return best;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "gmm/gaussian.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace serd {
@@ -23,6 +24,13 @@ struct GmmFitOptions {
   /// (not owned; may outlive the fit call only). nullptr = serial. Results
   /// are bit-identical for any pool size (ordered chunk reduction).
   runtime::ThreadPool* pool = nullptr;
+
+  /// Observability sink for FitWithAic (not owned; nullptr = off):
+  /// counters gmm.fits / gmm.em_iterations, histogram
+  /// gmm.selected_components, timer gmm.fit. Per-candidate EM iteration
+  /// counts are tallied into chunk-indexed shards and folded in shard
+  /// order, so the recorded totals are thread-count independent.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A multivariate Gaussian Mixture Model: p(x) = sum_i pi_i N(x; mu_i, S_i).
@@ -59,9 +67,13 @@ class Gmm {
   double MeanLogLikelihood(const std::vector<Vec>& data) const;
 
   /// Fits a GMM with exactly `g` components by EM (paper Eqs. 4-6).
-  /// Requires data.size() >= 1; g is clamped to data.size().
+  /// Requires data.size() >= 1; g is clamped to data.size(). When
+  /// `em_iterations` is non-null it receives the EM iterations executed,
+  /// summed over restarts (a deterministic count: convergence is decided
+  /// on the ordered-reduction log-likelihood).
   static Result<Gmm> FitEM(const std::vector<Vec>& data, int g,
-                           const GmmFitOptions& options);
+                           const GmmFitOptions& options,
+                           long* em_iterations = nullptr);
 
   /// Fits GMMs with 1..max_components components and returns the one
   /// minimizing AIC = 2k - 2 log L (paper Section IV-A).

@@ -26,10 +26,15 @@ double ODistribution::LogPdf(const Vec& x) const {
 }
 
 ODistribution::SampleResult ODistribution::Sample(Rng* rng) const {
+  SampleResult out = SampleUnclamped(rng);
+  for (double& v : out.x) v = std::clamp(v, 0.0, 1.0);
+  return out;
+}
+
+ODistribution::SampleResult ODistribution::SampleUnclamped(Rng* rng) const {
   SERD_CHECK(rng != nullptr);
   bool from_match = rng->Bernoulli(pi_);
   Vec x = from_match ? m_.Sample(rng) : n_.Sample(rng);
-  for (double& v : x) v = std::clamp(v, 0.0, 1.0);
   return {std::move(x), from_match};
 }
 
@@ -57,7 +62,10 @@ double JsdBlockSum(const ODistribution& sample_side, const ODistribution& p,
   constexpr double kLogHalf = -0.6931471805599453;
   double sum = 0.0;
   for (int i = lo; i < hi; ++i) {
-    Vec x = sample_side.Sample(rng).x;
+    // Unclamped: the estimator must sample the density it scores (see
+    // SampleUnclamped); clamped draws bias both KL terms at the cube
+    // boundary.
+    Vec x = sample_side.SampleUnclamped(rng).x;
     double lp = p.LogPdf(x);
     double lq = q.LogPdf(x);
     double hi_l = std::max(lp, lq);

@@ -34,6 +34,15 @@ class ODistribution {
   /// Components are clamped to [0, 1] since similarities live there.
   SampleResult Sample(Rng* rng) const;
 
+  /// Samples without the [0, 1] clamp. The Monte-Carlo JSD estimator must
+  /// draw from the *actual* mixture density it evaluates LogPdf under:
+  /// clamping piles probability mass onto the faces of the unit cube while
+  /// LogPdf still integrates over all of R^d, which biases the KL terms
+  /// whenever the GMM has mass outside the cube (common for boundary-
+  /// hugging similarity mixtures near 0/1). Entity synthesis keeps using
+  /// the clamped Sample(). Consumes the same RNG draws as Sample().
+  SampleResult SampleUnclamped(Rng* rng) const;
+
   /// Posterior probability that x belongs to the M-distribution
   /// (paper Section IV-C): P_m(x) = pi p_m(x) / (pi p_m(x) + (1-pi) p_n(x)).
   double PosteriorMatch(const Vec& x) const;

@@ -1,0 +1,112 @@
+#ifndef SERD_OBS_JSON_H_
+#define SERD_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace serd::obs {
+
+/// Minimal JSON document model for run manifests: build a tree, Dump()
+/// it, Parse() it back (tests round-trip manifests through this). Objects
+/// preserve insertion order so manifests read top-down in the order the
+/// pipeline emitted them. No external dependency; numbers are doubles
+/// (every counter in the pipeline fits a double exactly well past 2^50).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Object() { return Json(Type::kObject); }
+  static Json Array() { return Json(Type::kArray); }
+  static Json Str(std::string s) {
+    Json j(Type::kString);
+    j.string_ = std::move(s);
+    return j;
+  }
+  static Json Number(double v) {
+    Json j(Type::kNumber);
+    j.number_ = v;
+    return j;
+  }
+  static Json Bool(bool v) {
+    Json j(Type::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // --- building ---
+
+  /// Sets `key` in an object (created on first access of a null value).
+  /// Replaces an existing entry in place, otherwise appends.
+  void Set(const std::string& key, Json value);
+  void Set(const std::string& key, const std::string& value) {
+    Set(key, Str(value));
+  }
+  void Set(const std::string& key, const char* value) {
+    Set(key, Str(value));
+  }
+  void Set(const std::string& key, double value) { Set(key, Number(value)); }
+  void Set(const std::string& key, int value) {
+    Set(key, Number(static_cast<double>(value)));
+  }
+  void Set(const std::string& key, int64_t value) {
+    Set(key, Number(static_cast<double>(value)));
+  }
+  void Set(const std::string& key, uint64_t value) {
+    Set(key, Number(static_cast<double>(value)));
+  }
+  void Set(const std::string& key, bool value) { Set(key, Bool(value)); }
+
+  /// Appends to an array (created on first Append of a null value).
+  void Append(Json value);
+  void Append(double value) { Append(Number(value)); }
+
+  // --- reading (used by tests and manifest consumers) ---
+
+  /// Object member lookup; null-typed reference if absent or not an
+  /// object.
+  const Json& at(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  size_t size() const;                ///< members (object) / elements (array)
+  const Json& item(size_t i) const;   ///< array element
+  double AsNumber(double fallback = 0.0) const;
+  bool AsBool(bool fallback = false) const;
+  const std::string& AsString() const { return string_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes with 2-space indentation and a trailing newline at the
+  /// top level.
+  std::string Dump() const;
+
+  /// Parses a JSON document (objects, arrays, strings with the standard
+  /// escapes, numbers, booleans, null). Rejects trailing garbage.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+
+  void DumpTo(std::string* out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;                       // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+}  // namespace serd::obs
+
+#endif  // SERD_OBS_JSON_H_

@@ -1,0 +1,72 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+
+namespace serd::obs {
+
+Json SnapshotToJson(const MetricsRegistry::Snapshot& snapshot) {
+  Json out = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+  }
+  out.Set("counters", std::move(counters));
+
+  Json gauges = Json::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, value);
+  }
+  out.Set("gauges", std::move(gauges));
+
+  Json histograms = Json::Object();
+  for (const auto& [name, cell] : snapshot.histograms) {
+    Json h = Json::Object();
+    Json bounds = Json::Array();
+    for (double b : cell.bounds) bounds.Append(b);
+    Json counts = Json::Array();
+    for (uint64_t c : cell.counts) {
+      counts.Append(static_cast<double>(c));
+    }
+    h.Set("bounds", std::move(bounds));
+    h.Set("counts", std::move(counts));
+    h.Set("count", cell.count);
+    h.Set("sum", cell.sum);
+    h.Set("mean", cell.count > 0
+                      ? cell.sum / static_cast<double>(cell.count)
+                      : 0.0);
+    h.Set("timing", cell.timing);
+    histograms.Set(name, std::move(h));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+}  // namespace serd::obs

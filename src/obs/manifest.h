@@ -1,0 +1,28 @@
+#ifndef SERD_OBS_MANIFEST_H_
+#define SERD_OBS_MANIFEST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace serd::obs {
+
+/// Converts a registry snapshot into its manifest JSON block:
+///   { "counters": {...}, "gauges": {...},
+///     "histograms": { name: {bounds, counts, count, sum, mean, timing} } }
+/// Entries appear in name-sorted order (Snapshot's map order), so two
+/// snapshots of equal state serialize byte-identically.
+Json SnapshotToJson(const MetricsRegistry::Snapshot& snapshot);
+
+/// Writes `content` to `path` atomically enough for a run artifact
+/// (single open/write/close; overwrites an existing file).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+/// Reads a whole text file (round-trip tests, manifest consumers).
+Result<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace serd::obs
+
+#endif  // SERD_OBS_MANIFEST_H_

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace serd::obs {
+
+namespace {
+
+/// Lock-free add for pre-C++20-hardware-support atomics; relaxed CAS is
+/// enough since histogram sums carry no ordering dependencies.
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, bool timing)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1),
+      timing_(timing) {
+  SERD_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Record(double v) {
+  // First bucket whose inclusive upper bound admits v; the trailing
+  // slot is the overflow bucket.
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+               bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Mean() const {
+  uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBounds() {
+  // 100us .. ~100s in half-decade steps; the overflow bucket catches
+  // anything slower.
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+          30.0, 100.0};
+}
+
+std::vector<double> LinearBounds(double lo, double hi, int n) {
+  SERD_CHECK_GT(n, 0);
+  SERD_CHECK(hi > lo);
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  const double w = (hi - lo) / n;
+  for (int i = 1; i <= n; ++i) bounds.push_back(lo + w * i);
+  return bounds;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds), /*timing=*/false);
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(LatencyBounds(), /*timing=*/true);
+  }
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramCell cell;
+    cell.bounds = h->bounds();
+    cell.counts = h->BucketCounts();
+    cell.count = h->count();
+    cell.sum = h->sum();
+    cell.timing = h->timing();
+    snap.histograms[name] = std::move(cell);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace serd::obs

@@ -74,6 +74,7 @@ void ThreadPool::RecordRegion(double busy_seconds, double wall_seconds) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.busy_seconds += busy_seconds;
   stats_.wall_seconds += wall_seconds;
+  if (wall_seconds > 0.0) ++stats_.regions;
 }
 
 }  // namespace serd::runtime

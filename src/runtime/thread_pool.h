@@ -51,9 +51,12 @@ class ThreadPool {
   /// participant (workers and the calling thread) spent executing chunks;
   /// `wall_seconds` sums the elapsed time of the regions themselves, so
   /// busy / wall is the achieved parallel speedup over those regions.
+  /// `regions` counts the regions (one per region-level RecordRegion call,
+  /// i.e. calls with wall_seconds > 0).
   struct Stats {
     double busy_seconds = 0.0;
     double wall_seconds = 0.0;
+    long regions = 0;
 
     double Speedup() const {
       return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 1.0;

@@ -108,6 +108,7 @@ Status StringSynthesisBank::TrainFromPairs(
   stats_ = StringBankStats();
   stats_.pairs_per_bucket.assign(k, 0);
   stats_.bucket_trained.assign(k, false);
+  stats_.bucket_hits.assign(k, 0);
 
   double total_eps = 0.0;
   int trained_models = 0;
@@ -188,6 +189,7 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
     // The decoder missed the target: refine the candidate and also try a
     // pure perturbation-search synthesis, keeping whichever scores better.
     ++stats_.refined_calls;
+    obs::Inc(obs::GetCounter(options_.metrics, "s2.bank_refined_calls"));
     std::string refined =
         HillClimbToSimilarity(s, best, target_sim, sim_, word_pool_, rng);
     std::string fallback = FallbackSynthesize(s, target_sim, rng);
@@ -219,23 +221,38 @@ std::string StringSynthesisBank::Synthesize(const std::string& s,
                                             Rng* rng) const {
   SERD_CHECK(rng != nullptr);
   ++stats_.synth_calls;
+  obs::Inc(obs::GetCounter(options_.metrics, "s2.bank_synth_calls"));
   double target = std::clamp(target_sim, 0.0, 1.0);
-  if (!trained_) return FallbackSynthesize(s, target, rng);
-  int bucket = BucketOf(target);
-  if (models_[bucket] != nullptr) {
-    return SynthesizeWithModel(bucket, s, target, rng);
-  }
-  // Nearest trained bucket, if any.
-  for (int d = 1; d < options_.num_buckets; ++d) {
-    int lo = bucket - d, hi = bucket + d;
-    if (lo >= 0 && models_[lo] != nullptr) {
-      return SynthesizeWithModel(lo, s, target, rng);
+  int bucket = trained_ ? BucketOf(target) : -1;
+  int used = -1;
+  if (trained_) {
+    if (models_[bucket] != nullptr) {
+      used = bucket;
+    } else {
+      // Nearest trained bucket, if any.
+      for (int d = 1; d < options_.num_buckets && used < 0; ++d) {
+        int lo = bucket - d, hi = bucket + d;
+        if (lo >= 0 && models_[lo] != nullptr) {
+          used = lo;
+        } else if (hi < options_.num_buckets && models_[hi] != nullptr) {
+          used = hi;
+        }
+      }
     }
-    if (hi < options_.num_buckets && models_[hi] != nullptr) {
-      return SynthesizeWithModel(hi, s, target, rng);
-    }
   }
-  return FallbackSynthesize(s, target, rng);
+  if (used < 0) {
+    ++stats_.fallback_calls;
+    obs::Inc(obs::GetCounter(options_.metrics, "s2.bank_fallback_calls"));
+    return FallbackSynthesize(s, target, rng);
+  }
+  ++stats_.bucket_hits[used];
+  obs::Observe(
+      obs::GetHistogram(options_.metrics, "s2.bank_bucket",
+                        obs::LinearBounds(
+                            0.0, static_cast<double>(options_.num_buckets - 1),
+                            options_.num_buckets)),
+      static_cast<double>(used));
+  return SynthesizeWithModel(used, s, target, rng);
 }
 
 }  // namespace serd

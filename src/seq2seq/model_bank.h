@@ -42,6 +42,11 @@ struct StringBankOptions {
   /// refine_threshold: implausible entities should reach the GAN
   /// discriminator, whose rejection is the paper's case-1 mechanism.
   double min_pool_word_fraction = 0.15;
+
+  /// Observability sink (not owned; nullptr = off): counters
+  /// s2.bank_synth_calls / s2.bank_fallback_calls / s2.bank_refined_calls,
+  /// histogram s2.bank_bucket (index of the model actually used).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-bucket training/inference statistics for reports and ablations.
@@ -52,6 +57,10 @@ struct StringBankStats {
   double mean_epsilon = 0.0;  ///< mean DP epsilon across trained buckets
   int synth_calls = 0;
   int refined_calls = 0;      ///< how often hill-climb refinement kicked in
+  /// Synthesize calls served by each bucket's model (after the nearest-
+  /// trained-bucket redirect); length num_buckets once trained.
+  std::vector<long> bucket_hits;
+  long fallback_calls = 0;    ///< calls served by hill-climb search alone
 };
 
 /// The paper's string synthesizer: k transformer models M_1..M_k, one per

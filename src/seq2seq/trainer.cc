@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "nn/arena.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/sharded_rng.h"
 
@@ -29,6 +30,7 @@ Seq2SeqTrainReport TrainSeq2Seq(
     const Seq2SeqTrainOptions& options) {
   SERD_CHECK(model != nullptr);
   SERD_CHECK(!pairs.empty());
+  obs::TraceSpan train_span(options.metrics, "seq2seq.train");
   Rng rng(options.seed);
   Rng noise_rng = rng.Fork();
   // Dropout no longer draws from a shared sequential stream (each example
@@ -86,6 +88,17 @@ Seq2SeqTrainReport TrainSeq2Seq(
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
 
+  // The accountant is a pure function of (q, sigma); building it up front
+  // lets each epoch report the epsilon trajectory as it is spent.
+  const bool dp_on = options.dp.enabled && options.dp.noise_multiplier > 0.0;
+  const double q =
+      std::min(1.0, static_cast<double>(batch) / static_cast<double>(n));
+  std::unique_ptr<RdpAccountant> accountant;
+  if (dp_on) {
+    accountant =
+        std::make_unique<RdpAccountant>(q, options.dp.noise_multiplier);
+  }
+
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
@@ -104,6 +117,7 @@ Seq2SeqTrainReport TrainSeq2Seq(
       // example-to-thread assignment.
       std::vector<PerExampleGradAccumulator::ClippedGrad> slots(bs);
       std::vector<double> losses(bs, 0.0);
+      std::vector<double> norms(bs, 0.0);
       std::vector<size_t> free_replicas(num_replicas);
       for (size_t r = 0; r < num_replicas; ++r) free_replicas[r] = r;
       std::mutex free_mu;
@@ -130,7 +144,7 @@ Seq2SeqTrainReport TrainSeq2Seq(
               auto loss = m->Loss(&tape, src, tgt, &ex_rng);
               losses[k] = loss->value()[0];
               tape.Backward(loss);
-              accumulator.ClipInto(m->parameters(), &slots[k]);
+              norms[k] = accumulator.ClipInto(m->parameters(), &slots[k]);
               {
                 std::lock_guard<std::mutex> lock(free_mu);
                 free_replicas.push_back(rid);
@@ -143,13 +157,31 @@ Seq2SeqTrainReport TrainSeq2Seq(
       for (size_t k = 0; k < bs; ++k) {
         epoch_loss += losses[k];
         ++epoch_examples;
+        if (options.dp.enabled && norms[k] > options.dp.clip_norm) {
+          ++report.clipped_examples;
+        }
         accumulator.MergeClipped(slots[k]);
       }
+      report.total_examples += static_cast<long>(bs);
       accumulator.FinishBatch(bs, &noise_rng);
       optimizer.Step();
       ++report.steps;
     }
     last_epoch_loss = epoch_loss / std::max<size_t>(1, epoch_examples);
+    report.epoch_losses.push_back(last_epoch_loss);
+    if (accountant != nullptr) {
+      accountant->AddSteps(report.steps - accountant->steps());
+      double eps = accountant->Epsilon(report.delta);
+      report.epoch_epsilons.push_back(eps);
+      if (options.metrics != nullptr) {
+        options.metrics
+            ->histogram("dp.epsilon_per_epoch", obs::LinearBounds(0.0, 32.0, 16))
+            ->Record(eps);
+      }
+    }
+    obs::Observe(obs::GetHistogram(options.metrics, "seq2seq.epoch_loss",
+                                   obs::LinearBounds(0.0, 16.0, 16)),
+                 last_epoch_loss);
     if (options.verbose) {
       SERD_LOG(kInfo) << "seq2seq epoch " << epoch << " loss "
                       << last_epoch_loss;
@@ -157,13 +189,19 @@ Seq2SeqTrainReport TrainSeq2Seq(
   }
   report.final_loss = last_epoch_loss;
 
-  if (options.dp.enabled && options.dp.noise_multiplier > 0.0) {
-    double q = static_cast<double>(batch) / static_cast<double>(n);
-    RdpAccountant accountant(std::min(1.0, q), options.dp.noise_multiplier);
-    accountant.AddSteps(report.steps);
-    report.epsilon = accountant.Epsilon(report.delta);
+  if (accountant != nullptr) {
+    report.epsilon = accountant->Epsilon(report.delta);
   } else {
     report.epsilon = std::numeric_limits<double>::infinity();
+  }
+  if (options.metrics != nullptr) {
+    obs::Inc(options.metrics->counter("seq2seq.steps"),
+             static_cast<uint64_t>(report.steps));
+    obs::Inc(options.metrics->counter("seq2seq.examples_total"),
+             static_cast<uint64_t>(report.total_examples));
+    obs::Inc(options.metrics->counter("seq2seq.examples_clipped"),
+             static_cast<uint64_t>(report.clipped_examples));
+    if (dp_on) options.metrics->gauge("dp.epsilon")->Set(report.epsilon);
   }
   return report;
 }

@@ -7,6 +7,7 @@
 
 #include "dp/accountant.h"
 #include "dp/dp_sgd.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "seq2seq/transformer.h"
 #include "text/char_vocab.h"
@@ -27,6 +28,13 @@ struct Seq2SeqTrainOptions {
   /// example order, so the trained weights are bit-identical for any pool
   /// size.
   runtime::ThreadPool* pool = nullptr;
+
+  /// Observability sink (not owned; nullptr = off): counters seq2seq.steps /
+  /// seq2seq.examples_clipped / seq2seq.examples_total, histograms
+  /// seq2seq.epoch_loss and dp.epsilon_per_epoch, gauge dp.epsilon, timer
+  /// seq2seq.train. All values are computed from the ordered example merge,
+  /// so they are thread-count independent.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a training run, including the DP guarantee actually spent.
@@ -35,6 +43,14 @@ struct Seq2SeqTrainReport {
   double final_loss = 0.0;
   double epsilon = 0.0;  ///< at delta = train delta (1e-5 unless overridden)
   double delta = 1e-5;
+  /// Mean loss after each epoch (length = epochs).
+  std::vector<double> epoch_losses;
+  /// Privacy spent after each epoch at `delta` (length = epochs when DP is
+  /// on, empty otherwise). Monotone non-decreasing.
+  std::vector<double> epoch_epsilons;
+  /// Examples whose pre-clip gradient norm exceeded the clip bound V.
+  long clipped_examples = 0;
+  long total_examples = 0;
 };
 
 /// Trains `model` on (source, target) string pairs with differentially

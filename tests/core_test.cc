@@ -317,6 +317,74 @@ TEST(SerdDeterminismTest, SameSeedSameOutput) {
   EXPECT_EQ(s1.matches.size(), s2.matches.size());
 }
 
+// ------------------------------------------- rejection-loop bookkeeping
+
+TEST(SerdForcedAcceptTest, ForcedAcceptsAreCountedAndTracked) {
+  // beta = 1.0 makes the discriminator reject every candidate (scores are
+  // sigmoid outputs, strictly below 1), so every post-bootstrap entity is
+  // a forced accept after max_reject_retries attempts. The old code
+  // skipped the O_syn bookkeeping on this path entirely: forced entities
+  // were appended but their induced pairs never entered the tracker, so
+  // tracked pairs stayed at the bootstrap level and the Eq. 10 test ran
+  // against a stale O_syn.
+  auto f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.beta = 1.0;
+  opts.max_reject_retries = 2;
+  opts.target_a = 16;
+  opts.target_b = 16;
+  SerdSynthesizer synth(f.real, opts);
+  ASSERT_TRUE(synth.Fit(f.corpora, f.background).ok());
+  auto result = synth.Synthesize();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const auto& rep = synth.report();
+  // Forcing must not shrink the dataset.
+  EXPECT_EQ(result->a.size(), 16u);
+  EXPECT_EQ(result->b.size(), 16u);
+  EXPECT_FALSE(rep.guard_exhausted);
+
+  // Every forced accept is attributed to the discriminator cause here.
+  EXPECT_GT(rep.forced_accepts_discriminator, 0);
+  EXPECT_EQ(rep.forced_accepts,
+            rep.forced_accepts_discriminator + rep.forced_accepts_distribution);
+  // Non-last attempts were counted as ordinary discriminator rejections.
+  EXPECT_GT(rep.rejected_by_discriminator, 0);
+
+  // The headline fix: forced accepts flow through the same delta-compute/
+  // commit path, so their induced pairs are tracked in O_syn.
+  EXPECT_GT(rep.tracked_pairs_pos + rep.tracked_pairs_neg, 0);
+}
+
+TEST(SerdGuardExhaustionTest, UndersizedRunIsReportedNotSilent) {
+  auto f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.target_a = 20;
+  opts.target_b = 20;
+  opts.max_loop_iterations = 6;  // far below 40 entities' worth of turns
+  SerdSynthesizer synth(f.real, opts);
+  ASSERT_TRUE(synth.Fit(f.corpora, f.background).ok());
+  auto result = synth.Synthesize();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const auto& rep = synth.report();
+  EXPECT_TRUE(rep.guard_exhausted);
+  // The shortfall fields reconcile exactly with the returned sizes.
+  EXPECT_EQ(result->a.size() + rep.shortfall_a, 20u);
+  EXPECT_EQ(result->b.size() + rep.shortfall_b, 20u);
+  EXPECT_GT(rep.shortfall_a + rep.shortfall_b, 0u);
+
+  // An ample cap does not trip the guard (same configuration otherwise).
+  opts.max_loop_iterations = 0;  // automatic bound
+  SerdSynthesizer ok_synth(f.real, opts);
+  ASSERT_TRUE(ok_synth.Fit(f.corpora, f.background).ok());
+  auto full = ok_synth.Synthesize();
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(ok_synth.report().guard_exhausted);
+  EXPECT_EQ(full->a.size(), 20u);
+  EXPECT_EQ(full->b.size(), 20u);
+}
+
 TEST(SerdTargetSizesTest, CustomTargetsHonored) {
   auto f = MakeFixture();
   SerdOptions opts = FastOptions();

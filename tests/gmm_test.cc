@@ -332,5 +332,59 @@ TEST(JsdTest, DeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(EstimateJsd(p, q, 200, 9), EstimateJsd(p, q, 200, 9));
 }
 
+/// 1-D O-distribution with both arms hugging the unit-interval boundary:
+/// sd 0.1 around means near 0/1 puts ~35-40% of each arm's mass outside
+/// [0, 1], which is exactly where the old clamped-sample estimator broke.
+ODistribution Boundary1D(double pi, double m_mean, double n_mean) {
+  Matrix var(1, 1);
+  var(0, 0) = 0.01;
+  Gmm m({1.0}, {MultivariateGaussian({m_mean}, var, 0.0)});
+  Gmm n({1.0}, {MultivariateGaussian({n_mean}, var, 0.0)});
+  return ODistribution(pi, std::move(m), std::move(n));
+}
+
+TEST(JsdTest, MatchesNumericIntegrationForBoundaryHuggingMixtures) {
+  // Regression for the estimator bias fixed alongside SampleUnclamped():
+  // the Monte-Carlo JSD used to draw clamped samples (mass piled onto the
+  // cube faces) while scoring them with the unclamped LogPdf, overstating
+  // agreement between boundary-hugging mixtures. The reference here is a
+  // fine-grid trapezoidal integral of the exact 1-D JSD over [-1, 2]
+  // (mean +/- 10 sd), which the fixed estimator must match within Monte-
+  // Carlo noise.
+  auto p = Boundary1D(0.5, 0.97, 0.03);
+  auto q = Boundary1D(0.5, 0.80, 0.20);
+
+  auto pdf = [](const ODistribution& o, double x) {
+    return std::exp(o.LogPdf({x}));
+  };
+  const double lo = -1.0, hi = 2.0, step = 5e-4;
+  double reference = 0.0;
+  for (double x = lo; x < hi; x += step) {
+    double pv = pdf(p, x), qv = pdf(q, x);
+    double mv = 0.5 * (pv + qv);
+    double integrand = 0.0;
+    if (pv > 0.0) integrand += 0.5 * pv * std::log(pv / mv);
+    if (qv > 0.0) integrand += 0.5 * qv * std::log(qv / mv);
+    reference += integrand * step;
+  }
+
+  double estimate = EstimateJsd(p, q, 20000, 11);
+  EXPECT_NEAR(estimate, reference, 0.02);
+
+  // Same check with one side all but outside the cube: q's match arm at
+  // 1.05 has the majority of its mass above 1.
+  auto r = Boundary1D(0.5, 1.05, -0.05);
+  double reference_r = 0.0;
+  for (double x = lo; x < hi; x += step) {
+    double pv = pdf(p, x), rv = pdf(r, x);
+    double mv = 0.5 * (pv + rv);
+    double integrand = 0.0;
+    if (pv > 0.0) integrand += 0.5 * pv * std::log(pv / mv);
+    if (rv > 0.0) integrand += 0.5 * rv * std::log(rv / mv);
+    reference_r += integrand * step;
+  }
+  EXPECT_NEAR(EstimateJsd(p, r, 20000, 13), reference_r, 0.02);
+}
+
 }  // namespace
 }  // namespace serd
