@@ -10,6 +10,11 @@
 //            [--manifest FILE.json]  (enables observability; writes the
 //                                     run manifest: options, report,
 //                                     metrics snapshot)
+//            [--save-models DIR]  (train, then write the model artifact to
+//                                  DIR/serd_models.bin)
+//            [--load-models DIR]  (warm start: restore the offline models
+//                                  from DIR and skip training; fails if
+//                                  the artifact is missing or invalid)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +36,8 @@ int Usage(const char* argv0) {
       "usage: %s --dataset dblp-acm|restaurant|walmart-amazon|itunes-amazon\n"
       "          [--scale S] [--seed N] [--out DIR] [--no-rejection]\n"
       "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n"
-      "          [--threads N] [--manifest FILE.json]\n",
+      "          [--threads N] [--manifest FILE.json]\n"
+      "          [--save-models DIR] [--load-models DIR]\n",
       argv0);
   return 2;
 }
@@ -100,6 +106,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--manifest") {
       manifest_path = next("--manifest");
       options.observability = true;
+    } else if (arg == "--save-models") {
+      options.model_dir = next("--save-models");
+      options.artifact_mode = SerdOptions::ArtifactMode::kSave;
+    } else if (arg == "--load-models") {
+      options.model_dir = next("--load-models");
+      options.artifact_mode = SerdOptions::ArtifactMode::kLoad;
     } else {
       return Usage(argv[0]);
     }
@@ -125,6 +137,10 @@ int main(int argc, char** argv) {
   if (!fit.ok()) {
     std::fprintf(stderr, "Fit failed: %s\n", fit.ToString().c_str());
     return 1;
+  }
+  if (synth.report().warm_started) {
+    std::printf("warm start: offline models restored from %s in %.3fs\n",
+                options.model_dir.c_str(), synth.report().offline_seconds);
   }
   auto result = synth.Synthesize();
   if (!result.ok()) {

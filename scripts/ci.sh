@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 CI: the checks every PR must keep green (ROADMAP.md).
 #
-#   scripts/ci.sh            # build + full test suite + TSan-labeled suites
-#   SKIP_TSAN=1 scripts/ci.sh  # skip the ThreadSanitizer pass (fast local run)
+#   scripts/ci.sh              # build + full suite + sanitizer passes + smoke
+#   SKIP_TSAN=1 scripts/ci.sh  # skip the ThreadSanitizer pass
+#   SKIP_ASAN=1 scripts/ci.sh  # skip the Address/UB-Sanitizer pass
+#   SKIP_SMOKE=1 scripts/ci.sh # skip the warm-start smoke stage
 #
-# Two build trees are used so the sanitizer never contaminates the main
-# binaries: build/ (plain) and build-tsan/ (-DSERD_SANITIZE=thread, only
-# the suites labeled `tsan` — the concurrency-heavy core and runtime
-# tests).
+# Separate build trees keep the sanitizers from contaminating the main
+# binaries: build/ (plain), build-tsan/ (-DSERD_SANITIZE=thread, suites
+# labeled `tsan`), and build-asan/ (-DSERD_SANITIZE=address, i.e.
+# ASan+UBSan, suites labeled `asan` — the artifact fault-injection tests,
+# whose whole point is that corrupted bytes never cause out-of-bounds
+# reads).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +31,49 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
 
   echo "==> ctest -L tsan (ThreadSanitizer suite)"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "==> configure + build (Address+UB Sanitizer)"
+  cmake -B build-asan -S . -DSERD_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+
+  echo "==> ctest -L asan (Address+UB Sanitizer suite)"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L asan
+fi
+
+if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
+  echo "==> warm-start smoke (train + save, reload, bit-identical output)"
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  CLI=build/examples/serd_cli
+  COMMON=(--dataset dblp-acm --scale 0.02 --seed 7 --threads 2)
+
+  "$CLI" "${COMMON[@]}" --save-models "$SMOKE_DIR/models" \
+    --out "$SMOKE_DIR/cold" --manifest "$SMOKE_DIR/cold.json"
+  "$CLI" "${COMMON[@]}" --load-models "$SMOKE_DIR/models" \
+    --out "$SMOKE_DIR/warm" --manifest "$SMOKE_DIR/warm.json"
+
+  echo "==> smoke: released datasets must be bit-identical"
+  diff -r "$SMOKE_DIR/cold" "$SMOKE_DIR/warm"
+
+  echo "==> smoke: warm run loaded the artifact and skipped training"
+  grep -q '"warm_started": true' "$SMOKE_DIR/warm.json"
+  grep -q '"artifact.load_ok": 1' "$SMOKE_DIR/warm.json"
+  if grep -q '"seq2seq.steps"' "$SMOKE_DIR/warm.json"; then
+    echo "FAIL: warm manifest records transformer training steps" >&2
+    exit 1
+  fi
+
+  echo "==> smoke: online (s2.*) metrics agree between cold and warm"
+  # Timers (*seconds*) and trace spans (s2.loop) hold wall-clock values
+  # that legitimately differ between runs; every deterministic s2 counter
+  # and histogram must match exactly.
+  grep '"s2\.' "$SMOKE_DIR/cold.json" | grep -v seconds | grep -v 's2\.loop' \
+    > "$SMOKE_DIR/cold_s2.txt"
+  grep '"s2\.' "$SMOKE_DIR/warm.json" | grep -v seconds | grep -v 's2\.loop' \
+    > "$SMOKE_DIR/warm_s2.txt"
+  diff "$SMOKE_DIR/cold_s2.txt" "$SMOKE_DIR/warm_s2.txt"
 fi
 
 echo "==> CI green"

@@ -1,0 +1,187 @@
+#include "artifact/artifact_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace serd::artifact {
+
+namespace {
+
+/// Sections per artifact stay in the single digits; the bound exists only
+/// so a corrupted count field cannot drive an unbounded parse loop.
+constexpr uint32_t kMaxSections = 1024;
+constexpr uint32_t kMaxSectionNameLen = 4096;
+
+}  // namespace
+
+// --------------------------------------------------------- ArtifactWriter
+
+ByteWriter* ArtifactWriter::AddSection(const std::string& name) {
+  for (const auto& [existing, _] : sections_) {
+    SERD_CHECK(existing != name) << "duplicate artifact section: " << name;
+  }
+  sections_.emplace_back(name, std::make_unique<ByteWriter>());
+  return sections_.back().second.get();
+}
+
+std::string ArtifactWriter::Assemble() const {
+  // Header body: version + count + table (everything the header CRC
+  // covers).
+  ByteWriter header;
+  header.U32(kArtifactFormatVersion);
+  header.U32(static_cast<uint32_t>(sections_.size()));
+  uint64_t offset = 0;
+  for (const auto& [name, payload] : sections_) {
+    header.Str(name);
+    header.U64(offset);
+    header.U64(payload->bytes().size());
+    header.U32(Crc32(payload->bytes()));
+    offset += payload->bytes().size();
+  }
+
+  std::string out(kArtifactMagic, sizeof(kArtifactMagic));
+  out += header.bytes();
+  ByteWriter crc;
+  crc.U32(Crc32(header.bytes()));
+  out += crc.bytes();
+  for (const auto& [name, payload] : sections_) {
+    out += payload->bytes();
+  }
+  return out;
+}
+
+Status ArtifactWriter::WriteFile(const std::string& path) const {
+  std::string image = Assemble();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != image.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------- ArtifactReader
+
+Result<ArtifactReader> ArtifactReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open artifact: " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("read error on artifact: " + path);
+  }
+  return FromBytes(std::move(bytes));
+}
+
+Result<ArtifactReader> ArtifactReader::FromBytes(std::string bytes) {
+  ArtifactReader reader;
+  reader.bytes_ = std::move(bytes);
+  const std::string& data = reader.bytes_;
+
+  if (data.size() < sizeof(kArtifactMagic) + 12) {
+    return Status::InvalidArgument(
+        "artifact: file too short to hold a header (" +
+        std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kArtifactMagic, sizeof(kArtifactMagic)) != 0) {
+    return Status::InvalidArgument(
+        "artifact: bad magic (not a SERD model artifact)");
+  }
+
+  ByteReader r(std::string_view(data).substr(sizeof(kArtifactMagic)));
+  uint32_t version = r.U32();
+  if (!r.ok()) return r.status();
+  if (version != kArtifactFormatVersion) {
+    return Status::FailedPrecondition(
+        "artifact: unsupported format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kArtifactFormatVersion) + ")");
+  }
+  uint32_t count = r.U32();
+  if (!r.ok()) return r.status();
+  if (count > kMaxSections) {
+    return Status::InvalidArgument("artifact: implausible section count " +
+                                   std::to_string(count));
+  }
+  reader.sections_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SectionInfo info;
+    info.name = r.Str();
+    info.offset = r.U64();
+    info.size = r.U64();
+    info.crc = r.U32();
+    if (!r.ok()) {
+      return Status::InvalidArgument(
+          "artifact: truncated section table (entry " + std::to_string(i) +
+          " of " + std::to_string(count) + ")");
+    }
+    if (info.name.empty() || info.name.size() > kMaxSectionNameLen) {
+      return Status::InvalidArgument(
+          "artifact: malformed section name in table entry " +
+          std::to_string(i));
+    }
+    reader.sections_.push_back(std::move(info));
+  }
+
+  // Header CRC covers version + count + table.
+  size_t table_end = sizeof(kArtifactMagic) +
+                     (data.size() - sizeof(kArtifactMagic) - r.remaining());
+  uint32_t stored_header_crc = r.U32();
+  if (!r.ok()) {
+    return Status::InvalidArgument("artifact: truncated before header CRC");
+  }
+  uint32_t actual_header_crc =
+      Crc32(data.data() + sizeof(kArtifactMagic),
+            table_end - sizeof(kArtifactMagic));
+  if (stored_header_crc != actual_header_crc) {
+    return Status::InvalidArgument(
+        "artifact: section table CRC mismatch (header corrupted)");
+  }
+
+  reader.payload_start_ = table_end + 4;
+  uint64_t payload_size = data.size() - reader.payload_start_;
+  for (const auto& info : reader.sections_) {
+    if (info.offset > payload_size || info.size > payload_size - info.offset) {
+      return Status::InvalidArgument(
+          "artifact: section '" + info.name +
+          "' extends past end of file (truncated artifact)");
+    }
+  }
+  return reader;
+}
+
+bool ArtifactReader::Has(const std::string& name) const {
+  for (const auto& info : sections_) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+Result<ByteReader> ArtifactReader::Section(const std::string& name) const {
+  for (const auto& info : sections_) {
+    if (info.name != name) continue;
+    std::string_view payload =
+        std::string_view(bytes_).substr(payload_start_ + info.offset,
+                                        info.size);
+    if (Crc32(payload) != info.crc) {
+      return Status::InvalidArgument("artifact: CRC mismatch in section '" +
+                                     name + "' (payload corrupted)");
+    }
+    return ByteReader(payload);
+  }
+  return Status::NotFound("artifact: no section named '" + name + "'");
+}
+
+}  // namespace serd::artifact

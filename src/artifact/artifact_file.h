@@ -1,0 +1,94 @@
+#ifndef SERD_ARTIFACT_ARTIFACT_FILE_H_
+#define SERD_ARTIFACT_ARTIFACT_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "artifact/bytes.h"
+#include "common/status.h"
+
+namespace serd::artifact {
+
+/// On-disk container for versioned model artifacts (DESIGN.md §5g):
+///
+///   [0..8)    magic "SERDMDL1"
+///   [8..12)   u32 format version
+///   [12..16)  u32 section count
+///   table     per section: u32 name_len + name bytes
+///                          + u64 offset (relative to payload start)
+///                          + u64 size + u32 crc32(payload)
+///   u32       crc32 of bytes [8 .. end of table)  (header integrity)
+///   payloads  section payloads, in table order
+///
+/// Every failure mode of a malformed file — truncation anywhere, a flipped
+/// bit in the header, table, or any payload, a future format version — maps
+/// to a descriptive error Status; the reader never aborts and never reads
+/// out of bounds.
+inline constexpr char kArtifactMagic[8] = {'S', 'E', 'R', 'D',
+                                           'M', 'D', 'L', '1'};
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+/// Assembles an artifact in memory, then writes it in one shot. Sections
+/// are emitted in AddSection order, so the same model state always
+/// produces the same bytes (save -> load -> save is byte-identical).
+class ArtifactWriter {
+ public:
+  /// Returns the payload writer for a new section. Names must be unique;
+  /// the pointer stays valid for the lifetime of the ArtifactWriter.
+  ByteWriter* AddSection(const std::string& name);
+
+  /// The complete file image (header + table + payloads + CRCs).
+  std::string Assemble() const;
+
+  /// Assembles and writes to `path` (parent directory must exist).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<ByteWriter>>> sections_;
+};
+
+/// Parses and validates an artifact image. Open() validates the magic,
+/// version, section table, table CRC, and that every section lies within
+/// the file; Section() additionally verifies that section's payload CRC on
+/// access.
+class ArtifactReader {
+ public:
+  struct SectionInfo {
+    std::string name;
+    uint64_t offset = 0;  ///< relative to payload start
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  /// Reads and validates `path`. Errors: IOError (unreadable file),
+  /// FailedPrecondition (format version mismatch), InvalidArgument (bad
+  /// magic, truncation, CRC mismatch, malformed table).
+  static Result<ArtifactReader> Open(const std::string& path);
+
+  /// Same validation over an in-memory image (tests, fault injection).
+  static Result<ArtifactReader> FromBytes(std::string bytes);
+
+  bool Has(const std::string& name) const;
+
+  /// CRC-verified payload reader for `name`. NotFound when the section is
+  /// absent; InvalidArgument on a checksum mismatch.
+  Result<ByteReader> Section(const std::string& name) const;
+
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  /// Absolute file offset where payloads begin (fault-injection tests use
+  /// this to target header vs. payload bytes).
+  size_t payload_start() const { return payload_start_; }
+  size_t file_size() const { return bytes_.size(); }
+
+ private:
+  ArtifactReader() = default;
+
+  std::string bytes_;
+  size_t payload_start_ = 0;
+  std::vector<SectionInfo> sections_;
+};
+
+}  // namespace serd::artifact
+
+#endif  // SERD_ARTIFACT_ARTIFACT_FILE_H_

@@ -58,6 +58,22 @@ Status SerdSynthesizer::Fit(
     const std::vector<std::vector<std::string>>& background_text_corpora,
     const Table& background_entities) {
   WallTimer timer;
+
+  // Warm start: a validated artifact replaces the entire offline phase —
+  // S1 GMM fitting, DP transformer training, GAN training. kAuto degrades
+  // to cold training when no usable artifact exists; kLoad treats that as
+  // fatal (callers relying on "no further DP budget is spent").
+  if (!options_.model_dir.empty() &&
+      options_.artifact_mode != SerdOptions::ArtifactMode::kSave) {
+    Status loaded = LoadModels(options_.model_dir);
+    if (loaded.ok()) return Status::OK();
+    if (options_.artifact_mode == SerdOptions::ArtifactMode::kLoad) {
+      return loaded;
+    }
+    SERD_LOG(kWarning) << "model artifact unavailable ("
+                       << loaded.ToString() << "); training from scratch";
+  }
+
   Rng rng(options_.seed);
 
   // ----- S1: learn the M- and N-distributions from E_real. -----
@@ -150,7 +166,13 @@ Status SerdSynthesizer::Fit(
   }
 
   report_.offline_seconds = timer.Seconds();
+  source_offline_seconds_ = report_.offline_seconds;
+  report_.warm_started = false;
   fitted_ = true;
+
+  if (!options_.model_dir.empty()) {
+    SERD_RETURN_IF_ERROR(SaveModels(options_.model_dir));
+  }
   return Status::OK();
 }
 
@@ -638,6 +660,8 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   opts.Set("match_link_rate", options_.match_link_rate);
   opts.Set("max_label_pairs", options_.max_label_pairs);
   opts.Set("observability", options_.observability);
+  opts.Set("model_dir", options_.model_dir);
+  opts.Set("artifact_mode", static_cast<int>(options_.artifact_mode));
   root.Set("options", std::move(opts));
 
   obs::Json rep = obs::Json::Object();
@@ -658,6 +682,7 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   rep.Set("shortfall_a", report_.shortfall_a);
   rep.Set("shortfall_b", report_.shortfall_b);
   rep.Set("mean_bank_epsilon", report_.mean_bank_epsilon);
+  rep.Set("warm_started", report_.warm_started);
   rep.Set("jsd_real_vs_syn", report_.jsd_real_vs_syn);
   rep.Set("m_components", report_.m_components);
   rep.Set("n_components", report_.n_components);

@@ -63,6 +63,22 @@ struct SerdOptions {
   /// Cap on cross pairs examined in the final labeling pass (0 = all).
   size_t max_label_pairs = 250000;
 
+  // --- artifact store (warm start; DESIGN.md Section 5g) ---
+  /// What Fit() does with `model_dir` when it is non-empty.
+  enum class ArtifactMode {
+    kAuto,  ///< load if a valid artifact exists, else train and save
+    kLoad,  ///< load or fail — never train (guarantees no DP budget spend)
+    kSave,  ///< always train, then save (overwrites any existing artifact)
+  };
+
+  /// Directory holding the model artifact (kModelFileName). Empty (the
+  /// default) disables the artifact store entirely. When a valid artifact
+  /// is loaded, Fit() skips the whole offline phase — S1 GMM fitting, DP
+  /// transformer training, and GAN training — and Synthesize() produces
+  /// bit-identical output to a cold run with the same options and seed.
+  std::string model_dir;
+  ArtifactMode artifact_mode = ArtifactMode::kAuto;
+
   uint64_t seed = 2024;
   bool verbose = false;
 
@@ -112,6 +128,10 @@ struct SerdReport {
   double jsd_real_vs_syn = 0.0;    ///< JSD(O_real, O_syn) at the end
   int m_components = 0;          ///< AIC-selected component counts
   int n_components = 0;
+  /// True when Fit() restored the offline models from an artifact instead
+  /// of training them (offline_seconds is then the load time). An offline
+  /// field: ResetOnlineStats keeps it.
+  bool warm_started = false;
   int threads_used = 1;          ///< resolved SerdOptions::threads
   /// Achieved parallel speedup of the last Synthesize(): total busy time
   /// across executors / wall time inside parallel regions. 1.0 when serial.
@@ -169,6 +189,26 @@ class SerdSynthesizer {
 
   /// S2 + S3. Requires Fit() to have succeeded.
   Result<ERDataset> Synthesize();
+
+  /// File name of the model artifact inside SerdOptions::model_dir.
+  static constexpr char kModelFileName[] = "serd_models.bin";
+
+  /// Serializes every offline model (O_real, string banks, GAN, decode
+  /// pools) to `dir`/kModelFileName — versioned, per-section checksummed
+  /// (src/artifact). Creates `dir` if missing. Requires a successful
+  /// Fit(); Fit() calls this itself when SerdOptions::model_dir is set.
+  Status SaveModels(const std::string& dir) const;
+
+  /// Restores the offline models from `dir`/kModelFileName, replacing any
+  /// fitted state. Validates the artifact's checksums and its recorded
+  /// schema against this synthesizer's dataset; on any failure the
+  /// synthesizer is left exactly as it was (no partial state) and a
+  /// descriptive Status is returned. On success the synthesizer behaves
+  /// as if Fit() had just trained these models: Synthesize() output is
+  /// bit-identical to the run that saved them (same options and seed),
+  /// and the DP epsilon recorded at training time is carried over into
+  /// the report without spending any further budget.
+  Status LoadModels(const std::string& dir);
 
   const SerdReport& report() const { return report_; }
   const ODistribution& o_real() const { return o_real_; }
@@ -262,6 +302,11 @@ class SerdSynthesizer {
   std::vector<std::vector<std::string>> decode_pools_;
 
   bool fitted_ = false;
+  /// Wall-clock seconds of the training run that produced the current
+  /// offline models — surviving any number of save/load cycles, so a
+  /// re-saved artifact is byte-identical to its source (report_'s
+  /// offline_seconds becomes the load time after a warm start).
+  double source_offline_seconds_ = 0.0;
   SerdReport report_;
 };
 

@@ -1,5 +1,6 @@
 #include "data/dataset_io.h"
 
+#include <filesystem>
 #include <unordered_map>
 
 #include "common/strings.h"
@@ -18,6 +19,15 @@ Result<ColumnType> ParseColumnType(const std::string& s) {
 }  // namespace
 
 Status SaveDataset(const ERDataset& dataset, const std::string& dir) {
+  // Create the release directory tree; a fresh --out path should work
+  // without a prior mkdir.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create dataset directory '" + dir +
+                           "': " + ec.message());
+  }
+
   // schema.csv
   CsvDocument schema_doc;
   schema_doc.header = {"name", "type", "self_join"};

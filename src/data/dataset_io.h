@@ -16,7 +16,7 @@ namespace serd {
 /// Ids are used instead of row indexes so the files remain meaningful if
 /// a consumer re-sorts the tables.
 ///
-/// Writes `dataset` under `dir` (the directory must exist).
+/// Writes `dataset` under `dir`, creating the directory tree if needed.
 Status SaveDataset(const ERDataset& dataset, const std::string& dir);
 
 /// Loads a dataset previously written by SaveDataset. `name` labels the

@@ -50,6 +50,21 @@ class EntityGan {
 
   bool trained() const { return trained_; }
   size_t feature_dim() const { return feature_dim_; }
+  const GanConfig& config() const { return config_; }
+
+  /// Artifact-store access (src/artifact): parameter tensors in
+  /// registration order (layer by layer, weight then bias). The tensors
+  /// are shared, so a loader overwrites weights in place.
+  const std::vector<nn::TensorPtr>& generator_parameters() const {
+    return g_params_;
+  }
+  const std::vector<nn::TensorPtr>& discriminator_parameters() const {
+    return d_params_;
+  }
+
+  /// Marks the GAN usable after its weights were restored from an
+  /// artifact (Train() was never called on this instance).
+  void MarkTrained() { trained_ = true; }
 
   /// Mean discriminator score over a feature set (diagnostics).
   double MeanScore(const std::vector<std::vector<float>>& features) const;

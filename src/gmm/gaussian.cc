@@ -29,6 +29,22 @@ MultivariateGaussian::MultivariateGaussian(Vec mean, Matrix covariance,
   SERD_CHECK(false) << "covariance could not be regularized to SPD";
 }
 
+MultivariateGaussian MultivariateGaussian::FromParts(Vec mean,
+                                                     Matrix covariance,
+                                                     Matrix chol,
+                                                     double log_det) {
+  SERD_CHECK_EQ(covariance.rows(), mean.size());
+  SERD_CHECK_EQ(covariance.cols(), mean.size());
+  SERD_CHECK_EQ(chol.rows(), mean.size());
+  SERD_CHECK_EQ(chol.cols(), mean.size());
+  MultivariateGaussian g;
+  g.mean_ = std::move(mean);
+  g.covariance_ = std::move(covariance);
+  g.chol_ = std::move(chol);
+  g.log_det_ = log_det;
+  return g;
+}
+
 double MultivariateGaussian::LogPdf(const Vec& x) const {
   SERD_CHECK_EQ(x.size(), mean_.size());
   Vec diff = Sub(x, mean_);

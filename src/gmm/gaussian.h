@@ -22,9 +22,21 @@ class MultivariateGaussian {
   /// worth) until it is — the caller keeps a usable density in all cases.
   MultivariateGaussian(Vec mean, Matrix covariance, double ridge = 1e-6);
 
+  /// Reconstructs a density from previously computed parts without
+  /// re-running the regularization/factorization loop (artifact store).
+  /// Because `chol`/`log_det` are restored verbatim, LogPdf and Sample are
+  /// bit-identical to the instance the parts were taken from, regardless
+  /// of how much ridge growth the original construction needed. The caller
+  /// must have validated the dimensions (d, d x d, d x d).
+  static MultivariateGaussian FromParts(Vec mean, Matrix covariance,
+                                        Matrix chol, double log_det);
+
   size_t dimension() const { return mean_.size(); }
   const Vec& mean() const { return mean_; }
   const Matrix& covariance() const { return covariance_; }
+  /// Lower-triangular factor of the regularized covariance (serialization).
+  const Matrix& cholesky() const { return chol_; }
+  double log_det() const { return log_det_; }
 
   /// log N(x; mu, Sigma).
   double LogPdf(const Vec& x) const;

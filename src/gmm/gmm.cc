@@ -23,6 +23,16 @@ Gmm::Gmm(std::vector<double> weights,
   for (double& w : weights_) w /= total;
 }
 
+Gmm Gmm::FromParts(std::vector<double> weights,
+                   std::vector<MultivariateGaussian> components) {
+  SERD_CHECK_EQ(weights.size(), components.size());
+  SERD_CHECK(!components.empty());
+  Gmm gmm;
+  gmm.weights_ = std::move(weights);
+  gmm.components_ = std::move(components);
+  return gmm;
+}
+
 double Gmm::LogPdf(const Vec& x) const {
   SERD_CHECK(!components_.empty());
   double max_term = -std::numeric_limits<double>::infinity();

@@ -41,6 +41,15 @@ class Gmm {
   Gmm(std::vector<double> weights,
       std::vector<MultivariateGaussian> components);
 
+  /// Restores a mixture with the weights taken verbatim — no
+  /// re-normalization (artifact store). The constructor divides each
+  /// weight by their sum, which perturbs low bits when the stored sum is
+  /// only approximately 1; reloading a fitted model must not do that or
+  /// Sample()/LogPdf() drift from the original. The caller must have
+  /// validated sizes, non-negativity, and a positive total.
+  static Gmm FromParts(std::vector<double> weights,
+                       std::vector<MultivariateGaussian> components);
+
   size_t num_components() const { return components_.size(); }
   size_t dimension() const {
     return components_.empty() ? 0 : components_[0].dimension();

@@ -49,6 +49,12 @@ void AppendEscaped(std::string* out, const std::string& s) {
 
 void Indent(std::string* out, int n) { out->append(2 * n, ' '); }
 
+/// ParseValue recurses once per container nesting level; a hostile
+/// document of the form "[[[[..." would otherwise turn parser recursion
+/// into stack exhaustion (a crash, not a Status). Manifests nest a
+/// handful of levels; 256 is far above any legitimate document.
+constexpr int kMaxParseDepth = 256;
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -90,14 +96,29 @@ class Parser {
   }
 
   Result<Json> ParseValue() {
+    if (depth_ >= kMaxParseDepth) {
+      return Status::InvalidArgument(
+          "JSON nesting exceeds the maximum depth of " +
+          std::to_string(kMaxParseDepth));
+    }
     SkipWhitespace();
     if (pos_ >= text_.size()) {
       return Status::InvalidArgument("unexpected end of JSON input");
     }
     char c = text_[pos_];
     switch (c) {
-      case '{': return ParseObject();
-      case '[': return ParseArray();
+      case '{': {
+        ++depth_;
+        auto obj = ParseObject();
+        --depth_;
+        return obj;
+      }
+      case '[': {
+        ++depth_;
+        auto arr = ParseArray();
+        --depth_;
+        return arr;
+      }
       case '"': {
         auto s = ParseString();
         if (!s.ok()) return s.status();
@@ -207,6 +228,7 @@ class Parser {
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

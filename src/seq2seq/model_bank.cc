@@ -135,6 +135,41 @@ Status StringSynthesisBank::TrainFromPairs(
   return Status::OK();
 }
 
+Status StringSynthesisBank::RestoreTrained(
+    CharVocab vocab, std::vector<std::string> corpus,
+    std::vector<std::string> word_pool,
+    std::vector<std::unique_ptr<TransformerSeq2Seq>> models,
+    StringBankStats stats) {
+  const size_t k = models.size();
+  if (k == 0) {
+    return Status::InvalidArgument("string bank restore: no buckets");
+  }
+  if (stats.pairs_per_bucket.size() != k || stats.bucket_trained.size() != k ||
+      stats.bucket_hits.size() != k) {
+    return Status::InvalidArgument(
+        "string bank restore: stats vectors disagree with bucket count " +
+        std::to_string(k));
+  }
+  for (size_t b = 0; b < k; ++b) {
+    if (models[b] == nullptr) continue;
+    if (models[b]->config().vocab_size != vocab.size()) {
+      return Status::InvalidArgument(
+          "string bank restore: bucket " + std::to_string(b) +
+          " model vocab_size " +
+          std::to_string(models[b]->config().vocab_size) +
+          " != vocabulary size " + std::to_string(vocab.size()));
+    }
+  }
+  options_.num_buckets = static_cast<int>(k);
+  vocab_ = std::move(vocab);
+  corpus_ = std::move(corpus);
+  word_pool_ = std::move(word_pool);
+  models_ = std::move(models);
+  stats_ = std::move(stats);
+  trained_ = true;
+  return Status::OK();
+}
+
 namespace {
 
 /// Fraction of a candidate's words drawn from a known word pool — a cheap

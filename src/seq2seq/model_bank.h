@@ -98,6 +98,26 @@ class StringSynthesisBank {
   /// The bucket index whose interval contains `sim`.
   int BucketOf(double sim) const;
 
+  // --- artifact-store access (src/artifact) ---
+
+  /// Per-bucket models (index = bucket; null = untrained bucket).
+  const std::vector<std::unique_ptr<TransformerSeq2Seq>>& models() const {
+    return models_;
+  }
+  const std::vector<std::string>& corpus() const { return corpus_; }
+  const std::vector<std::string>& word_pool() const { return word_pool_; }
+
+  /// Reinstates a trained bank from serialized state without re-running
+  /// DP training (warm start). `models.size()` becomes the bank's bucket
+  /// count (the trained structure is authoritative over the constructor
+  /// options); the stats vectors must match it. The DP epsilon recorded in
+  /// `stats.mean_epsilon` is the budget spent by the original training —
+  /// reloading spends nothing further.
+  Status RestoreTrained(CharVocab vocab, std::vector<std::string> corpus,
+                        std::vector<std::string> word_pool,
+                        std::vector<std::unique_ptr<TransformerSeq2Seq>> models,
+                        StringBankStats stats);
+
  private:
   std::string SynthesizeWithModel(int bucket, const std::string& s,
                                   double target_sim, Rng* rng) const;

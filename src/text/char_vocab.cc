@@ -21,6 +21,22 @@ void CharVocab::Fit(const std::vector<std::string>& corpus) {
   }
 }
 
+std::string CharVocab::NonSpecialChars() const {
+  return std::string(id_to_char_.begin() + kNumSpecials, id_to_char_.end());
+}
+
+void CharVocab::RestoreFromChars(std::string_view chars) {
+  char_to_id_.fill(kUnk);
+  id_to_char_.assign(kNumSpecials, '\0');
+  for (char c : chars) {
+    auto idx = static_cast<unsigned char>(c);
+    if (char_to_id_[idx] == kUnk) {
+      char_to_id_[idx] = static_cast<int>(id_to_char_.size());
+      id_to_char_.push_back(c);
+    }
+  }
+}
+
 int CharVocab::CharId(char c) const {
   return char_to_id_[static_cast<unsigned char>(c)];
 }

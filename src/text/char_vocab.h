@@ -39,6 +39,15 @@ class CharVocab {
   /// Decodes ids, skipping specials.
   std::string Decode(const std::vector<int>& ids) const;
 
+  /// The learned (non-special) characters in id order — the complete state
+  /// of a fitted vocabulary, used by the artifact store (src/artifact).
+  std::string NonSpecialChars() const;
+
+  /// Rebuilds the vocabulary from a NonSpecialChars() payload: character
+  /// i of `chars` gets id kNumSpecials + i (duplicates keep their first
+  /// id, as in Fit).
+  void RestoreFromChars(std::string_view chars);
+
  private:
   std::array<int, 256> char_to_id_;
   std::vector<char> id_to_char_;  // index -> char; specials map to '\0'

@@ -135,6 +135,72 @@ TEST(DatasetIoTest, LoadRejectsMissingDirectory) {
   EXPECT_FALSE(LoadDataset("/nonexistent/serd_dir", "x").ok());
 }
 
+TEST(DatasetIoTest, SaveCreatesMissingDirectoryTree) {
+  // A fresh --out path must work without a prior mkdir — including nested
+  // components that don't exist yet.
+  ERDataset ds = MakeDataset(false);
+  std::string base = MakeTempDir("mkdirs");
+  std::string dir = base + "/release/v1";
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  Status saved = SaveDataset(ds, dir);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = LoadDataset(dir, "reloaded");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->a.size(), ds.a.size());
+}
+
+TEST(DatasetIoTest, SaveIntoUncreatableDirectoryIsIOError) {
+  ERDataset ds = MakeDataset(false);
+  // A path under a regular file cannot be created.
+  std::string base = MakeTempDir("blocked");
+  std::string file = base + "/not_a_dir";
+  FILE* f = fopen(file.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fclose(f);
+  Status saved = SaveDataset(ds, file + "/out");
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kIOError);
+}
+
+TEST(DatasetIoTest, AwkwardFieldValuesRoundTrip) {
+  // CSV-hostile content: quotes, commas, newlines, leading/trailing
+  // space, and multi-byte UTF-8 — everything must survive a round trip
+  // through the quoted CSV writer/reader byte-for-byte.
+  const std::vector<std::string> titles = {
+      "say \"hello\", world",
+      "line one\nline two",
+      "  padded  ",
+      "naïve café — 東京",
+      "trailing comma,",
+      "\"fully quoted\"",
+  };
+  ERDataset ds;
+  ds.name = "awkward";
+  ds.a = Table(IoSchema());
+  ds.b = Table(IoSchema());
+  for (size_t i = 0; i < titles.size(); ++i) {
+    Entity e;
+    e.id = "a" + std::to_string(i);
+    e.values = {titles[i], "VLDB", "2001", "2001-06-01"};
+    ds.a.Append(std::move(e));
+    Entity e2;
+    e2.id = "b" + std::to_string(i);
+    e2.values = {titles[i], "SIGMOD", "2002", "2002-06-01"};
+    ds.b.Append(std::move(e2));
+    ds.matches.push_back({i, i});
+  }
+  std::string dir = MakeTempDir("awkward");
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  auto loaded = LoadDataset(dir, "awkward");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->a.size(), titles.size());
+  for (size_t i = 0; i < titles.size(); ++i) {
+    EXPECT_EQ(loaded->a.row(i).values[0], titles[i]) << "row " << i;
+    EXPECT_EQ(loaded->b.row(i).values[0], titles[i]) << "row " << i;
+  }
+  EXPECT_EQ(loaded->matches.size(), titles.size());
+}
+
 TEST(DatasetIoTest, LoadRejectsBadSchemaType) {
   ERDataset ds = MakeDataset(false);
   std::string dir = MakeTempDir("bad_schema");

@@ -11,6 +11,7 @@
 #include "datagen/generators.h"
 #include "gmm/o_distribution.h"
 #include "matcher/features.h"
+#include "obs/json.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
 #include "text/token.h"
@@ -207,6 +208,134 @@ TEST(PosteriorPropertyTest, PosteriorMonotoneAlongMixtureAxis) {
     EXPECT_GE(p, prev - 1e-9);
     prev = p;
   }
+}
+
+// ------------------------------------------------------------- JSON fuzz
+
+/// Generates a random JSON document, mixing every value type, with
+/// container nesting bounded by `depth`.
+obs::Json RandomJson(Rng* rng, int depth) {
+  const int kind = static_cast<int>(rng->UniformInt(depth > 0 ? 6 : 4));
+  switch (kind) {
+    case 0: return obs::Json();
+    case 1: return obs::Json::Bool(rng->Bernoulli(0.5));
+    case 2: {
+      // Mix integral values (the common counter case) with full doubles.
+      if (rng->Bernoulli(0.5)) {
+        return obs::Json::Number(
+            static_cast<double>(rng->UniformInt(-1000, 1000)));
+      }
+      return obs::Json::Number(rng->Uniform(-1e6, 1e6));
+    }
+    case 3: {
+      std::string s;
+      const size_t len = rng->UniformInt(12);
+      for (size_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the escape-worthy characters.
+        const char alphabet[] = "abc XYZ09\"\\\n\r\t_:{}[],";
+        s.push_back(alphabet[rng->UniformInt(sizeof alphabet - 1)]);
+      }
+      return obs::Json::Str(s);
+    }
+    case 4: {
+      obs::Json arr = obs::Json::Array();
+      const size_t n = rng->UniformInt(4);
+      for (size_t i = 0; i < n; ++i) {
+        arr.Append(RandomJson(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      obs::Json obj = obs::Json::Object();
+      const size_t n = rng->UniformInt(4);
+      for (size_t i = 0; i < n; ++i) {
+        std::string key = "k";
+        key += std::to_string(i);
+        obj.Set(key, RandomJson(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+class JsonFuzzSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonFuzzSweep, DumpParseDumpIsAFixpoint) {
+  // parse(dump(x)) must succeed and dump to the same text: one round trip
+  // canonicalizes, after which the representation is stable.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    obs::Json doc = RandomJson(&rng, 4);
+    std::string text = doc.Dump();
+    auto parsed = obs::Json::Parse(text);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\ndocument: " << text;
+    EXPECT_EQ(parsed->Dump(), text);
+  }
+}
+
+TEST_P(JsonFuzzSweep, MutatedDocumentsNeverCrashTheParser) {
+  // Valid documents with random byte mutations and truncations: Parse may
+  // accept or reject, but must always return (no crash, no hang), and an
+  // accepted document must re-dump parseably.
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = RandomJson(&rng, 3).Dump();
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const size_t pos = rng.UniformInt(text.size());
+      switch (rng.UniformInt(3)) {
+        case 0: text[pos] = static_cast<char>(rng.UniformInt(256)); break;
+        case 1: text.erase(pos, 1); break;
+        default: text.resize(pos); break;  // truncate
+      }
+    }
+    auto parsed = obs::Json::Parse(text);
+    if (parsed.ok()) {
+      auto again = obs::Json::Parse(parsed->Dump());
+      EXPECT_TRUE(again.ok()) << "re-parse of accepted mutant failed";
+    } else {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+TEST_P(JsonFuzzSweep, RandomBytesNeverCrashTheParser) {
+  Rng rng(GetParam() * 97 + 13);
+  for (int trial = 0; trial < 80; ++trial) {
+    std::string junk(rng.UniformInt(120), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.UniformInt(256));
+    auto parsed = obs::Json::Parse(junk);
+    (void)parsed.ok();  // either outcome is fine; returning at all is the test
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzSweep,
+                         testing::Values(101u, 202u, 303u));
+
+TEST(JsonParseTest, DeepNestingIsRejectedNotACrash) {
+  // 100k unclosed '[' used to exhaust the parser's call stack; the depth
+  // cap must turn it into an InvalidArgument well before that.
+  for (const char open : {'[', '{'}) {
+    std::string bomb(100000, open);
+    if (open == '{') {
+      // Objects need a key to recurse: "{"k":{"k":...
+      bomb.clear();
+      for (int i = 0; i < 5000; ++i) bomb += "{\"k\":";
+    }
+    auto parsed = obs::Json::Parse(bomb);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("depth"), std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(JsonParseTest, NestingAtTheCapStillParses) {
+  // 250 levels is under the 256 cap: must parse and round-trip.
+  std::string deep(250, '[');
+  deep += std::string(250, ']');
+  auto parsed = obs::Json::Parse(deep);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 }
 
 TEST(JsdPropertyTest, SymmetricUnderSwap) {
