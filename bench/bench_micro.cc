@@ -26,6 +26,8 @@
 #include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "seq2seq/transformer.h"
+#include "text/char_vocab.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
 
@@ -281,6 +283,97 @@ void BM_GmmSample(benchmark::State& state) {
 }
 BENCHMARK(BM_GmmSample);
 
+// ---- Decode rows (single thread; `--generate` selects these and      ----
+// ---- writes BENCH_generate.json; see main() below). Cached vs full   ----
+// ---- re-decode of one candidate, and serial vs shared-encoder        ----
+// ---- batched generation of a candidate set.                          ----
+
+/// Shared fixture for the generation rows: a random-weight model over a
+/// realistic character vocabulary and a source string of the requested
+/// length. Weights are untrained — decode cost depends only on shapes, and
+/// random logits keep the sampled lengths honest (EOS can fire anywhere).
+struct GenerateFixture {
+  GenerateFixture(int src_chars) {
+    std::string base =
+        "adaptable query optimization and evaluation in temporal middleware ";
+    while (static_cast<int>(base.size()) < src_chars) base += base;
+    source = base.substr(0, static_cast<size_t>(src_chars));
+    vocab.Fit({base});
+    TransformerConfig cfg;  // library defaults: d 32, ffn 64, max_len 64
+    cfg.vocab_size = vocab.size();
+    Rng init(41);
+    model = std::make_unique<TransformerSeq2Seq>(cfg, &init);
+    src_ids = vocab.Encode(source);
+  }
+  CharVocab vocab;
+  std::unique_ptr<TransformerSeq2Seq> model;
+  std::string source;
+  std::vector<int> src_ids;
+};
+
+void BM_GenerateFullDecode(benchmark::State& state) {
+  // The reference path: every step re-decodes the whole prefix.
+  GenerateFixture fx(static_cast<int>(state.range(0)));
+  long steps = 0;
+  for (auto _ : state) {
+    Rng rng(17);  // fixed seed: identical token stream to the cached row
+    GenerateStats gstats;
+    benchmark::DoNotOptimize(fx.model->Generate(fx.src_ids, &rng, 1.0f,
+                                                &gstats));
+    steps += gstats.steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_GenerateFullDecode)->Arg(24)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateKvCached(benchmark::State& state) {
+  GenerateFixture fx(static_cast<int>(state.range(0)));
+  long steps = 0;
+  for (auto _ : state) {
+    Rng rng(17);
+    GenerateStats gstats;
+    fx.model->GenerateBatch(
+        fx.src_ids, 1, &rng, 1.0f,
+        [](int, const std::vector<int>&) { return true; },
+        /*use_kv_cache=*/true, &gstats);
+    steps += gstats.steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_GenerateKvCached)->Arg(24)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateCandidatesSerial(benchmark::State& state) {
+  // S2's pre-batching candidate loop: re-encode the source and full
+  // re-decode for each of the 4 candidates.
+  GenerateFixture fx(40);
+  const int candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(19);
+    for (int c = 0; c < candidates; ++c) {
+      benchmark::DoNotOptimize(fx.model->Generate(fx.src_ids, &rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * candidates);
+}
+BENCHMARK(BM_GenerateCandidatesSerial)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateCandidatesBatched(benchmark::State& state) {
+  // The batched path: encode once, share the memory and its cross K/V
+  // across all candidates, decode each through the KV cache.
+  GenerateFixture fx(40);
+  const int candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(19);
+    int produced = fx.model->GenerateBatch(
+        fx.src_ids, candidates, &rng, 1.0f,
+        [](int, const std::vector<int>&) { return true; },
+        /*use_kv_cache=*/true);
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * candidates);
+}
+BENCHMARK(BM_GenerateCandidatesBatched)->Arg(4)->Unit(benchmark::kMillisecond);
+
 // ---- Observability rows: instrumentation-site cost with the registry ----
 // ---- off (null pointers, the default) vs on. The disabled rows must  ----
 // ---- be indistinguishable from uninstrumented code (< 2% on any hot  ----
@@ -398,14 +491,26 @@ int main(int argc, char** argv) {
   // kernel-layer before/after rows (SGEMM reference vs blocked, string vs
   // hashed q-grams, heap vs arena tape steps) and writes BENCH_kernels.json
   // instead, so the single-thread kernel numbers live in their own file.
+  //
+  // `--generate` (or SERD_BENCH_GENERATE) likewise selects the decode
+  // rows (KV-cached vs full re-decode, batched vs serial candidate
+  // generation) and writes BENCH_generate.json.
+  auto env_set = [](const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && std::string(v) != "";
+  };
   std::vector<char*> args;
   args.push_back(argv[0]);
-  bool kernels_only = std::getenv("SERD_BENCH_KERNELS") != nullptr &&
-                      std::string(std::getenv("SERD_BENCH_KERNELS")) != "";
+  bool kernels_only = env_set("SERD_BENCH_KERNELS");
+  bool generate_only = env_set("SERD_BENCH_GENERATE");
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--kernels") {
       kernels_only = true;
+      continue;
+    }
+    if (std::string(argv[i]) == "--generate") {
+      generate_only = true;
       continue;
     }
     if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
@@ -413,17 +518,18 @@ int main(int argc, char** argv) {
     }
     args.push_back(argv[i]);
   }
-  std::string out_flag = kernels_only
-                             ? "--benchmark_out=BENCH_kernels.json"
-                             : "--benchmark_out=BENCH_micro.json";
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  if (kernels_only) out_flag = "--benchmark_out=BENCH_kernels.json";
+  if (generate_only) out_flag = "--benchmark_out=BENCH_generate.json";
   std::string fmt_flag = "--benchmark_out_format=json";
   std::string filter_flag =
       "--benchmark_filter=Sgemm|QgramJaccard(Strings|Hashed)|TapeStep";
+  if (generate_only) filter_flag = "--benchmark_filter=Generate";
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
-  if (kernels_only) {
+  if (kernels_only || generate_only) {
     args.push_back(filter_flag.data());
   }
   int ac = static_cast<int>(args.size());

@@ -15,6 +15,10 @@
 //            [--load-models DIR]  (warm start: restore the offline models
 //                                  from DIR and skip training; fails if
 //                                  the artifact is missing or invalid)
+//            [--reference-decode]  (decode candidates with the full
+//                                   re-decode reference path instead of
+//                                   the KV cache; slower, bit-identical
+//                                   output — used to audit the cache)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +41,8 @@ int Usage(const char* argv0) {
       "          [--scale S] [--seed N] [--out DIR] [--no-rejection]\n"
       "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n"
       "          [--threads N] [--manifest FILE.json]\n"
-      "          [--save-models DIR] [--load-models DIR]\n",
+      "          [--save-models DIR] [--load-models DIR]\n"
+      "          [--reference-decode]\n",
       argv0);
   return 2;
 }
@@ -112,6 +117,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--load-models") {
       options.model_dir = next("--load-models");
       options.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+    } else if (arg == "--reference-decode") {
+      options.string_bank.incremental_decode = false;
     } else {
       return Usage(argv[0]);
     }

@@ -40,6 +40,12 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
 
   echo "==> ctest -L asan (Address+UB Sanitizer suite)"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L asan
+
+  echo "==> ctest (KV-cache decode equivalence under ASan)"
+  # The fuzz sweep asserting cached-decode logits match the full re-decode
+  # reference; run by name so a label change can't silently drop it.
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'KvCacheFuzzSweep|KvCacheTest'
 fi
 
 if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
@@ -74,6 +80,28 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   grep '"s2\.' "$SMOKE_DIR/warm.json" | grep -v seconds | grep -v 's2\.loop' \
     > "$SMOKE_DIR/warm_s2.txt"
   diff "$SMOKE_DIR/cold_s2.txt" "$SMOKE_DIR/warm_s2.txt"
+
+  echo "==> smoke: KV-cached decode is bit-identical to the reference path"
+  # Same seed, decode through the KV cache (default) vs the full re-decode
+  # reference (--reference-decode): the released datasets must match byte
+  # for byte, and the cached run must actually have used the cache.
+  "$CLI" "${COMMON[@]}" --out "$SMOKE_DIR/kv" --manifest "$SMOKE_DIR/kv.json"
+  "$CLI" "${COMMON[@]}" --reference-decode --out "$SMOKE_DIR/ref" \
+    --manifest "$SMOKE_DIR/ref.json"
+  diff -r "$SMOKE_DIR/kv" "$SMOKE_DIR/ref"
+  grep -q '"incremental_decode": true' "$SMOKE_DIR/kv.json"
+  grep -q '"incremental_decode": false' "$SMOKE_DIR/ref.json"
+  python3 - "$SMOKE_DIR/kv.json" "$SMOKE_DIR/ref.json" <<'EOF'
+import json, sys
+kv = json.load(open(sys.argv[1]))["report"]
+ref = json.load(open(sys.argv[2]))["report"]
+assert kv["decode_steps"] > 0, "cached run decoded nothing"
+assert kv["decode_cached_steps"] == kv["decode_steps"], \
+    "cached run fell back to full re-decode"
+assert ref["decode_cached_steps"] == 0, "reference run used the cache"
+assert kv["decode_steps"] == ref["decode_steps"], \
+    "decode paths drew different token streams"
+EOF
 fi
 
 echo "==> CI green"

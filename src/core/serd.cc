@@ -275,6 +275,25 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   report_.threads_used = static_cast<int>(resolved_threads_);
   Rng rng(options_.seed ^ 0x51e2d5ULL);
 
+  // Bank decode stats accumulate across runs; snapshot them so the report
+  // carries this run's delta.
+  struct BankDecodeTotals {
+    long steps = 0, cached = 0, hits = 0, misses = 0;
+  };
+  auto bank_decode_totals = [this] {
+    BankDecodeTotals t;
+    for (const auto& bank : banks_) {
+      if (bank == nullptr) continue;
+      const StringBankStats& s = bank->stats();
+      t.steps += s.decode_steps;
+      t.cached += s.decode_cached_steps;
+      t.hits += s.encoder_cache_hits;
+      t.misses += s.encoder_cache_misses;
+    }
+    return t;
+  };
+  const BankDecodeTotals decode_before = bank_decode_totals();
+
   // Metric handles resolved once, outside the loop (all null when
   // observability is off; recording through them is then one pointer test
   // per site).
@@ -624,6 +643,11 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   } else {
     report_.parallel_speedup = 1.0;
   }
+  const BankDecodeTotals decode_after = bank_decode_totals();
+  report_.decode_steps = decode_after.steps - decode_before.steps;
+  report_.decode_cached_steps = decode_after.cached - decode_before.cached;
+  report_.encoder_cache_hits = decode_after.hits - decode_before.hits;
+  report_.encoder_cache_misses = decode_after.misses - decode_before.misses;
   report_.online_seconds = timer.Seconds();
   if (metrics_ != nullptr) {
     metrics_->gauge("run.online_seconds")->Set(report_.online_seconds);
@@ -660,6 +684,7 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   opts.Set("match_link_rate", options_.match_link_rate);
   opts.Set("max_label_pairs", options_.max_label_pairs);
   opts.Set("observability", options_.observability);
+  opts.Set("incremental_decode", options_.string_bank.incremental_decode);
   opts.Set("model_dir", options_.model_dir);
   opts.Set("artifact_mode", static_cast<int>(options_.artifact_mode));
   root.Set("options", std::move(opts));
@@ -678,6 +703,13 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   rep.Set("tracked_pairs_pos", static_cast<int64_t>(report_.tracked_pairs_pos));
   rep.Set("tracked_pairs_neg", static_cast<int64_t>(report_.tracked_pairs_neg));
   rep.Set("jsd_evaluations", static_cast<int64_t>(report_.jsd_evaluations));
+  rep.Set("decode_steps", static_cast<int64_t>(report_.decode_steps));
+  rep.Set("decode_cached_steps",
+          static_cast<int64_t>(report_.decode_cached_steps));
+  rep.Set("encoder_cache_hits",
+          static_cast<int64_t>(report_.encoder_cache_hits));
+  rep.Set("encoder_cache_misses",
+          static_cast<int64_t>(report_.encoder_cache_misses));
   rep.Set("guard_exhausted", report_.guard_exhausted);
   rep.Set("shortfall_a", report_.shortfall_a);
   rep.Set("shortfall_b", report_.shortfall_b);

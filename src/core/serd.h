@@ -119,6 +119,15 @@ struct SerdReport {
   long tracked_pairs_pos = 0;
   long tracked_pairs_neg = 0;
   long jsd_evaluations = 0;      ///< EstimateJsd calls during Synthesize()
+  /// String-bank decode accounting for this run (summed over the text
+  /// columns' banks): next-token logits rows computed, how many went
+  /// through the KV-cached incremental path, and encoder-memory cache
+  /// traffic. cached = 0 when running with incremental_decode off
+  /// (--reference-decode).
+  long decode_steps = 0;
+  long decode_cached_steps = 0;
+  long encoder_cache_hits = 0;
+  long encoder_cache_misses = 0;
   /// True when the S2 guard loop hit its iteration cap before reaching the
   /// target sizes; the returned dataset is short by shortfall_a/_b rows.
   bool guard_exhausted = false;
@@ -153,6 +162,10 @@ struct SerdReport {
     tracked_pairs_pos = 0;
     tracked_pairs_neg = 0;
     jsd_evaluations = 0;
+    decode_steps = 0;
+    decode_cached_steps = 0;
+    encoder_cache_hits = 0;
+    encoder_cache_misses = 0;
     guard_exhausted = false;
     shortfall_a = 0;
     shortfall_b = 0;

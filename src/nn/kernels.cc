@@ -73,6 +73,8 @@ bool UseAvx2() {
 }
 #endif  // SERD_KERNELS_X86_DISPATCH
 
+}  // namespace
+
 /// Shared blocked driver: sizes the thread-local packing scratch (no
 /// allocation after warmup; never shared, one model replica per thread)
 /// and hands off to the ISA variant. Strides as in GemmStridedImpl.
@@ -107,8 +109,6 @@ void GemmStrided(std::size_t m, std::size_t n, std::size_t k, const float* a,
   portable::GemmStridedImpl(m, n, k, a, ars, acs, b, brs, bcs, c, accumulate,
                             apack.data(), bpack.data());
 }
-
-}  // namespace
 
 void GemmNN(std::size_t m, std::size_t n, std::size_t k, const float* a,
             const float* b, float* c, bool accumulate) {
@@ -199,6 +199,15 @@ void SoftmaxRows(std::size_t rows, std::size_t cols, const float* x,
     }
     const float inv = 1.0f / total;
     for (std::size_t c = 0; c < cols; ++c) or_[c] *= inv;
+  }
+}
+
+void Gelu(std::size_t n, const float* x, float* out) {
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float t = std::tanh(kC * (v + 0.044715f * v * v * v));
+    out[i] = 0.5f * v * (1.0f + t);
   }
 }
 

@@ -38,6 +38,18 @@ void GemmNT(std::size_t m, std::size_t n, std::size_t k, const float* a,
 void GemmTN(std::size_t m, std::size_t n, std::size_t k, const float* a,
             const float* b, float* c, bool accumulate);
 
+/// General strided view: C[m,n] (+)= A * B where A's element (i,p) is
+/// a[i*ars + p*acs] and B's element (p,j) is b[p*brs + j*bcs]; C is dense
+/// row-major [m,n]. This is the driver behind GemmNN/NT/TN, exposed so the
+/// incremental decode path (seq2seq KV cache) can run attention over
+/// head-column slices of row-appended K/V buffers without copying them
+/// out. Same packing, blocking, and per-element accumulation order as the
+/// dense entry points — each C[i,j] is one sequential chain over k — so a
+/// 1-row call is bit-identical to the matching row of a full-matrix call.
+void GemmStrided(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                 std::size_t ars, std::size_t acs, const float* b,
+                 std::size_t brs, std::size_t bcs, float* c, bool accumulate);
+
 /// The pre-kernel-layer scalar triple loop (with its dense-hostile
 /// zero-skip branch), kept verbatim as the correctness reference for the
 /// equivalence tests and as the "before" row of bench_micro's SGEMM
@@ -69,6 +81,11 @@ void BiasRelu(std::size_t rows, std::size_t cols, const float* x,
 /// non-null it is added to the logits first (same layout).
 void SoftmaxRows(std::size_t rows, std::size_t cols, const float* x,
                  const float* add_mask, float* out);
+
+/// out[i] = 0.5 * x[i] * (1 + tanh(sqrt(2/pi) * (x[i] + 0.044715 x[i]^3))).
+/// The single tanh-GELU definition shared by the tape forward op and the
+/// incremental decode path, so both round identically. In-place safe.
+void Gelu(std::size_t n, const float* x, float* out);
 
 /// Row-wise layer norm with learned gain/bias (each length `cols`).
 /// Writes the normalized values to `xhat` and 1/std to `inv_std` (length

@@ -72,6 +72,9 @@ class LayerNormLayer : public Module {
 
   TensorPtr Forward(Tape* tape, const TensorPtr& x) const;
 
+  const TensorPtr& gamma() const { return gamma_; }
+  const TensorPtr& beta() const { return beta_; }
+
  private:
   TensorPtr gamma_;  // [1, dim], init 1
   TensorPtr beta_;   // [1, dim], init 0

@@ -233,11 +233,7 @@ TensorPtr Tape::Relu(const TensorPtr& x) {
 TensorPtr Tape::Gelu(const TensorPtr& x) {
   constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
   auto out = NewResult(x->rows(), x->cols());
-  for (size_t i = 0; i < x->size(); ++i) {
-    float v = x->value()[i];
-    float t = std::tanh(kC * (v + 0.044715f * v * v * v));
-    out->value()[i] = 0.5f * v * (1.0f + t);
-  }
+  k::Gelu(x->size(), x->value().data(), out->value().data());
   x->EnsureGrad();
   Record([x, out] {
     for (size_t i = 0; i < x->size(); ++i) {

@@ -186,6 +186,51 @@ double PoolWordFraction(const std::string& candidate,
   return static_cast<double>(known) / static_cast<double>(words.size());
 }
 
+/// Per-thread LRU of encoder memories keyed by (model uid, source
+/// string). The S2 rejection loop retries the same entity several times
+/// and each retry re-synthesizes from the same source strings, so a
+/// handful of entries absorbs nearly all re-encodes. Keying by the
+/// process-unique model uid (not the pointer) means a freed model's
+/// address being reused can never alias an entry; being thread-local, the
+/// cache affects only speed, never values, so results stay deterministic
+/// at any thread count.
+struct EncoderMemoryCache {
+  struct Entry {
+    std::uint64_t uid = 0;
+    std::string src;
+    EncoderMemoryPtr mem;
+    std::uint64_t stamp = 0;
+  };
+  static constexpr size_t kCapacity = 8;
+
+  std::vector<Entry> entries;
+  std::uint64_t tick = 0;
+
+  EncoderMemoryPtr Lookup(std::uint64_t uid, const std::string& src) {
+    for (auto& e : entries) {
+      if (e.uid == uid && e.src == src) {
+        e.stamp = ++tick;
+        return e.mem;
+      }
+    }
+    return nullptr;
+  }
+
+  void Insert(std::uint64_t uid, const std::string& src,
+              EncoderMemoryPtr mem) {
+    if (entries.size() < kCapacity) {
+      entries.push_back({uid, src, std::move(mem), ++tick});
+      return;
+    }
+    auto oldest = std::min_element(
+        entries.begin(), entries.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    *oldest = {uid, src, std::move(mem), ++tick};
+  }
+};
+
+thread_local EncoderMemoryCache t_encoder_cache;
+
 }  // namespace
 
 std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
@@ -201,24 +246,62 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
   // penalty. Early exit once a candidate is essentially on target:
   // decoding is the dominant online cost (paper Table IV).
   constexpr double kGoodEnough = 0.03;
-  for (int c = 0; c < options_.num_candidates && best_err > kGoodEnough;
-       ++c) {
-    auto out_ids = model->Generate(src_ids, rng, options_.temperature);
+  // Scores one decoded candidate; returns whether to keep drawing more.
+  auto consider = [&](const std::vector<int>& out_ids) {
     std::string candidate = vocab_.Decode(out_ids);
-    if (candidate.empty()) continue;
-    double pool_fraction = PoolWordFraction(candidate, word_pool_);
-    // Fully degenerate decodes (random character runs) are dropped;
-    // borderline ones pass through to the entity-level discriminator
-    // rejection (paper Section V case 1).
-    if (pool_fraction < options_.min_pool_word_fraction) continue;
-    double err = std::fabs(sim_(s, candidate) - target_sim);
-    double score = err + 0.15 * (1.0 - pool_fraction);
-    if (score < best_score) {
-      best_score = score;
-      best_err = err;
-      best = std::move(candidate);
+    if (!candidate.empty()) {
+      double pool_fraction = PoolWordFraction(candidate, word_pool_);
+      // Fully degenerate decodes (random character runs) are dropped;
+      // borderline ones pass through to the entity-level discriminator
+      // rejection (paper Section V case 1).
+      if (pool_fraction >= options_.min_pool_word_fraction) {
+        double err = std::fabs(sim_(s, candidate) - target_sim);
+        double score = err + 0.15 * (1.0 - pool_fraction);
+        if (score < best_score) {
+          best_score = score;
+          best_err = err;
+          best = std::move(candidate);
+        }
+      }
+    }
+    return best_err > kGoodEnough;
+  };
+  GenerateStats gstats;
+  if (options_.incremental_decode) {
+    // Encode once per (model, source) and share across candidates and
+    // rejection-loop retries; decode through the KV cache.
+    EncoderMemoryPtr memory = t_encoder_cache.Lookup(model->uid(), s);
+    if (memory == nullptr) {
+      memory = model->EncodeMemory(src_ids);
+      t_encoder_cache.Insert(model->uid(), s, memory);
+      ++stats_.encoder_cache_misses;
+      obs::Inc(obs::GetCounter(options_.metrics, "s2.encoder_cache_misses"));
+    } else {
+      ++stats_.encoder_cache_hits;
+      obs::Inc(obs::GetCounter(options_.metrics, "s2.encoder_cache_hits"));
+    }
+    model->GenerateBatch(
+        memory, options_.num_candidates, rng, options_.temperature,
+        [&](int, const std::vector<int>& out_ids) {
+          return consider(out_ids);
+        },
+        /*use_kv_cache=*/true, &gstats);
+  } else {
+    // Reference implementation: per-candidate encode + full re-decode,
+    // exactly the pre-KV-cache behaviour.
+    for (int c = 0; c < options_.num_candidates && best_err > kGoodEnough;
+         ++c) {
+      auto out_ids =
+          model->Generate(src_ids, rng, options_.temperature, &gstats);
+      consider(out_ids);
     }
   }
+  stats_.decode_steps += gstats.steps;
+  stats_.decode_cached_steps += gstats.cached_steps;
+  obs::Inc(obs::GetCounter(options_.metrics, "s2.decode_steps"),
+           static_cast<uint64_t>(gstats.steps));
+  obs::Inc(obs::GetCounter(options_.metrics, "s2.decode_cached_steps"),
+           static_cast<uint64_t>(gstats.cached_steps));
   if (best.empty()) return FallbackSynthesize(s, target_sim, rng);
   if (best_err > options_.refine_threshold) {
     // The decoder missed the target: refine the candidate and also try a

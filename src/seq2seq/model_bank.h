@@ -43,8 +43,18 @@ struct StringBankOptions {
   /// discriminator, whose rejection is the paper's case-1 mechanism.
   double min_pool_word_fraction = 0.15;
 
+  /// Decode candidates through the KV-cached incremental path
+  /// (IncrementalDecoder + shared encoder memory + per-thread
+  /// encoder-memory cache). Off = the original per-candidate full
+  /// re-decode, kept as the reference implementation the cached path is
+  /// validated against (serd_cli --reference-decode). Both settings
+  /// produce bit-identical synthesized strings at a fixed seed.
+  bool incremental_decode = true;
+
   /// Observability sink (not owned; nullptr = off): counters
-  /// s2.bank_synth_calls / s2.bank_fallback_calls / s2.bank_refined_calls,
+  /// s2.bank_synth_calls / s2.bank_fallback_calls / s2.bank_refined_calls
+  /// / s2.decode_steps / s2.decode_cached_steps /
+  /// s2.encoder_cache_hits / s2.encoder_cache_misses,
   /// histogram s2.bank_bucket (index of the model actually used).
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -61,6 +71,13 @@ struct StringBankStats {
   /// trained-bucket redirect); length num_buckets once trained.
   std::vector<long> bucket_hits;
   long fallback_calls = 0;    ///< calls served by hill-climb search alone
+  // Decode-path accounting (not serialized by the artifact store — the
+  // model codec writes the fields above only, so adding these keeps old
+  // artifacts loadable and save→load→save byte-identical).
+  long decode_steps = 0;         ///< next-token logits rows computed
+  long decode_cached_steps = 0;  ///< of those, served by the KV cache
+  long encoder_cache_hits = 0;   ///< encoder memory reused from the cache
+  long encoder_cache_misses = 0; ///< encoder memory computed fresh
 };
 
 /// The paper's string synthesizer: k transformer models M_1..M_k, one per

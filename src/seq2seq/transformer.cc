@@ -1,15 +1,18 @@
 #include "seq2seq/transformer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "nn/arena.h"
+#include "nn/kernels.h"
 #include "text/char_vocab.h"
 
 namespace serd {
 
 using nn::Tape;
 using nn::TensorPtr;
+namespace kernels = nn::kernels;
 
 MultiHeadAttention::MultiHeadAttention(int d_model, int num_heads, Rng* rng)
     : d_model_(d_model), num_heads_(num_heads), head_dim_(d_model / num_heads) {
@@ -118,9 +121,18 @@ TensorPtr DecoderLayer::Forward(Tape* tape, const TensorPtr& x,
   return tape->Add(h, ff);
 }
 
+namespace {
+
+std::uint64_t NextModelUid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 TransformerSeq2Seq::TransformerSeq2Seq(const TransformerConfig& config,
                                        Rng* rng)
-    : config_(config) {
+    : config_(config), uid_(NextModelUid()) {
   SERD_CHECK_GT(config.vocab_size, 0);
   token_embed_ =
       std::make_unique<nn::Embedding>(config.vocab_size, config.d_model, rng);
@@ -162,6 +174,39 @@ std::vector<float> CausalMask(size_t t) {
     for (size_t j = i + 1; j < t; ++j) mask[i * t + j] = -1e9f;
   }
   return mask;
+}
+
+/// Samples the next token from softmax(logits / temperature) with the
+/// special ids (PAD/BOS/UNK) excluded. `probs` and `weights` are
+/// caller-owned scratch reused across steps and candidates, so the decode
+/// loops allocate nothing per step. The softmax goes through the kernel
+/// primitive; Rng::Categorical renormalizes internally, so zeroing the
+/// specials after the softmax preserves the sampling distribution. Shared
+/// by Generate and both GenerateBatch paths so all of them draw identical
+/// tokens from identical logits.
+int SampleToken(const float* logits, size_t vocab, float temperature,
+                std::vector<float>* probs, std::vector<double>* weights,
+                Rng* rng) {
+  probs->resize(vocab);
+  weights->resize(vocab);
+  kernels::ScaleCopy(vocab, 1.0f / temperature, logits, probs->data());
+  kernels::SoftmaxRows(1, vocab, probs->data(), /*add_mask=*/nullptr,
+                       probs->data());
+  std::copy(probs->begin(), probs->end(), weights->begin());
+  // Never sample PAD, BOS, or UNK.
+  (*weights)[CharVocab::kPad] = 0.0;
+  (*weights)[CharVocab::kBos] = 0.0;
+  (*weights)[CharVocab::kUnk] = 0.0;
+  return static_cast<int>(rng->Categorical(*weights));
+}
+
+/// Rebuilds a tensor view of the captured encoder memory for the full
+/// re-decode path. Values are the exact floats Encode produced, so
+/// decoding over it matches decoding over the live Encode output bitwise.
+TensorPtr MemoryTensor(const EncoderMemory& m) {
+  auto t = nn::MakeTensor(m.mem_len, m.d_model);
+  std::copy(m.values.begin(), m.values.end(), t->value().begin());
+  return t;
 }
 
 }  // namespace
@@ -207,8 +252,8 @@ TensorPtr TransformerSeq2Seq::Loss(Tape* tape, const std::vector<int>& src_ids,
 }
 
 std::vector<int> TransformerSeq2Seq::Generate(const std::vector<int>& src_ids,
-                                              Rng* rng,
-                                              float temperature) const {
+                                              Rng* rng, float temperature,
+                                              GenerateStats* stats) const {
   SERD_CHECK(rng != nullptr);
   SERD_CHECK_GT(temperature, 0.0f);
   Tape enc_tape;
@@ -220,12 +265,14 @@ std::vector<int> TransformerSeq2Seq::Generate(const std::vector<int>& src_ids,
   // from always decoding to max_len, the dominant online cost.
   const int length_cap = std::min<int>(
       config_.max_len, static_cast<int>(src_ids.size()) + 8);
-  // Per-thread arena for the decode steps (the dominant online cost):
-  // each step builds the same graph one token longer, so recycling the
-  // previous step's tensors removes nearly all per-op allocation.
-  // `memory` lives outside the arena (enc_tape has none), so the per-step
-  // reset cannot touch it.
+  // Per-thread arena for the decode steps: each step builds the same
+  // graph one token longer, so recycling the previous step's tensors
+  // removes nearly all per-op allocation. `memory` lives outside the
+  // arena (enc_tape has none), so the per-step reset cannot touch it.
   thread_local nn::TensorArena decode_arena;
+  // Sampling scratch, reused across every step (hoisted out of the loop).
+  std::vector<float> probs;
+  std::vector<double> weights;
   std::vector<int> generated = {CharVocab::kBos};
   while (static_cast<int>(generated.size()) < length_cap) {
     Tape dec_tape;
@@ -233,26 +280,148 @@ std::vector<int> TransformerSeq2Seq::Generate(const std::vector<int>& src_ids,
     dec_tape.set_arena(&decode_arena);
     dec_tape.set_recording(false);
     TensorPtr logits = Decode(&dec_tape, generated, memory, 0.0f, nullptr);
-    // Sample from the last row.
-    const size_t v = logits->cols();
+    if (stats != nullptr) ++stats->steps;
     const size_t last = logits->rows() - 1;
-    std::vector<double> weights(v);
-    double hi = -1e30;
-    for (size_t c = 0; c < v; ++c) {
-      hi = std::max(hi, static_cast<double>(logits->at(last, c)));
-    }
-    for (size_t c = 0; c < v; ++c) {
-      weights[c] = std::exp((logits->at(last, c) - hi) / temperature);
-    }
-    // Never sample PAD, BOS, or UNK.
-    weights[CharVocab::kPad] = 0.0;
-    weights[CharVocab::kBos] = 0.0;
-    weights[CharVocab::kUnk] = 0.0;
-    int next = static_cast<int>(rng->Categorical(weights));
+    const int next =
+        SampleToken(logits->value().data() + last * logits->cols(),
+                    logits->cols(), temperature, &probs, &weights, rng);
     if (next == CharVocab::kEos) break;
     generated.push_back(next);
   }
   return std::vector<int>(generated.begin() + 1, generated.end());
+}
+
+EncoderMemoryPtr TransformerSeq2Seq::EncodeMemory(
+    const std::vector<int>& src_ids) const {
+  Tape tape;
+  tape.set_recording(false);
+  TensorPtr mem = Encode(&tape, src_ids, 0.0f, nullptr);
+
+  auto out = std::make_shared<EncoderMemory>();
+  out->model_uid = uid_;
+  out->mem_len = static_cast<int>(mem->rows());
+  out->d_model = static_cast<int>(mem->cols());
+  out->src_len = static_cast<int>(src_ids.size());
+  out->values = mem->value();
+  out->cross.resize(decoder_.size());
+  // Cross-attention K/V depend only on the memory: precompute them with
+  // the exact kernel calls Linear::Forward makes (full-matrix GEMM + the
+  // per-row bias add of AddRowBroadcast), so every cached decode step sees
+  // bit-identical projections.
+  const size_t ml = mem->rows(), d = mem->cols();
+  for (size_t l = 0; l < decoder_.size(); ++l) {
+    const MultiHeadAttention& cross = *decoder_[l]->cross_attn_;
+    auto project = [&](const nn::Linear& lin, std::vector<float>* dst) {
+      dst->resize(ml * d);
+      kernels::GemmNN(ml, d, d, out->values.data(),
+                      lin.weight()->value().data(), dst->data(),
+                      /*accumulate=*/false);
+      if (lin.bias() != nullptr) {
+        const float* bias = lin.bias()->value().data();
+        for (size_t r = 0; r < ml; ++r) {
+          kernels::Add(d, dst->data() + r * d, bias, dst->data() + r * d);
+        }
+      }
+    };
+    project(*cross.wk_, &out->cross[l].k);
+    project(*cross.wv_, &out->cross[l].v);
+  }
+  return out;
+}
+
+int TransformerSeq2Seq::GenerateBatch(const EncoderMemoryPtr& memory,
+                                      int num_candidates, Rng* rng,
+                                      float temperature,
+                                      const CandidateFn& on_candidate,
+                                      bool use_kv_cache,
+                                      GenerateStats* stats) const {
+  SERD_CHECK(rng != nullptr);
+  SERD_CHECK(memory != nullptr);
+  SERD_CHECK_EQ(memory->model_uid, uid_)
+      << "encoder memory was built by a different model";
+  SERD_CHECK_GT(temperature, 0.0f);
+  // Same cap as Generate, derived from the unclamped source length.
+  const int length_cap =
+      std::min<int>(config_.max_len, memory->src_len + 8);
+  std::vector<float> probs;
+  std::vector<double> weights;
+  std::unique_ptr<IncrementalDecoder> dec;
+  TensorPtr mem_tensor;
+  int produced = 0;
+  // Candidates decode strictly one after another — never token-lockstep —
+  // so the shared RNG's draw order matches a plain Generate loop and
+  // results stay bit-identical to the pre-cache implementation. The
+  // "batch" amortization is the shared encode + cross K/V, not the
+  // sampling order.
+  for (int c = 0; c < num_candidates; ++c) {
+    std::vector<int> generated = {CharVocab::kBos};
+    if (use_kv_cache) {
+      if (dec == nullptr) {
+        dec = std::make_unique<IncrementalDecoder>(this, memory);
+      } else {
+        dec->Restart();
+      }
+      while (static_cast<int>(generated.size()) < length_cap) {
+        const float* logits = dec->Step(generated.back());
+        if (stats != nullptr) {
+          ++stats->steps;
+          ++stats->cached_steps;
+        }
+        const int next =
+            SampleToken(logits, config_.vocab_size, temperature, &probs,
+                        &weights, rng);
+        if (next == CharVocab::kEos) break;
+        generated.push_back(next);
+      }
+    } else {
+      // Reference path: full re-decode per step over the captured memory.
+      if (mem_tensor == nullptr) mem_tensor = MemoryTensor(*memory);
+      thread_local nn::TensorArena decode_arena;
+      while (static_cast<int>(generated.size()) < length_cap) {
+        Tape dec_tape;
+        decode_arena.Reset();
+        dec_tape.set_arena(&decode_arena);
+        dec_tape.set_recording(false);
+        TensorPtr logits =
+            Decode(&dec_tape, generated, mem_tensor, 0.0f, nullptr);
+        if (stats != nullptr) ++stats->steps;
+        const size_t last = logits->rows() - 1;
+        const int next =
+            SampleToken(logits->value().data() + last * logits->cols(),
+                        logits->cols(), temperature, &probs, &weights, rng);
+        if (next == CharVocab::kEos) break;
+        generated.push_back(next);
+      }
+    }
+    ++produced;
+    std::vector<int> out_ids(generated.begin() + 1, generated.end());
+    if (!on_candidate(c, out_ids)) break;
+  }
+  return produced;
+}
+
+int TransformerSeq2Seq::GenerateBatch(const std::vector<int>& src_ids,
+                                      int num_candidates, Rng* rng,
+                                      float temperature,
+                                      const CandidateFn& on_candidate,
+                                      bool use_kv_cache,
+                                      GenerateStats* stats) const {
+  return GenerateBatch(EncodeMemory(src_ids), num_candidates, rng,
+                       temperature, on_candidate, use_kv_cache, stats);
+}
+
+std::vector<float> TransformerSeq2Seq::NextLogitsFull(
+    const std::vector<int>& prefix_ids, const EncoderMemoryPtr& memory) const {
+  SERD_CHECK(!prefix_ids.empty());
+  SERD_CHECK(memory != nullptr);
+  SERD_CHECK_EQ(memory->model_uid, uid_);
+  TensorPtr mem_tensor = MemoryTensor(*memory);
+  Tape tape;
+  tape.set_recording(false);
+  TensorPtr logits = Decode(&tape, prefix_ids, mem_tensor, 0.0f, nullptr);
+  const size_t last = logits->rows() - 1;
+  const float* row = logits->value().data() + last * logits->cols();
+  return std::vector<float>(row, row + logits->cols());
 }
 
 }  // namespace serd

@@ -1,11 +1,14 @@
 #ifndef SERD_SEQ2SEQ_TRANSFORMER_H_
 #define SERD_SEQ2SEQ_TRANSFORMER_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "nn/modules.h"
 #include "nn/tape.h"
+#include "seq2seq/kv_cache.h"
 
 namespace serd {
 
@@ -36,6 +39,12 @@ class MultiHeadAttention : public nn::Module {
                         const std::vector<float>* mask) const;
 
  private:
+  // The incremental decode path (kv_cache.cc) re-implements this forward
+  // one row at a time against cached K/V, and EncodeMemory precomputes the
+  // cross-attention projections; both need the raw projection layers.
+  friend class IncrementalDecoder;
+  friend class TransformerSeq2Seq;
+
   int d_model_, num_heads_, head_dim_;
   std::unique_ptr<nn::Linear> wq_, wk_, wv_, wo_;
 };
@@ -66,6 +75,9 @@ class DecoderLayer : public nn::Module {
                         Rng* rng) const;
 
  private:
+  friend class IncrementalDecoder;
+  friend class TransformerSeq2Seq;
+
   std::unique_ptr<MultiHeadAttention> self_attn_, cross_attn_;
   std::unique_ptr<nn::LayerNormLayer> ln1_, ln2_, ln3_;
   std::unique_ptr<nn::Linear> ffn1_, ffn2_;
@@ -88,11 +100,59 @@ class TransformerSeq2Seq : public nn::Module {
 
   /// Autoregressive sampled decoding: encodes src once, then repeatedly
   /// samples the next token from softmax(logits / temperature) until EOS
-  /// or max_len. Returns the generated ids without BOS/EOS.
+  /// or max_len. Returns the generated ids without BOS/EOS. This is the
+  /// reference implementation: each step re-decodes the whole prefix
+  /// (O(T^2) attention per step). The KV-cached path (GenerateBatch with
+  /// use_kv_cache) is validated against it, step by step and token by
+  /// token.
   std::vector<int> Generate(const std::vector<int>& src_ids, Rng* rng,
-                            float temperature = 1.0f) const;
+                            float temperature = 1.0f,
+                            GenerateStats* stats = nullptr) const;
+
+  /// Candidate callback for GenerateBatch: candidate index and its
+  /// generated ids (no BOS/EOS). Return false to stop early — remaining
+  /// candidates are not decoded and consume no RNG draws, mirroring the
+  /// caller-side early exit the synthesis bank always had.
+  using CandidateFn = std::function<bool(int, const std::vector<int>&)>;
+
+  /// Runs the encoder once (inference mode, no dropout) and captures the
+  /// memory plus each decoder layer's cross-attention K/V for reuse across
+  /// candidates and rejection-loop retries.
+  EncoderMemoryPtr EncodeMemory(const std::vector<int>& src_ids) const;
+
+  /// Decodes up to `num_candidates` sampled candidates sharing `memory`,
+  /// invoking `on_candidate` after each. Candidates are decoded strictly
+  /// sequentially (candidate i finishes before i+1 starts) so the RNG
+  /// consumption order is identical to calling Generate() in a loop; with
+  /// `use_kv_cache` each step goes through IncrementalDecoder, otherwise
+  /// through the full re-decode (the reference path). Both paths sample
+  /// identical tokens at a fixed seed. Returns the number of candidates
+  /// decoded.
+  int GenerateBatch(const EncoderMemoryPtr& memory, int num_candidates,
+                    Rng* rng, float temperature,
+                    const CandidateFn& on_candidate, bool use_kv_cache = true,
+                    GenerateStats* stats = nullptr) const;
+
+  /// Convenience overload: encodes `src_ids` internally.
+  int GenerateBatch(const std::vector<int>& src_ids, int num_candidates,
+                    Rng* rng, float temperature,
+                    const CandidateFn& on_candidate, bool use_kv_cache = true,
+                    GenerateStats* stats = nullptr) const;
+
+  /// Next-token logits after `prefix_ids` (which must start with BOS) via
+  /// the full re-decode over `memory` — the reference the equivalence
+  /// tests compare IncrementalDecoder::Step against.
+  std::vector<float> NextLogitsFull(const std::vector<int>& prefix_ids,
+                                    const EncoderMemoryPtr& memory) const;
+
+  /// Process-unique id, assigned at construction. Keys the per-thread
+  /// encoder-memory caches so a freed model's address being reused can
+  /// never alias a cache entry.
+  std::uint64_t uid() const { return uid_; }
 
  private:
+  friend class IncrementalDecoder;
+
   nn::TensorPtr Encode(nn::Tape* tape, const std::vector<int>& src_ids,
                        float dropout, Rng* rng) const;
   nn::TensorPtr Decode(nn::Tape* tape, const std::vector<int>& tgt_ids,
@@ -100,6 +160,7 @@ class TransformerSeq2Seq : public nn::Module {
                        Rng* rng) const;
 
   TransformerConfig config_;
+  std::uint64_t uid_;
   std::unique_ptr<nn::Embedding> token_embed_;
   std::unique_ptr<nn::Embedding> pos_embed_;
   std::vector<std::unique_ptr<EncoderLayer>> encoder_;

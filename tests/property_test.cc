@@ -12,6 +12,7 @@
 #include "gmm/o_distribution.h"
 #include "matcher/features.h"
 #include "obs/json.h"
+#include "seq2seq/transformer.h"
 #include "text/edit_distance.h"
 #include "text/qgram.h"
 #include "text/token.h"
@@ -337,6 +338,96 @@ TEST(JsonParseTest, NestingAtTheCapStillParses) {
   auto parsed = obs::Json::Parse(deep);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 }
+
+// ----------------------------------------------- KV-cached decode fuzzing
+
+/// Draws a random-but-valid transformer shape: d_model from a menu, a head
+/// count that divides it, and a max_len small enough that prompts can cross
+/// the clamp boundary inside the sweep.
+TransformerConfig RandomDecodeConfig(Rng* rng, int vocab_size) {
+  constexpr int kDModel[] = {8, 16, 24, 32};
+  constexpr int kHeads[] = {1, 2, 4};
+  constexpr int kFfn[] = {16, 32, 64};
+  constexpr int kMaxLen[] = {8, 12, 16, 32};
+  TransformerConfig cfg;
+  cfg.vocab_size = vocab_size;
+  cfg.d_model = kDModel[rng->UniformInt(4)];
+  cfg.num_heads = kHeads[rng->UniformInt(3)];
+  cfg.num_layers = 1 + static_cast<int>(rng->UniformInt(2));
+  cfg.ffn_dim = kFfn[rng->UniformInt(3)];
+  cfg.max_len = kMaxLen[rng->UniformInt(4)];
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+std::vector<int> RandomTokenIds(Rng* rng, int vocab_size, int len) {
+  std::vector<int> ids(len);
+  for (int& id : ids) id = static_cast<int>(rng->UniformInt(vocab_size));
+  return ids;
+}
+
+class KvCacheFuzzSweep : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvCacheFuzzSweep, CachedLogitsMatchFullRedecode) {
+  Rng meta(GetParam());
+  const int vocab_size = 8 + static_cast<int>(meta.UniformInt(13));
+  TransformerConfig cfg = RandomDecodeConfig(&meta, vocab_size);
+  Rng init(GetParam() * 977 + 5);
+  TransformerSeq2Seq model(cfg, &init);
+
+  // Source lengths sweep across the encoder's max_len clamp: up to
+  // max_len + 6 tokens go in, the encoder keeps at most max_len.
+  const int src_len = 1 + static_cast<int>(meta.UniformInt(cfg.max_len + 6));
+  auto memory = model.EncodeMemory(RandomTokenIds(&meta, vocab_size, src_len));
+  ASSERT_LE(memory->mem_len, cfg.max_len);
+
+  // Decode prefixes include the boundary case: exactly max_len steps.
+  const int steps = (GetParam() % 3 == 0)
+                        ? cfg.max_len
+                        : 1 + static_cast<int>(meta.UniformInt(cfg.max_len));
+  IncrementalDecoder dec(&model, memory);
+  std::vector<int> prefix;
+  for (int t = 0; t < steps; ++t) {
+    prefix.push_back(static_cast<int>(meta.UniformInt(vocab_size)));
+    const float* cached = dec.Step(prefix.back());
+    std::vector<float> full = model.NextLogitsFull(prefix, memory);
+    ASSERT_EQ(full.size(), static_cast<size_t>(vocab_size));
+    for (int v = 0; v < vocab_size; ++v) {
+      ASSERT_NEAR(cached[v], full[v], 1e-4f)
+          << "step " << t << " vocab " << v << " d=" << cfg.d_model << " h="
+          << cfg.num_heads << " L=" << cfg.num_layers << " T=" << cfg.max_len;
+    }
+  }
+}
+
+TEST_P(KvCacheFuzzSweep, CachedSamplingMatchesReferenceGenerate) {
+  Rng meta(GetParam() * 31 + 7);
+  const int vocab_size = 8 + static_cast<int>(meta.UniformInt(13));
+  TransformerConfig cfg = RandomDecodeConfig(&meta, vocab_size);
+  Rng init(GetParam() * 613 + 11);
+  TransformerSeq2Seq model(cfg, &init);
+
+  const int src_len = 1 + static_cast<int>(meta.UniformInt(cfg.max_len + 6));
+  auto src_ids = RandomTokenIds(&meta, vocab_size, src_len);
+
+  // Same seed, both decode paths: the sampled token streams must match
+  // exactly, or the cache would silently change synthesized datasets.
+  Rng g_ref(GetParam() + 1), g_cached(GetParam() + 1);
+  std::vector<int> ref = model.Generate(src_ids, &g_ref);
+  std::vector<std::vector<int>> got;
+  model.GenerateBatch(
+      src_ids, 1, &g_cached, 1.0f,
+      [&](int, const std::vector<int>& out_ids) {
+        got.push_back(out_ids);
+        return true;
+      },
+      /*use_kv_cache=*/true);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvCacheFuzzSweep,
+                         testing::Range<uint64_t>(0, 24));
 
 TEST(JsdPropertyTest, SymmetricUnderSwap) {
   Matrix cov(2, 2);

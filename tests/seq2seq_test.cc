@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "seq2seq/model_bank.h"
 #include "seq2seq/trainer.h"
 #include "seq2seq/transformer.h"
 #include "text/qgram.h"
+#include "text/token.h"
 
 namespace serd {
 namespace {
@@ -101,6 +104,141 @@ TEST(TransformerTest, LongInputsClampedToMaxLen) {
   auto loss = model.Loss(&tape, vocab.Encode(longer), vocab.Encode(longer),
                          nullptr);
   EXPECT_TRUE(std::isfinite(loss->value()[0]));
+}
+
+// ------------------------------------------------- KV-cached decode path
+
+TEST(KvCacheTest, StepLogitsMatchFullDecodeBitExact) {
+  CharVocab vocab;
+  vocab.Fit({"abcdefgh"});
+  Rng rng(21);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  auto src_ids = vocab.Encode("fedcba");
+  EncoderMemoryPtr memory = model.EncodeMemory(src_ids);
+
+  IncrementalDecoder dec(&model, memory);
+  std::vector<int> prefix = {CharVocab::kBos};
+  Rng tok_rng(22);
+  for (int step = 0; step < 12; ++step) {
+    const float* inc = dec.Step(prefix.back());
+    auto full = model.NextLogitsFull(prefix, memory);
+    ASSERT_EQ(full.size(), static_cast<size_t>(vocab.size()));
+    for (size_t c = 0; c < full.size(); ++c) {
+      // Bit-exact, not just close: the incremental path routes through the
+      // same kernels with the same per-element accumulation chains.
+      ASSERT_EQ(inc[c], full[c]) << "step " << step << " logit " << c;
+    }
+    prefix.push_back(static_cast<int>(
+        CharVocab::kNumSpecials + tok_rng.UniformInt(vocab.size() -
+                                                     CharVocab::kNumSpecials)));
+  }
+}
+
+TEST(KvCacheTest, GenerateBatchCachedMatchesSerialGenerate) {
+  CharVocab vocab;
+  vocab.Fit({"synthesize records"});
+  Rng rng(23);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  auto src_ids = vocab.Encode("records ok");
+
+  constexpr int kCandidates = 4;
+  Rng g1(24), g2(24);
+  std::vector<std::vector<int>> batch;
+  GenerateStats stats;
+  int produced = model.GenerateBatch(
+      src_ids, kCandidates, &g1, 0.9f,
+      [&](int, const std::vector<int>& ids) {
+        batch.push_back(ids);
+        return true;
+      },
+      /*use_kv_cache=*/true, &stats);
+  ASSERT_EQ(produced, kCandidates);
+  ASSERT_EQ(batch.size(), static_cast<size_t>(kCandidates));
+  // Same RNG stream, candidate by candidate: the batch path must sample
+  // identical tokens to a plain Generate loop.
+  for (int c = 0; c < kCandidates; ++c) {
+    EXPECT_EQ(batch[c], model.Generate(src_ids, &g2, 0.9f)) << "candidate "
+                                                            << c;
+  }
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_EQ(stats.steps, stats.cached_steps);
+}
+
+TEST(KvCacheTest, GenerateBatchReferencePathMatchesSerialGenerate) {
+  CharVocab vocab;
+  vocab.Fit({"reference path"});
+  Rng rng(25);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  auto src_ids = vocab.Encode("path check");
+
+  Rng g1(26), g2(26);
+  std::vector<std::vector<int>> batch;
+  GenerateStats stats;
+  model.GenerateBatch(
+      src_ids, 3, &g1, 0.9f,
+      [&](int, const std::vector<int>& ids) {
+        batch.push_back(ids);
+        return true;
+      },
+      /*use_kv_cache=*/false, &stats);
+  for (const auto& ids : batch) {
+    EXPECT_EQ(ids, model.Generate(src_ids, &g2, 0.9f));
+  }
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_EQ(stats.cached_steps, 0);
+}
+
+TEST(KvCacheTest, CandidateCallbackStopsTheBatchEarly) {
+  CharVocab vocab;
+  vocab.Fit({"early stop"});
+  Rng rng(27);
+  TransformerSeq2Seq model(TinyConfig(vocab.size()), &rng);
+  auto src_ids = vocab.Encode("stop");
+  Rng g(28);
+  int seen = 0;
+  int produced = model.GenerateBatch(
+      src_ids, 10, &g, 0.9f,
+      [&](int, const std::vector<int>&) {
+        ++seen;
+        return false;  // stop after the first candidate
+      },
+      /*use_kv_cache=*/true, nullptr);
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(produced, 1);
+}
+
+TEST(KvCacheTest, EncodeMemoryCapturesCrossKvPerLayer) {
+  CharVocab vocab;
+  vocab.Fit({"memo"});
+  Rng rng(29);
+  TransformerConfig cfg = TinyConfig(vocab.size());
+  cfg.num_layers = 2;
+  TransformerSeq2Seq model(cfg, &rng);
+  auto src_ids = vocab.Encode("memo");
+  EncoderMemoryPtr memory = model.EncodeMemory(src_ids);
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->model_uid, model.uid());
+  EXPECT_EQ(memory->d_model, cfg.d_model);
+  EXPECT_EQ(memory->mem_len, static_cast<int>(src_ids.size()));
+  EXPECT_EQ(memory->src_len, static_cast<int>(src_ids.size()));
+  ASSERT_EQ(memory->cross.size(), 2u);
+  for (const auto& kv : memory->cross) {
+    EXPECT_EQ(kv.k.size(),
+              static_cast<size_t>(memory->mem_len) * cfg.d_model);
+    EXPECT_EQ(kv.v.size(),
+              static_cast<size_t>(memory->mem_len) * cfg.d_model);
+  }
+  EXPECT_EQ(memory->values.size(),
+            static_cast<size_t>(memory->mem_len) * cfg.d_model);
+}
+
+TEST(KvCacheTest, ModelUidsAreUnique) {
+  CharVocab vocab;
+  vocab.Fit({"uid"});
+  Rng rng(30);
+  TransformerSeq2Seq a(TinyConfig(vocab.size()), &rng);
+  TransformerSeq2Seq b(TinyConfig(vocab.size()), &rng);
+  EXPECT_NE(a.uid(), b.uid());
 }
 
 // ---------------------------------------------------------------- trainer
@@ -239,6 +377,166 @@ TEST_F(StringBankFixture, SynthesizeClampsTargets) {
   std::string out = bank_->Synthesize("entity resolution at scale", 1.4,
                                       &rng);
   EXPECT_FALSE(out.empty());
+}
+
+// -------------------------------------------- bucket-fallback routing
+
+/// Builds a trained-looking bank via RestoreTrained whose bucket b holds a
+/// (random-weight) model iff trained_buckets[b] — routing in Synthesize
+/// only depends on which buckets hold models, so untrained weights are
+/// enough to observe bucket_hits.
+std::unique_ptr<StringSynthesisBank> BankWithTrainedBuckets(
+    const std::vector<bool>& trained_buckets,
+    const std::vector<std::string>& corpus) {
+  StringBankOptions opts = FastBankOptions();
+  opts.num_buckets = static_cast<int>(trained_buckets.size());
+  auto bank = std::make_unique<StringSynthesisBank>(opts, Sim);
+
+  CharVocab vocab;
+  vocab.Fit(corpus);
+  std::vector<std::string> pool;
+  for (const auto& s : corpus) {
+    for (auto& w : WordTokens(s)) pool.push_back(std::move(w));
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  TransformerConfig cfg = opts.transformer;
+  cfg.vocab_size = vocab.size();
+  const size_t k = trained_buckets.size();
+  std::vector<std::unique_ptr<TransformerSeq2Seq>> models(k);
+  for (size_t b = 0; b < k; ++b) {
+    if (!trained_buckets[b]) continue;
+    Rng rng(100 + b);
+    models[b] = std::make_unique<TransformerSeq2Seq>(cfg, &rng);
+  }
+  StringBankStats stats;
+  stats.pairs_per_bucket.assign(k, 0);
+  stats.bucket_trained = trained_buckets;
+  stats.bucket_hits.assign(k, 0);
+  SERD_CHECK(bank->RestoreTrained(std::move(vocab), corpus, std::move(pool),
+                                  std::move(models), std::move(stats))
+                 .ok());
+  return bank;
+}
+
+const std::vector<std::string> kRoutingCorpus = {
+    "adaptive query optimization", "temporal middleware systems",
+    "generalised hash teams", "entity resolution at scale"};
+
+TEST(StringBankFallbackTest, ExactBucketServesItsOwnTargets) {
+  // 4 buckets; bucket 2 trained; target 0.6 lands in bucket 2.
+  auto bank = BankWithTrainedBuckets({false, false, true, false},
+                                     kRoutingCorpus);
+  Rng rng(51);
+  bank->Synthesize("adaptive query optimization", 0.6, &rng);
+  EXPECT_EQ(bank->stats().bucket_hits[2], 1);
+  EXPECT_EQ(bank->stats().fallback_calls, 0);
+}
+
+TEST(StringBankFallbackTest, NearestSearchPrefersLowerBucketAtEqualDistance) {
+  // Target 0.6 -> bucket 2 (untrained); buckets 1 and 3 both trained at
+  // distance 1 — the search probes lo before hi, so bucket 1 serves it.
+  auto bank = BankWithTrainedBuckets({false, true, false, true},
+                                     kRoutingCorpus);
+  Rng rng(52);
+  bank->Synthesize("temporal middleware systems", 0.6, &rng);
+  EXPECT_EQ(bank->stats().bucket_hits[1], 1);
+  EXPECT_EQ(bank->stats().bucket_hits[3], 0);
+}
+
+TEST(StringBankFallbackTest, NearestSearchReachesUpward) {
+  // Only the top bucket is trained; a bottom-bucket target must walk all
+  // the way up to it.
+  auto bank = BankWithTrainedBuckets({false, false, false, true},
+                                     kRoutingCorpus);
+  Rng rng(53);
+  bank->Synthesize("generalised hash teams", 0.0, &rng);
+  EXPECT_EQ(bank->stats().bucket_hits[3], 1);
+  EXPECT_EQ(bank->stats().fallback_calls, 0);
+}
+
+TEST(StringBankFallbackTest, NearestSearchReachesDownward) {
+  // Only the bottom bucket is trained; BucketOf(1.0) = top bucket, so the
+  // search walks down to bucket 0.
+  auto bank = BankWithTrainedBuckets({true, false, false, false},
+                                     kRoutingCorpus);
+  Rng rng(54);
+  bank->Synthesize("entity resolution at scale", 1.0, &rng);
+  EXPECT_EQ(bank->stats().bucket_hits[0], 1);
+}
+
+TEST(StringBankFallbackTest, NoTrainedBucketsFallsBackToHillClimb) {
+  auto bank = BankWithTrainedBuckets({false, false, false, false},
+                                     kRoutingCorpus);
+  Rng rng(55);
+  std::string out = bank->Synthesize("adaptive query optimization", 0.5, &rng);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(bank->stats().fallback_calls, 1);
+  for (long h : bank->stats().bucket_hits) EXPECT_EQ(h, 0);
+}
+
+TEST(StringBankFallbackTest, BoundaryTargetsRouteToEdgeBuckets) {
+  // BucketOf(0.0) = 0 and BucketOf(1.0) = k-1: with every bucket trained,
+  // boundary targets are served by the edge models directly.
+  auto bank =
+      BankWithTrainedBuckets({true, true, true, true}, kRoutingCorpus);
+  Rng rng(56);
+  bank->Synthesize("temporal middleware systems", 0.0, &rng);
+  EXPECT_EQ(bank->stats().bucket_hits[0], 1);
+  bank->Synthesize("temporal middleware systems", 1.0, &rng);
+  EXPECT_EQ(bank->stats().bucket_hits[3], 1);
+}
+
+// ------------------------------------- decode counters & path equivalence
+
+TEST_F(StringBankFixture, IncrementalDecodeRecordsStatsAndCacheTraffic) {
+  const auto& stats = bank_->stats();
+  // Find a trained bucket and aim straight at it so the model path runs.
+  int trained_bucket = -1;
+  for (size_t b = 0; b < stats.bucket_trained.size(); ++b) {
+    if (stats.bucket_trained[b]) trained_bucket = static_cast<int>(b);
+  }
+  ASSERT_GE(trained_bucket, 0) << "fixture trained no buckets";
+  const double target = (trained_bucket + 0.5) / stats.bucket_trained.size();
+
+  Rng rng(57);
+  const std::string s = "similarity search indexes";
+  bank_->Synthesize(s, target, &rng);
+  EXPECT_GT(stats.decode_steps, 0);
+  EXPECT_EQ(stats.decode_steps, stats.decode_cached_steps);
+  EXPECT_GT(stats.encoder_cache_misses, 0);
+
+  // Same (model, source) again: the per-thread encoder cache must hit.
+  const long hits_before = stats.encoder_cache_hits;
+  bank_->Synthesize(s, target, &rng);
+  EXPECT_GT(stats.encoder_cache_hits, hits_before);
+}
+
+TEST(StringBankTest, IncrementalAndReferenceDecodeSynthesizeIdentically) {
+  std::vector<std::string> corpus = {
+      "adaptive query optimization", "temporal middleware systems",
+      "generalised hash teams",      "join and group-by processing",
+      "frequent elements in streams", "parameterized complexity theory",
+      "entity resolution at scale",  "duplicate detection pipelines",
+  };
+  StringBankOptions ref_opts = FastBankOptions();
+  ref_opts.incremental_decode = false;
+  StringSynthesisBank cached(FastBankOptions(), Sim);
+  StringSynthesisBank reference(ref_opts, Sim);
+  Rng t1(58), t2(58);
+  ASSERT_TRUE(cached.Train(corpus, &t1).ok());
+  ASSERT_TRUE(reference.Train(corpus, &t2).ok());
+
+  Rng s1(59), s2(59);
+  for (double target : {0.1, 0.35, 0.6, 0.85}) {
+    EXPECT_EQ(cached.Synthesize("entity resolution at scale", target, &s1),
+              reference.Synthesize("entity resolution at scale", target, &s2))
+        << "target " << target;
+  }
+  EXPECT_EQ(cached.stats().decode_steps, reference.stats().decode_steps);
+  EXPECT_GT(cached.stats().decode_cached_steps, 0);
+  EXPECT_EQ(reference.stats().decode_cached_steps, 0);
 }
 
 TEST(StringBankTest, UntrainedFallsBackToHillClimb) {
