@@ -28,6 +28,7 @@
 #include "data/dataset_io.h"
 #include "datagen/generators.h"
 #include "obs/manifest.h"
+#include "serve/server.h"
 
 using namespace serd;
 using datagen::DatasetKind;
@@ -47,21 +48,6 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-bool ParseKind(const std::string& s, DatasetKind* kind) {
-  if (s == "dblp-acm") {
-    *kind = DatasetKind::kDblpAcm;
-  } else if (s == "restaurant") {
-    *kind = DatasetKind::kRestaurant;
-  } else if (s == "walmart-amazon") {
-    *kind = DatasetKind::kWalmartAmazon;
-  } else if (s == "itunes-amazon") {
-    *kind = DatasetKind::kItunesAmazon;
-  } else {
-    return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,12 +57,10 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   std::string out_dir;
   std::string manifest_path;
-  SerdOptions options;
-  options.string_bank.num_candidates = 3;  // CPU-friendly CLI default
-  options.string_bank.num_buckets = 5;
-  options.string_bank.train.epochs = 2;
-  options.gan.epochs = 10;
-  options.max_reject_retries = 2;
+  // The same base options the serving front end uses per job, so a CLI
+  // run and a served job with equal (dataset, scale, seed) are
+  // byte-identical (the CI smoke stage diffs them).
+  SerdOptions options = serve::DefaultJobOptions();
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -88,7 +72,9 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--dataset") {
-      if (!ParseKind(next("--dataset"), &kind)) return Usage(argv[0]);
+      if (!datagen::ParseDatasetKind(next("--dataset"), &kind)) {
+        return Usage(argv[0]);
+      }
       kind_set = true;
     } else if (arg == "--scale") {
       scale = std::atof(next("--scale"));
@@ -142,6 +128,18 @@ int main(int argc, char** argv) {
   SerdSynthesizer synth(real, options);
   Status fit = synth.Fit(corpora, background);
   if (!fit.ok()) {
+    if (options.artifact_mode == SerdOptions::ArtifactMode::kLoad) {
+      // One actionable line: the path the user gave, the failure class
+      // (io / crc / format / schema / version / ...), and the detail.
+      // The exit code is distinct per class so scripts can branch on
+      // "wrong path" vs "corrupt artifact" without parsing stderr.
+      std::fprintf(stderr,
+                   "serd_cli: cannot load model artifact from '%s' "
+                   "(cause: %s): %s\n",
+                   options.model_dir.c_str(), ArtifactLoadFailureCause(fit),
+                   fit.message().c_str());
+      return ArtifactLoadExitCode(fit);
+    }
     std::fprintf(stderr, "Fit failed: %s\n", fit.ToString().c_str());
     return 1;
   }

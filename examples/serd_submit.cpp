@@ -1,0 +1,120 @@
+// Loopback client for serd_serve: builds one request from flags, sends
+// it, prints the JSON response to stdout. Exit code 0 iff the response
+// carries "ok": true — scripts can branch on it without parsing.
+//
+//   serd_submit --port N | --port-file F
+//               --verb health|stats|synthesize|job|manifest|shutdown
+//               [--dataset D] [--scale S] [--data-seed N] [--seed N]
+//               [--tenant T] [--model-dir DIR]
+//               [--artifact-mode auto|load|save] [--out DIR]
+//               [--priority P] [--seed-key K] [--no-rejection]
+//               [--no-wait] [--id N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/manifest.h"
+#include "serve/wire.h"
+
+using namespace serd;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port N | --port-file F\n"
+      "          --verb health|stats|synthesize|job|manifest|shutdown\n"
+      "          [--dataset D] [--scale S] [--data-seed N] [--seed N]\n"
+      "          [--tenant T] [--model-dir DIR]\n"
+      "          [--artifact-mode auto|load|save] [--out DIR]\n"
+      "          [--priority P] [--seed-key K] [--no-rejection]\n"
+      "          [--no-wait] [--id N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::string port_file;
+  obs::Json request = obs::Json::Object();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else if (arg == "--port-file") {
+      port_file = next("--port-file");
+    } else if (arg == "--verb") {
+      request.Set("verb", next("--verb"));
+    } else if (arg == "--dataset") {
+      request.Set("dataset", next("--dataset"));
+    } else if (arg == "--scale") {
+      request.Set("scale", std::atof(next("--scale")));
+    } else if (arg == "--data-seed") {
+      request.Set("data_seed",
+                  static_cast<uint64_t>(std::atoll(next("--data-seed"))));
+    } else if (arg == "--seed") {
+      request.Set("seed", static_cast<uint64_t>(std::atoll(next("--seed"))));
+    } else if (arg == "--tenant") {
+      request.Set("tenant", next("--tenant"));
+    } else if (arg == "--model-dir") {
+      request.Set("model_dir", next("--model-dir"));
+    } else if (arg == "--artifact-mode") {
+      request.Set("artifact_mode", next("--artifact-mode"));
+    } else if (arg == "--out") {
+      request.Set("out", next("--out"));
+    } else if (arg == "--priority") {
+      request.Set("priority", std::atoi(next("--priority")));
+    } else if (arg == "--seed-key") {
+      request.Set("seed_key", next("--seed-key"));
+    } else if (arg == "--no-rejection") {
+      request.Set("no_rejection", true);
+    } else if (arg == "--no-wait") {
+      request.Set("wait", false);
+    } else if (arg == "--id") {
+      request.Set("id", static_cast<uint64_t>(std::atoll(next("--id"))));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (!request.Has("verb")) return Usage(argv[0]);
+  if (!port_file.empty()) {
+    Result<std::string> text = obs::ReadTextFile(port_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "serd_submit: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    port = std::atoi(text->c_str());
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "serd_submit: no --port / --port-file given\n");
+    return Usage(argv[0]);
+  }
+
+  serve::ServeClient client;
+  Status connected = client.Connect(port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "serd_submit: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  Result<obs::Json> response = client.Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "serd_submit: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(response->Dump().c_str(), stdout);
+  return response->at("ok").AsBool(false) ? 0 : 1;
+}

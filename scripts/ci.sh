@@ -104,4 +104,66 @@ assert kv["decode_steps"] == ref["decode_steps"], \
 EOF
 fi
 
+if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
+  echo "==> serve smoke (server job output == serd_cli output, warm pool hit)"
+  SERVE_DIR="$(mktemp -d)"
+  SERVE_PID=""
+  trap '[[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SERVE_DIR" "${SMOKE_DIR:-}"' EXIT
+  CLI=build/examples/serd_cli
+  SERVE=build/examples/serd_serve
+  SUBMIT=build/examples/serd_submit
+  JOB=(--dataset dblp-acm --scale 0.02 --seed 7 --data-seed 7
+       --model-dir "$SERVE_DIR/models" --artifact-mode load)
+
+  "$CLI" --dataset dblp-acm --scale 0.02 --seed 7 \
+    --save-models "$SERVE_DIR/models" --out "$SERVE_DIR/cli_ref" >/dev/null
+
+  "$SERVE" --port 0 --port-file "$SERVE_DIR/port" --workers 2 \
+    > "$SERVE_DIR/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SERVE_DIR/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$SERVE_DIR/port" ]] || { cat "$SERVE_DIR/serve.log" >&2; exit 1; }
+
+  echo "==> smoke: a served job byte-matches the serd_cli release"
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb synthesize "${JOB[@]}" \
+    --out "$SERVE_DIR/job1" >/dev/null
+  diff -r "$SERVE_DIR/cli_ref" "$SERVE_DIR/job1"
+
+  echo "==> smoke: second identical job reuses the warm pool entry"
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb synthesize "${JOB[@]}" \
+    --out "$SERVE_DIR/job2" >/dev/null
+  diff -r "$SERVE_DIR/job1" "$SERVE_DIR/job2"
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb stats > "$SERVE_DIR/stats.json"
+  grep -q '"pool.hits": 1' "$SERVE_DIR/stats.json"
+  grep -q '"pool.misses": 1' "$SERVE_DIR/stats.json"
+
+  echo "==> smoke: clean shutdown on the shutdown verb"
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb shutdown >/dev/null
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  grep -q 'bye' "$SERVE_DIR/serve.log"
+
+  echo "==> smoke: artifact load failures exit with documented codes"
+  set +e
+  "$CLI" --dataset dblp-acm --scale 0.02 \
+    --load-models "$SERVE_DIR/no_such_dir" 2> "$SERVE_DIR/err_missing.txt"
+  MISSING_CODE=$?
+  mkdir -p "$SERVE_DIR/garbage"
+  # Long enough to hold a header, so the failure is bad magic (corrupt
+  # container, exit 4), not a too-short read.
+  printf 'definitely not a SERDMDL container: deliberately corrupt bytes\n' \
+    > "$SERVE_DIR/garbage/serd_models.bin"
+  "$CLI" --dataset dblp-acm --scale 0.02 \
+    --load-models "$SERVE_DIR/garbage" 2> "$SERVE_DIR/err_garbage.txt"
+  GARBAGE_CODE=$?
+  set -e
+  [[ "$MISSING_CODE" == 3 ]]   # io: wrong path
+  [[ "$GARBAGE_CODE" == 4 ]]   # corrupt container bytes
+  grep -q 'cause: io' "$SERVE_DIR/err_missing.txt"
+  grep -q "$SERVE_DIR/no_such_dir" "$SERVE_DIR/err_missing.txt"
+fi
+
 echo "==> CI green"

@@ -21,6 +21,11 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIOError,
+  /// A bounded resource (job queue slot, per-tenant in-flight budget) is
+  /// exhausted; the caller may retry after capacity frees up.
+  kResourceExhausted,
+  /// The serving endpoint is not accepting work (shutting down / drained).
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -60,6 +65,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

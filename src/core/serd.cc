@@ -93,9 +93,12 @@ Status SerdSynthesizer::Fit(
   SERD_RETURN_IF_ERROR(n_fit.status());
   double pi = static_cast<double>(x_pos.size()) /
               static_cast<double>(x_pos.size() + x_neg.size());
-  o_real_ = ODistribution(pi, m_fit.value(), n_fit.value());
-  report_.m_components = static_cast<int>(m_fit->num_components());
-  report_.n_components = static_cast<int>(n_fit->num_components());
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    o_real_ = ODistribution(pi, m_fit.value(), n_fit.value());
+    report_.m_components = static_cast<int>(m_fit->num_components());
+    report_.n_components = static_cast<int>(n_fit->num_components());
+  }
   s1_span.Stop();
   if (metrics_ != nullptr) {
     metrics_->gauge("s1.m_components")->Set(report_.m_components);
@@ -139,7 +142,10 @@ Status SerdSynthesizer::Fit(
     banks_[c] = std::move(bank);
     ++corpus_idx;
   }
-  report_.mean_bank_epsilon = eps_count > 0 ? total_eps / eps_count : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    report_.mean_bank_epsilon = eps_count > 0 ? total_eps / eps_count : 0.0;
+  }
   banks_span.Stop();
 
   // ----- Offline: GAN over background entity encodings. -----
@@ -165,10 +171,13 @@ Status SerdSynthesizer::Fit(
     if (decode_pools_[c].empty()) decode_pools_[c].push_back("");
   }
 
-  report_.offline_seconds = timer.Seconds();
-  source_offline_seconds_ = report_.offline_seconds;
-  report_.warm_started = false;
-  fitted_ = true;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    report_.offline_seconds = timer.Seconds();
+    source_offline_seconds_ = report_.offline_seconds;
+    report_.warm_started = false;
+    fitted_ = true;
+  }
 
   if (!options_.model_dir.empty()) {
     SERD_RETURN_IF_ERROR(SaveModels(options_.model_dir));
@@ -267,12 +276,22 @@ bool SerdSynthesizer::RejectedByDiscriminator(const Entity& e) const {
 }
 
 Result<ERDataset> SerdSynthesizer::Synthesize() {
-  if (!fitted_) {
-    return Status::FailedPrecondition("Fit() must succeed before Synthesize()");
+  // The run accumulates into a local report and commits it under
+  // state_mu_ at the end, so a concurrent RunManifestJson() snapshot sees
+  // either the previous run's report or this one, never a half-updated
+  // mix (class thread-safety contract).
+  SerdReport report;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!fitted_) {
+      return Status::FailedPrecondition(
+          "Fit() must succeed before Synthesize()");
+    }
+    report = report_;
   }
   WallTimer timer;
   if (pool_ != nullptr) pool_->ResetStats();
-  report_.threads_used = static_cast<int>(resolved_threads_);
+  report.threads_used = static_cast<int>(resolved_threads_);
   Rng rng(options_.seed ^ 0x51e2d5ULL);
 
   // Bank decode stats accumulate across runs; snapshot them so the report
@@ -344,7 +363,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
 
   // Bootstrap with one GAN-generated A-entity (paper step S2 start).
   append_entity(true, ColdStartEntity(&rng));
-  ++report_.accepted_entities;
+  ++report.accepted_entities;
   obs::Inc(c_accepted);
   obs::TraceSpan s2_span(metrics_.get(), "s2.loop");
 
@@ -358,7 +377,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   // evaluation count and (when observability is on) the per-call wall time
   // are accounted in one place.
   auto estimate_jsd = [&](const ODistribution& o_syn) {
-    ++report_.jsd_evaluations;
+    ++report.jsd_evaluations;
     obs::Inc(c_jsd_evals);
     if (h_jsd_seconds == nullptr) {
       return EstimateJsd(o_syn, o_real_, options_.jsd_samples, jsd_seed,
@@ -445,7 +464,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
 
       bool forced_disc = false;
       if (options_.enable_rejection && RejectedByDiscriminator(candidate)) {
-        ++report_.rejected_by_discriminator;
+        ++report.rejected_by_discriminator;
         obs::Inc(c_rej_disc);
         if (!last_attempt) continue;
         forced_disc = true;  // retries exhausted: keep it anyway
@@ -502,7 +521,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
         double jsd_new = estimate_jsd(o_syn_new);
         if (jsd_new > options_.alpha * current_jsd && !forced_disc) {
           if (!last_attempt) {
-            ++report_.rejected_by_distribution;
+            ++report.rejected_by_distribution;
             obs::Inc(c_rej_dist);
             continue;
           }
@@ -520,18 +539,18 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
         for (auto& v : delta_pos) warm_pos.push_back(std::move(v));
         for (auto& v : delta_neg) warm_neg.push_back(std::move(v));
       }
-      report_.tracked_pairs_pos += static_cast<long>(delta_pos.size());
-      report_.tracked_pairs_neg += static_cast<long>(delta_neg.size());
+      report.tracked_pairs_pos += static_cast<long>(delta_pos.size());
+      report.tracked_pairs_neg += static_cast<long>(delta_neg.size());
       obs::Inc(c_tracked_pos, delta_pos.size());
       obs::Inc(c_tracked_neg, delta_neg.size());
 
       if (forced_disc) {
-        ++report_.forced_accepts;
-        ++report_.forced_accepts_discriminator;
+        ++report.forced_accepts;
+        ++report.forced_accepts_discriminator;
         obs::Inc(c_forced_disc);
       } else if (forced_dist) {
-        ++report_.forced_accepts;
-        ++report_.forced_accepts_distribution;
+        ++report.forced_accepts;
+        ++report.forced_accepts_distribution;
         obs::Inc(c_forced_dist);
       }
       obs::Observe(h_attempts, static_cast<double>(attempt + 1));
@@ -542,7 +561,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
 
     // --- S2-4: add e' to the opposite table and record the label. ---
     size_t new_idx = append_entity(!e_from_a, std::move(e_new));
-    ++report_.accepted_entities;
+    ++report.accepted_entities;
     obs::Inc(c_accepted);
     if (e_from_a) {
       linked.push_back({e_idx, new_idx, is_match});
@@ -552,13 +571,13 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
 
     // Initialize the O_syn trackers once warmed up.
     if (options_.enable_rejection && m_syn == nullptr &&
-        static_cast<size_t>(report_.accepted_entities) >=
+        static_cast<size_t>(report.accepted_entities) >=
             options_.o_syn_warmup &&
         warm_pos.size() >= 4 && warm_neg.size() >= 4) {
       GmmFitOptions syn_fit = options_.gmm;
-      syn_fit.max_components = std::max(report_.m_components, 1);
+      syn_fit.max_components = std::max(report.m_components, 1);
       auto m0 = Gmm::FitWithAic(warm_pos, syn_fit);
-      syn_fit.max_components = std::max(report_.n_components, 1);
+      syn_fit.max_components = std::max(report.n_components, 1);
       auto n0 = Gmm::FitWithAic(warm_neg, syn_fit);
       if (m0.ok() && n0.ok()) {
         m_syn = std::make_unique<IncrementalGmm>(m0.value(), warm_pos);
@@ -574,9 +593,9 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   if (syn.a.size() < na || syn.b.size() < nb) {
     // The guard tripped before the targets were reached: report the
     // shortfall loudly instead of silently handing back a smaller dataset.
-    report_.guard_exhausted = true;
-    report_.shortfall_a = na - syn.a.size();
-    report_.shortfall_b = nb - syn.b.size();
+    report.guard_exhausted = true;
+    report.shortfall_a = na - syn.a.size();
+    report.shortfall_b = nb - syn.b.size();
     obs::Inc(c_guard);
     SERD_LOG(kWarning) << syn.name << ": S2 guard exhausted after "
                        << max_iterations << " iterations; returning "
@@ -636,34 +655,43 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   }
 
   if (m_syn != nullptr && n_syn != nullptr) {
-    report_.jsd_real_vs_syn = estimate_jsd(current_o_syn());
+    report.jsd_real_vs_syn = estimate_jsd(current_o_syn());
   }
   if (pool_ != nullptr) {
-    report_.parallel_speedup = pool_->stats().Speedup();
+    report.parallel_speedup = pool_->stats().Speedup();
   } else {
-    report_.parallel_speedup = 1.0;
+    report.parallel_speedup = 1.0;
   }
   const BankDecodeTotals decode_after = bank_decode_totals();
-  report_.decode_steps = decode_after.steps - decode_before.steps;
-  report_.decode_cached_steps = decode_after.cached - decode_before.cached;
-  report_.encoder_cache_hits = decode_after.hits - decode_before.hits;
-  report_.encoder_cache_misses = decode_after.misses - decode_before.misses;
-  report_.online_seconds = timer.Seconds();
+  report.decode_steps = decode_after.steps - decode_before.steps;
+  report.decode_cached_steps = decode_after.cached - decode_before.cached;
+  report.encoder_cache_hits = decode_after.hits - decode_before.hits;
+  report.encoder_cache_misses = decode_after.misses - decode_before.misses;
+  report.online_seconds = timer.Seconds();
   if (metrics_ != nullptr) {
-    metrics_->gauge("run.online_seconds")->Set(report_.online_seconds);
-    metrics_->gauge("run.parallel_speedup")->Set(report_.parallel_speedup);
+    metrics_->gauge("run.online_seconds")->Set(report.online_seconds);
+    metrics_->gauge("run.parallel_speedup")->Set(report.parallel_speedup);
   }
   if (options_.verbose) {
-    SERD_LOG(kInfo) << syn.name << ": accepted=" << report_.accepted_entities
-                    << " rej_disc=" << report_.rejected_by_discriminator
-                    << " rej_dist=" << report_.rejected_by_distribution
-                    << " forced=" << report_.forced_accepts
-                    << " jsd=" << report_.jsd_real_vs_syn;
+    SERD_LOG(kInfo) << syn.name << ": accepted=" << report.accepted_entities
+                    << " rej_disc=" << report.rejected_by_discriminator
+                    << " rej_dist=" << report.rejected_by_distribution
+                    << " forced=" << report.forced_accepts
+                    << " jsd=" << report.jsd_real_vs_syn;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    report_ = report;
   }
   return syn;
 }
 
 obs::Json SerdSynthesizer::RunManifestJson() const {
+  // Snapshot read: holds the state mutex for the whole build, pairing
+  // with the mutators' commit locks (the pool-stats and metrics-registry
+  // reads below take their own internal locks; no lock ordering cycle —
+  // nothing acquires state_mu_ while holding those).
+  std::lock_guard<std::mutex> lock(state_mu_);
   obs::Json root = obs::Json::Object();
   root.Set("dataset", real_->name);
 

@@ -2,6 +2,7 @@
 #define SERD_CORE_SERD_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -188,6 +189,16 @@ struct SerdReport {
 /// which the transformers are trained with DP-SGD. The single exception,
 /// as in the paper, is the categorical value domain (paper Section IV-B1
 /// iterates e'[C_i] over the existing categorical values).
+///
+/// Thread-safety: one synthesizer is a single-writer object — at most one
+/// thread may be inside Fit(), Synthesize(), LoadModels(), set_seed(), or
+/// set_enable_rejection() at a time (the serving model pool serializes
+/// runs with a per-entry lease mutex). Snapshot reads are safe against
+/// that writer: RunManifestJson() may be called from any thread at any
+/// time, because every mutator commits its state (models, report) under
+/// an internal mutex after a validate/compute phase on locals, and
+/// RunManifestJson() reads under the same mutex. report() returns an
+/// unsynchronized reference and is only meaningful between runs.
 class SerdSynthesizer {
  public:
   SerdSynthesizer(const ERDataset& real, SerdOptions options);
@@ -221,8 +232,15 @@ class SerdSynthesizer {
   /// bit-identical to the run that saved them (same options and seed),
   /// and the DP epsilon recorded at training time is carried over into
   /// the report without spending any further budget.
+  ///
+  /// The whole validate/decode phase works on locals; the final commit of
+  /// the decoded models into the synthesizer happens under the internal
+  /// state mutex, so concurrent RunManifestJson() calls observe either
+  /// the pre-load or the post-load state, never a mix.
   Status LoadModels(const std::string& dir);
 
+  /// Unsynchronized view of the run report; read it between runs (see the
+  /// class thread-safety contract).
   const SerdReport& report() const { return report_; }
   const ODistribution& o_real() const { return o_real_; }
   const SimilaritySpec& spec() const { return spec_; }
@@ -240,7 +258,21 @@ class SerdSynthesizer {
   /// models, so SERD and the SERD- baseline share one Fit() (their offline
   /// phase is identical by construction). Resets the run statistics.
   void set_enable_rejection(bool enabled) {
+    std::lock_guard<std::mutex> lock(state_mu_);
     options_.enable_rejection = enabled;
+    report_.ResetOnlineStats();
+  }
+
+  /// Re-seeds the *online* phase for the next Synthesize() and resets the
+  /// run statistics, leaving the fitted offline models untouched. This is
+  /// what lets the serving model pool reuse one warm synthesizer across
+  /// jobs: Synthesize() after set_seed(s) is bit-identical to a fresh
+  /// synthesizer built with SerdOptions::seed = s over the same loaded
+  /// artifact (training seeds are derived from the seed too, but they are
+  /// only consumed by Fit(), never by the decode path).
+  void set_seed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    options_.seed = seed;
     report_.ResetOnlineStats();
   }
 
@@ -321,7 +353,25 @@ class SerdSynthesizer {
   /// offline_seconds becomes the load time after a warm start).
   double source_offline_seconds_ = 0.0;
   SerdReport report_;
+  /// Guards the commit of mutator results (models, options_.seed,
+  /// report_, fitted_) and every RunManifestJson() read — see the class
+  /// thread-safety contract.
+  mutable std::mutex state_mu_;
 };
+
+/// Buckets an artifact load failure (a LoadModels() Status) into a short
+/// stable cause tag: "io" (missing/unreadable file), "crc", "format",
+/// "schema", "version", "missing_section", or "decode". Feeds the
+/// artifact.load_fail_<cause> counters and the CLI error line.
+const char* ArtifactLoadFailureCause(const Status& status);
+
+/// Distinct process exit code for an artifact load failure, so scripts
+/// can tell "wrong path" from "corrupt file" from "wrong schema" without
+/// parsing stderr: 0 for OK, 3 io, 4 corrupt bytes (crc/format/
+/// missing_section), 5 schema mismatch, 6 format-version skew, 7 other
+/// decode rejection. serd_cli exits with this code when --load-models
+/// fails.
+int ArtifactLoadExitCode(const Status& status);
 
 }  // namespace serd
 

@@ -3,6 +3,7 @@
 // and the serialization concerns stay separately readable.
 
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,12 +15,11 @@
 
 namespace serd {
 
-namespace {
-
-/// Buckets a load failure for the artifact.load_fail_<cause> counters, so
-/// a manifest shows *why* warm starts are missing (stale format version
-/// vs. bit rot vs. a schema change) without log archaeology.
-const char* LoadFailureCause(const Status& s) {
+/// Buckets a load failure for the artifact.load_fail_<cause> counters and
+/// the CLI exit-code mapping, so a manifest shows *why* warm starts are
+/// missing (stale format version vs. bit rot vs. a schema change) without
+/// log archaeology.
+const char* ArtifactLoadFailureCause(const Status& s) {
   switch (s.code()) {
     case StatusCode::kIOError:
       return "io";  // missing/unreadable file
@@ -40,6 +40,20 @@ const char* LoadFailureCause(const Status& s) {
   }
   return "decode";  // structurally valid bytes, semantically rejected
 }
+
+int ArtifactLoadExitCode(const Status& status) {
+  if (status.ok()) return 0;
+  const std::string cause = ArtifactLoadFailureCause(status);
+  if (cause == "io") return 3;
+  if (cause == "crc" || cause == "format" || cause == "missing_section") {
+    return 4;
+  }
+  if (cause == "schema") return 5;
+  if (cause == "version") return 6;
+  return 7;  // "decode"
+}
+
+namespace {
 
 /// Consumes the remainder check of a section reader: every section must be
 /// read exactly to its end (trailing bytes mean writer/reader disagree).
@@ -121,7 +135,7 @@ Status SerdSynthesizer::LoadModels(const std::string& dir) {
     obs::Inc(obs::GetCounter(metrics_.get(), "artifact.load_fail"));
     obs::Inc(obs::GetCounter(
         metrics_.get(),
-        std::string("artifact.load_fail_") + LoadFailureCause(st)));
+        std::string("artifact.load_fail_") + ArtifactLoadFailureCause(st)));
     return st;
   };
 
@@ -275,19 +289,25 @@ Status SerdSynthesizer::LoadModels(const std::string& dir) {
   }
 
   // --- commit: from here on the warm start is indistinguishable from a
-  // freshly trained Fit() with the same options and seed. ---
-  o_real_ = std::move(o_real).value();
-  banks_ = std::move(banks);
-  encoder_ = std::move(encoder);
-  gan_ = std::move(gan).value();
-  decode_pools_ = std::move(pools);
-  report_.m_components = m_components;
-  report_.n_components = n_components;
-  report_.mean_bank_epsilon = src_epsilon;  // budget spent at training time
-  report_.warm_started = true;
-  report_.offline_seconds = timer.Seconds();  // load cost, not training cost
-  source_offline_seconds_ = src_offline_seconds;
-  fitted_ = true;
+  // freshly trained Fit() with the same options and seed. The lock makes
+  // the commit atomic against concurrent RunManifestJson() snapshots
+  // (everything above worked on locals, so a failed load never holds the
+  // lock or touches members). ---
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    o_real_ = std::move(o_real).value();
+    banks_ = std::move(banks);
+    encoder_ = std::move(encoder);
+    gan_ = std::move(gan).value();
+    decode_pools_ = std::move(pools);
+    report_.m_components = m_components;
+    report_.n_components = n_components;
+    report_.mean_bank_epsilon = src_epsilon;  // budget spent at training time
+    report_.warm_started = true;
+    report_.offline_seconds = timer.Seconds();  // load, not training cost
+    source_offline_seconds_ = src_offline_seconds;
+    fitted_ = true;
+  }
 
   obs::Inc(obs::GetCounter(metrics_.get(), "artifact.load_ok"));
   if (metrics_ != nullptr) {

@@ -352,6 +352,21 @@ const char* DatasetKindName(DatasetKind kind) {
   return "?";
 }
 
+bool ParseDatasetKind(const std::string& name, DatasetKind* kind) {
+  if (name == "dblp-acm") {
+    *kind = DatasetKind::kDblpAcm;
+  } else if (name == "restaurant") {
+    *kind = DatasetKind::kRestaurant;
+  } else if (name == "walmart-amazon") {
+    *kind = DatasetKind::kWalmartAmazon;
+  } else if (name == "itunes-amazon") {
+    *kind = DatasetKind::kItunesAmazon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 PaperStats PaperSizes(DatasetKind kind) {
   switch (kind) {
     case DatasetKind::kDblpAcm:

@@ -23,6 +23,12 @@ enum class DatasetKind {
 
 const char* DatasetKindName(DatasetKind kind);
 
+/// Parses the CLI/wire spelling of a dataset kind ("dblp-acm",
+/// "restaurant", "walmart-amazon", "itunes-amazon"); returns false and
+/// leaves `kind` untouched on an unknown name. Shared by serd_cli and the
+/// serving front end so both accept the same vocabulary.
+bool ParseDatasetKind(const std::string& name, DatasetKind* kind);
+
 /// The paper's Table II statistics for `kind`.
 struct PaperStats {
   size_t a_size;

@@ -1,0 +1,191 @@
+#ifndef SERD_SERVE_SCHEDULER_H_
+#define SERD_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+
+namespace serd::serve {
+
+/// Knobs of the serving job scheduler (DESIGN.md Section 5i).
+struct SchedulerOptions {
+  /// Worker threads executing jobs (the runtime::ThreadPool size).
+  int workers = 2;
+  /// Admission control: jobs waiting for a worker beyond this are
+  /// rejected with ResourceExhausted ("backpressure at the front door" —
+  /// a bounded queue keeps worst-case latency bounded too).
+  size_t max_queued = 64;
+  /// Admission control: one tenant may hold at most this many admitted
+  /// (queued + running) jobs, so a single noisy tenant cannot occupy the
+  /// whole queue.
+  size_t max_inflight_per_tenant = 8;
+  /// Admission control: jobs declaring more target entities than this are
+  /// rejected outright with InvalidArgument (0 = unlimited). Oversize
+  /// work belongs in a batch pipeline, not the interactive queue.
+  size_t max_job_entities = 200000;
+  /// Root seed for derived per-job seeds (see JobSpec::seed_key).
+  uint64_t seed = 2024;
+  /// Observability sink (not owned; nullptr = off): counters
+  /// scheduler.submitted / .completed / .failed /
+  /// .rejected_{queue_full,tenant_cap,oversize,shutdown}, timers
+  /// scheduler.queue_seconds / .run_seconds, gauge scheduler.queue_depth.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+using JobId = uint64_t;
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,    ///< work function returned OK
+  kFailed,  ///< work function returned an error (or the job was dropped)
+};
+
+const char* JobStateName(JobState state);
+
+/// What a caller declares about a job at submission. The scheduler only
+/// needs scheduling-relevant facts; the work itself is an opaque closure.
+struct JobSpec {
+  std::string tenant = "default";
+  /// Higher runs first; FIFO within one priority class.
+  int priority = 0;
+  /// Declared size (target entities) for oversize admission control.
+  size_t entities = 0;
+  /// Identity feeding the derived per-job seed: the seed is a pure
+  /// function of (SchedulerOptions::seed, seed_key), NOT of arrival order
+  /// or worker assignment, so resubmitting the same job set in any order
+  /// at any worker count reproduces every job bit-identically. Empty
+  /// selects "tenant/<job id>" (deterministic only for a fixed submission
+  /// order — callers wanting order-independence pass an explicit key).
+  std::string seed_key;
+};
+
+/// Handed to the work function when a worker picks the job up.
+struct JobContext {
+  JobId id = 0;
+  /// Derived deterministic seed (ShardedRng::DeriveSeed idiom over the
+  /// FNV-1a hash of the seed key).
+  uint64_t seed = 0;
+  std::string tenant;
+};
+
+/// Point-in-time view of one job's lifecycle.
+struct JobStatus {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  Status status;  ///< meaningful once state is kDone/kFailed
+  std::string tenant;
+  double queue_seconds = 0.0;  ///< admission -> worker pickup
+  double run_seconds = 0.0;    ///< worker pickup -> completion
+};
+
+/// A bounded FIFO/priority job queue over the PR-1 runtime::ThreadPool.
+///
+/// Submission is admission-controlled (queue bound, per-tenant in-flight
+/// cap, oversize rejection) and returns a JobId; workers drain the queue
+/// highest-priority-first, FIFO within a class. Every admitted job runs
+/// exactly once — including during a drain shutdown — or is failed with
+/// Unavailable when the scheduler shuts down without draining.
+///
+/// Thread-safety: all public methods may be called from any thread,
+/// including from inside a running job (a job may Submit follow-up work,
+/// but must not Wait() on it — with every worker blocked in Wait() the
+/// queue would deadlock).
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions options);
+  ~JobScheduler();  ///< Shutdown(/*drain=*/true)
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admits and enqueues a job. `work` runs on a scheduler worker with
+  /// the job's context; its returned Status becomes the job's final
+  /// status. Rejections: ResourceExhausted (queue full / tenant cap),
+  /// InvalidArgument (oversize), Unavailable (shutting down).
+  Result<JobId> Submit(JobSpec spec,
+                       std::function<Status(const JobContext&)> work);
+
+  /// Blocks until the job reaches kDone/kFailed and returns its final
+  /// status record. NotFound for an unknown id.
+  Result<JobStatus> Wait(JobId id) const;
+
+  /// Non-blocking lifecycle query. NotFound for an unknown id.
+  Result<JobStatus> Query(JobId id) const;
+
+  /// Stops admission, then either runs every queued job to completion
+  /// (`drain` = true, the graceful default) or fails still-queued jobs
+  /// with Unavailable. Blocks until the workers joined; idempotent.
+  void Shutdown(bool drain = true);
+
+  size_t queued() const;
+  size_t running() const;
+
+  /// The derived per-job seed: ShardedRng::DeriveSeed(root, fnv1a(key)).
+  /// Exposed so the serving front end (and tests) can predict a job's
+  /// seed without running it.
+  static uint64_t DeriveJobSeed(uint64_t root_seed, const std::string& key);
+
+ private:
+  struct JobRecord {
+    JobId id = 0;
+    JobSpec spec;
+    uint64_t seed = 0;  ///< resolved at admission (DeriveJobSeed)
+    std::function<Status(const JobContext&)> work;
+    JobState state = JobState::kQueued;
+    Status status;
+    double queue_seconds = 0.0;
+    double run_seconds = 0.0;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  /// Runs the best queued job, if any (the ThreadPool task body).
+  void DrainOne();
+  JobStatus StatusLocked(const JobRecord& record) const;
+
+  SchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable done_cv_;
+  bool stopping_ = false;
+  JobId next_id_ = 1;
+  /// Priority queue as an ordered map keyed by (-priority, id): begin()
+  /// is always the highest-priority, oldest job. A map (not a heap) keeps
+  /// the drain order deterministic and the code obviously correct under
+  /// TSan; serving queues are tens of entries, not millions.
+  std::map<std::pair<int64_t, JobId>, std::shared_ptr<JobRecord>> queue_;
+  std::unordered_map<JobId, std::shared_ptr<JobRecord>> jobs_;
+  std::unordered_map<std::string, size_t> tenant_inflight_;
+  size_t running_ = 0;
+
+  // Resolved metric handles (all null when metrics are off).
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_rej_queue_full_ = nullptr;
+  obs::Counter* c_rej_tenant_cap_ = nullptr;
+  obs::Counter* c_rej_oversize_ = nullptr;
+  obs::Counter* c_rej_shutdown_ = nullptr;
+  obs::Histogram* h_queue_seconds_ = nullptr;
+  obs::Histogram* h_run_seconds_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+
+  /// Owned worker pool; last member so it is destroyed (joining workers)
+  /// before the state it drains.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+};
+
+}  // namespace serd::serve
+
+#endif  // SERD_SERVE_SCHEDULER_H_

@@ -1,0 +1,431 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include "data/dataset_io.h"
+#include "datagen/generators.h"
+#include "obs/manifest.h"
+#include "serve/wire.h"
+
+namespace serd::serve {
+
+namespace {
+
+using datagen::DatasetKind;
+
+obs::Json ErrorJson(const Status& status) {
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", false);
+  out.Set("code", StatusCodeName(status.code()));
+  out.Set("error", status.message());
+  return out;
+}
+
+std::string GetString(const obs::Json& j, const std::string& key,
+                      const std::string& fallback) {
+  return j.Has(key) ? j.at(key).AsString() : fallback;
+}
+
+double GetNumber(const obs::Json& j, const std::string& key, double fallback) {
+  return j.Has(key) ? j.at(key).AsNumber(fallback) : fallback;
+}
+
+bool GetBool(const obs::Json& j, const std::string& key, bool fallback) {
+  return j.Has(key) ? j.at(key).AsBool(fallback) : fallback;
+}
+
+/// Schemas are static per dataset kind; a minimal generation exposes one
+/// for fingerprinting without paying for a job-sized dataset.
+uint64_t SchemaFingerprintFor(DatasetKind kind) {
+  static std::mutex mu;
+  static std::map<int, uint64_t> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(static_cast<int>(kind));
+  if (it != cache.end()) return it->second;
+  ERDataset tiny = datagen::Generate(kind, {.seed = 1, .scale = 0.01});
+  uint64_t fp = tiny.schema().Fingerprint();
+  cache.emplace(static_cast<int>(kind), fp);
+  return fp;
+}
+
+std::string FormatScale(double scale) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", scale);
+  return buf;
+}
+
+}  // namespace
+
+SerdOptions DefaultJobOptions() {
+  SerdOptions options;
+  options.string_bank.num_candidates = 3;
+  options.string_bank.num_buckets = 5;
+  options.string_bank.train.epochs = 2;
+  options.gan.epochs = 10;
+  options.max_reject_retries = 2;
+  return options;
+}
+
+struct SerdServer::JobParams {
+  DatasetKind kind = DatasetKind::kDblpAcm;
+  std::string dataset_name;
+  double scale = 0.04;
+  uint64_t data_seed = 42;
+  bool has_seed = false;
+  uint64_t seed = 0;  ///< explicit synthesis seed; else the derived one
+  std::string tenant = "default";
+  std::string model_dir;
+  SerdOptions::ArtifactMode artifact_mode = SerdOptions::ArtifactMode::kAuto;
+  std::string out_dir;
+  int priority = 0;
+  std::string seed_key;
+  bool enable_rejection = true;
+  bool wait = true;
+
+  std::string DatasetId() const {
+    return std::string(datagen::DatasetKindName(kind)) + "@" +
+           FormatScale(scale) + "#" + std::to_string(data_seed);
+  }
+};
+
+SerdServer::SerdServer(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(ModelPoolOptions{options_.pool_capacity, &metrics_}),
+      scheduler_(SchedulerOptions{options_.workers, options_.max_queued,
+                                  options_.max_inflight_per_tenant,
+                                  options_.max_job_entities, options_.seed,
+                                  &metrics_}) {}
+
+SerdServer::~SerdServer() { Stop(); }
+
+Status SerdServer::Start() {
+  SERD_RETURN_IF_ERROR(ListenOn(options_.port, &listen_fd_, &port_));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SerdServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Stop() shut the listener down
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void SerdServer::HandleConnection(int fd) {
+  for (;;) {
+    Result<obs::Json> request = ReadJson(fd);
+    if (!request.ok()) break;  // hangup (Unavailable) or broken frame
+    obs::Json response = Handle(request.value());
+    if (!WriteJson(fd, response).ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+  ::close(fd);
+}
+
+obs::Json SerdServer::Handle(const obs::Json& request) {
+  const std::string verb = GetString(request, "verb", "");
+  if (verb == "health") {
+    obs::Json out = obs::Json::Object();
+    out.Set("ok", true);
+    out.Set("status", "serving");
+    return out;
+  }
+  if (verb == "stats") return HandleStats();
+  if (verb == "synthesize") return HandleSynthesize(request);
+  if (verb == "job") return HandleJob(request);
+  if (verb == "manifest") return HandleManifest(request);
+  if (verb == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      stop_requested_ = true;
+    }
+    stop_cv_.notify_all();
+    obs::Json out = obs::Json::Object();
+    out.Set("ok", true);
+    out.Set("status", "stopping");
+    return out;
+  }
+  return ErrorJson(Status::InvalidArgument("unknown verb '" + verb + "'"));
+}
+
+Status SerdServer::ParseJobParams(const obs::Json& request,
+                                  JobParams* params) const {
+  params->dataset_name = GetString(request, "dataset", "");
+  if (params->dataset_name.empty()) {
+    return Status::InvalidArgument("request is missing 'dataset'");
+  }
+  if (!datagen::ParseDatasetKind(params->dataset_name, &params->kind)) {
+    return Status::InvalidArgument("unknown dataset '" +
+                                   params->dataset_name + "'");
+  }
+  params->scale = GetNumber(request, "scale", 0.04);
+  if (params->scale <= 0.0) {
+    return Status::InvalidArgument("'scale' must be positive");
+  }
+  params->data_seed =
+      static_cast<uint64_t>(GetNumber(request, "data_seed", 42));
+  if (request.Has("seed")) {
+    params->has_seed = true;
+    params->seed = static_cast<uint64_t>(request.at("seed").AsNumber());
+  }
+  params->tenant = GetString(request, "tenant", "default");
+  params->model_dir = GetString(request, "model_dir", "");
+  const std::string mode = GetString(request, "artifact_mode", "auto");
+  if (mode == "auto") {
+    params->artifact_mode = SerdOptions::ArtifactMode::kAuto;
+  } else if (mode == "load") {
+    params->artifact_mode = SerdOptions::ArtifactMode::kLoad;
+  } else if (mode == "save") {
+    params->artifact_mode = SerdOptions::ArtifactMode::kSave;
+  } else {
+    return Status::InvalidArgument("unknown artifact_mode '" + mode +
+                                   "' (auto|load|save)");
+  }
+  if (params->model_dir.empty() &&
+      params->artifact_mode == SerdOptions::ArtifactMode::kLoad) {
+    return Status::InvalidArgument(
+        "artifact_mode 'load' requires 'model_dir'");
+  }
+  params->out_dir = GetString(request, "out", "");
+  params->priority = static_cast<int>(GetNumber(request, "priority", 0));
+  params->seed_key = GetString(request, "seed_key", "");
+  params->enable_rejection = !GetBool(request, "no_rejection", false);
+  params->wait = GetBool(request, "wait", true);
+  return Status::OK();
+}
+
+PoolKey SerdServer::KeyFor(const JobParams& params) const {
+  PoolKey key;
+  key.tenant = params.tenant;
+  key.model_dir = params.model_dir;
+  key.schema_fingerprint = SchemaFingerprintFor(params.kind);
+  key.dataset_id = params.DatasetId();
+  return key;
+}
+
+ModelPool::EntryLoader SerdServer::LoaderFor(const JobParams& params) const {
+  SerdOptions base = options_.job_options;
+  JobParams p = params;
+  return [base, p]() -> Result<std::unique_ptr<PoolEntry>> {
+    auto entry = std::make_unique<PoolEntry>();
+    // The entry owns the real dataset: the synthesizer keeps a pointer to
+    // it for its whole life. Seeds mirror serd_cli exactly (data_seed is
+    // serd_cli's --seed) so a served job byte-matches a CLI run.
+    entry->real = datagen::Generate(
+        p.kind, {.seed = p.data_seed, .scale = p.scale});
+    SerdOptions options = base;
+    options.seed = p.data_seed;
+    options.model_dir = p.model_dir;
+    options.artifact_mode = p.artifact_mode;
+    entry->synth = std::make_unique<SerdSynthesizer>(entry->real, options);
+
+    std::vector<std::vector<std::string>> corpora;
+    Table background;
+    if (p.artifact_mode != SerdOptions::ArtifactMode::kLoad) {
+      // kLoad never trains, so it needs no background data; Fit() returns
+      // right after the artifact is restored.
+      size_t i = 0;
+      for (const auto& col : entry->real.schema().columns()) {
+        if (col.type != ColumnType::kText) continue;
+        corpora.push_back(datagen::BackgroundCorpus(
+            p.kind, col.name, 120, p.data_seed * 31 + i++));
+      }
+      background =
+          datagen::BackgroundEntities(p.kind, 100, p.data_seed * 7 + 1);
+    }
+    Status fit = entry->synth->Fit(corpora, background);
+    if (!fit.ok()) return fit;
+    return entry;
+  };
+}
+
+obs::Json SerdServer::HandleSynthesize(const obs::Json& request) {
+  JobParams params;
+  Status parsed = ParseJobParams(request, &params);
+  if (!parsed.ok()) return ErrorJson(parsed);
+
+  JobSpec spec;
+  spec.tenant = params.tenant;
+  spec.priority = params.priority;
+  spec.seed_key = params.seed_key;
+  datagen::PaperStats sizes = datagen::PaperSizes(params.kind);
+  spec.entities = static_cast<size_t>(
+      static_cast<double>(sizes.a_size + sizes.b_size) * params.scale);
+
+  auto work = [this, params](const JobContext& ctx) -> Status {
+    const uint64_t job_seed = params.has_seed ? params.seed : ctx.seed;
+    Result<ModelPool::Lease> lease =
+        pool_.Acquire(KeyFor(params), LoaderFor(params));
+    if (!lease.ok()) return lease.status();
+    // One entry runs one job at a time (the synthesizer is single-writer);
+    // parallel throughput comes from jobs on distinct entries.
+    std::lock_guard<std::mutex> run_lock(lease->run_mutex());
+    SerdSynthesizer* synth = lease->synth();
+    synth->set_enable_rejection(params.enable_rejection);
+    synth->set_seed(job_seed);
+    Result<ERDataset> result = synth->Synthesize();
+    if (!result.ok()) return result.status();
+    if (!params.out_dir.empty()) {
+      SERD_RETURN_IF_ERROR(SaveDataset(result.value(), params.out_dir));
+    }
+    JobInfo info;
+    info.seed = job_seed;
+    info.a = result->a.size();
+    info.b = result->b.size();
+    info.matches = result->matches.size();
+    info.offline_seconds = synth->report().offline_seconds;
+    info.online_seconds = synth->report().online_seconds;
+    info.warm_started = synth->report().warm_started;
+    info.out_dir = params.out_dir;
+    std::lock_guard<std::mutex> lock(info_mu_);
+    job_info_[ctx.id] = info;
+    return Status::OK();
+  };
+
+  Result<JobId> id = scheduler_.Submit(std::move(spec), std::move(work));
+  if (!id.ok()) return ErrorJson(id.status());
+  if (!params.wait) {
+    obs::Json out = obs::Json::Object();
+    out.Set("ok", true);
+    out.Set("job", *id);
+    out.Set("state", "queued");
+    return out;
+  }
+  Result<JobStatus> done = scheduler_.Wait(*id);
+  if (!done.ok()) return ErrorJson(done.status());
+  return JobStatusJson(*done);
+}
+
+obs::Json SerdServer::HandleJob(const obs::Json& request) {
+  if (!request.Has("id")) {
+    return ErrorJson(Status::InvalidArgument("request is missing 'id'"));
+  }
+  JobId id = static_cast<JobId>(request.at("id").AsNumber());
+  Result<JobStatus> status = GetBool(request, "wait", false)
+                                 ? scheduler_.Wait(id)
+                                 : scheduler_.Query(id);
+  if (!status.ok()) return ErrorJson(status.status());
+  return JobStatusJson(*status);
+}
+
+obs::Json SerdServer::JobStatusJson(const JobStatus& status) const {
+  obs::Json out = obs::Json::Object();
+  const bool failed = status.state == JobState::kFailed;
+  out.Set("ok", !failed);
+  out.Set("job", status.id);
+  out.Set("state", JobStateName(status.state));
+  out.Set("tenant", status.tenant);
+  out.Set("queue_seconds", status.queue_seconds);
+  out.Set("run_seconds", status.run_seconds);
+  if (failed) {
+    out.Set("code", StatusCodeName(status.status.code()));
+    out.Set("error", status.status.message());
+  }
+  std::lock_guard<std::mutex> lock(info_mu_);
+  auto it = job_info_.find(status.id);
+  if (it != job_info_.end()) {
+    const JobInfo& info = it->second;
+    out.Set("seed", info.seed);
+    out.Set("a", static_cast<uint64_t>(info.a));
+    out.Set("b", static_cast<uint64_t>(info.b));
+    out.Set("matches", static_cast<uint64_t>(info.matches));
+    out.Set("offline_seconds", info.offline_seconds);
+    out.Set("online_seconds", info.online_seconds);
+    out.Set("warm_started", info.warm_started);
+    if (!info.out_dir.empty()) out.Set("out", info.out_dir);
+  }
+  return out;
+}
+
+obs::Json SerdServer::HandleStats() {
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", true);
+  out.Set("metrics", obs::SnapshotToJson(metrics_.TakeSnapshot()));
+  obs::Json sched = obs::Json::Object();
+  sched.Set("queued", static_cast<uint64_t>(scheduler_.queued()));
+  sched.Set("running", static_cast<uint64_t>(scheduler_.running()));
+  out.Set("scheduler", std::move(sched));
+  obs::Json pool = obs::Json::Object();
+  pool.Set("size", static_cast<uint64_t>(pool_.size()));
+  out.Set("pool", std::move(pool));
+  return out;
+}
+
+obs::Json SerdServer::HandleManifest(const obs::Json& request) {
+  JobParams params;
+  Status parsed = ParseJobParams(request, &params);
+  if (!parsed.ok()) return ErrorJson(parsed);
+  Result<ModelPool::Lease> lease =
+      pool_.Acquire(KeyFor(params), LoaderFor(params));
+  if (!lease.ok()) return ErrorJson(lease.status());
+  // Deliberately no run_mutex here: RunManifestJson() is a snapshot read
+  // that is safe against a concurrently running job on the same entry
+  // (the synthesizer's internal state mutex guards the commit points).
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", true);
+  out.Set("manifest", lease->synth()->RunManifestJson());
+  return out;
+}
+
+void SerdServer::Wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void SerdServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+    if (stopped_) {
+      stop_cv_.notify_all();
+      return;
+    }
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the accept thread out of accept(2); close after
+    // the join so the fd number cannot be recycled under it.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Drain: every admitted job runs to completion, so connections blocked
+  // in Wait(job) get their responses before the sockets go down.
+  scheduler_.Shutdown(/*drain=*/true);
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace serd::serve

@@ -1,0 +1,171 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace serd::serve {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Writes exactly `n` bytes, looping over short writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t wrote = ::write(fd, data + off, n - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("write"));
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes. `*eof_ok` in: whether clean EOF at offset 0
+/// is acceptable; out: whether that EOF happened.
+Status ReadAll(int fd, char* data, size_t n, bool* eof_ok) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t got = ::read(fd, data + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("read"));
+    }
+    if (got == 0) {
+      if (off == 0 && eof_ok != nullptr && *eof_ok) {
+        return Status::Unavailable("connection closed");
+      }
+      return Status::IOError("unexpected EOF mid-frame");
+    }
+    off += static_cast<size_t>(got);
+  }
+  if (eof_ok != nullptr) *eof_ok = false;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame over " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  unsigned char prefix[4];
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  prefix[0] = static_cast<unsigned char>(n >> 24);
+  prefix[1] = static_cast<unsigned char>(n >> 16);
+  prefix[2] = static_cast<unsigned char>(n >> 8);
+  prefix[3] = static_cast<unsigned char>(n);
+  SERD_RETURN_IF_ERROR(
+      WriteAll(fd, reinterpret_cast<const char*>(prefix), 4));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Status ReadFrame(int fd, std::string* payload) {
+  unsigned char prefix[4];
+  bool eof_ok = true;
+  SERD_RETURN_IF_ERROR(
+      ReadAll(fd, reinterpret_cast<char*>(prefix), 4, &eof_ok));
+  uint32_t n = (static_cast<uint32_t>(prefix[0]) << 24) |
+               (static_cast<uint32_t>(prefix[1]) << 16) |
+               (static_cast<uint32_t>(prefix[2]) << 8) |
+               static_cast<uint32_t>(prefix[3]);
+  if (n > kMaxFrameBytes) {
+    return Status::IOError("frame length " + std::to_string(n) +
+                           " over the " + std::to_string(kMaxFrameBytes) +
+                           "-byte limit");
+  }
+  payload->resize(n);
+  if (n == 0) return Status::OK();
+  return ReadAll(fd, payload->data(), n, nullptr);
+}
+
+Status WriteJson(int fd, const obs::Json& message) {
+  return WriteFrame(fd, message.Dump());
+}
+
+Result<obs::Json> ReadJson(int fd) {
+  std::string payload;
+  SERD_RETURN_IF_ERROR(ReadFrame(fd, &payload));
+  return obs::Json::Parse(payload);
+}
+
+Status ListenOn(int port, int* listen_fd, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IOError(Errno("bind"));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) < 0) {
+    Status status = Status::IOError(Errno("listen"));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status status = Status::IOError(Errno("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  *listen_fd = fd;
+  *bound_port = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<int> ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IOError("connect to 127.0.0.1:" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Status ServeClient::Connect(int port) {
+  Close();
+  Result<int> fd = ConnectTo(port);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  return Status::OK();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<obs::Json> ServeClient::Call(const obs::Json& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  SERD_RETURN_IF_ERROR(WriteJson(fd_, request));
+  return ReadJson(fd_);
+}
+
+}  // namespace serd::serve

@@ -1,0 +1,71 @@
+#ifndef SERD_SERVE_WIRE_H_
+#define SERD_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace serd::serve {
+
+/// Dependency-free framing for the serving protocol: each message is a
+/// 4-byte big-endian length followed by that many bytes of UTF-8 JSON.
+/// Length-prefixing (rather than newline-delimiting) keeps the payload
+/// free to contain any JSON, including pretty-printed multi-line dumps.
+///
+/// The fd-based calls below work on any stream socket; everything is
+/// blocking (the server runs a thread per connection, the client is
+/// synchronous). Short reads/writes are looped to completion; EOF during
+/// a frame is an IOError, EOF *between* frames surfaces as kUnavailable
+/// from ReadFrame so callers can distinguish orderly hangup.
+
+/// Upper bound on one frame (16 MiB) — a malformed length prefix must not
+/// make the receiver allocate gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Writes one length-prefixed frame.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Reads one length-prefixed frame into `payload`. Returns Unavailable
+/// on clean EOF before any prefix byte, IOError on mid-frame EOF or a
+/// prefix over kMaxFrameBytes.
+Status ReadFrame(int fd, std::string* payload);
+
+/// WriteFrame(Dump()) convenience.
+Status WriteJson(int fd, const obs::Json& message);
+
+/// ReadFrame + Parse convenience.
+Result<obs::Json> ReadJson(int fd);
+
+/// Opens a listening TCP socket on 127.0.0.1:`port` (port 0 = kernel-
+/// assigned). On success stores the fd and the actually bound port.
+Status ListenOn(int port, int* listen_fd, int* bound_port);
+
+/// Blocking connect to 127.0.0.1:`port`.
+Result<int> ConnectTo(int port);
+
+/// Synchronous loopback client: one connection, Call() sends a request
+/// frame and blocks for the response frame. Used by serd_submit, the CI
+/// smoke stage, tests, and bench_serve.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  Status Connect(int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One request/response round trip.
+  Result<obs::Json> Call(const obs::Json& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace serd::serve
+
+#endif  // SERD_SERVE_WIRE_H_

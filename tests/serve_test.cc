@@ -1,0 +1,832 @@
+// Serving-layer tests: scheduler admission/priority/drain semantics,
+// model-pool single-flight and LRU/pinning behavior, wire framing,
+// artifact load-failure exit codes, thread-safety of LoadModels /
+// RunManifestJson against concurrent snapshot readers, arrival-order- and
+// worker-count-independence of per-job outputs, and a full server
+// round trip over a loopback socket. The suite runs under the tsan and
+// asan CTest labels.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "serve/model_pool.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+using serve::JobContext;
+using serve::JobId;
+using serve::JobScheduler;
+using serve::JobSpec;
+using serve::JobState;
+using serve::JobStatus;
+using serve::ModelPool;
+using serve::ModelPoolOptions;
+using serve::PoolEntry;
+using serve::PoolKey;
+using serve::SchedulerOptions;
+
+std::string MakeTempDir(const char* tag) {
+  std::string dir = testing::TempDir() + "/serd_serve_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Tiny-model options (mirrors core_test's FastOptions) so training in a
+/// test process stays in CPU-seconds even under TSan.
+SerdOptions FastOptions() {
+  SerdOptions opts;
+  opts.seed = 77;
+  opts.string_bank.num_buckets = 4;
+  opts.string_bank.num_candidates = 2;
+  opts.string_bank.transformer.d_model = 16;
+  opts.string_bank.transformer.num_heads = 2;
+  opts.string_bank.transformer.num_layers = 1;
+  opts.string_bank.transformer.ffn_dim = 24;
+  opts.string_bank.transformer.max_len = 32;
+  opts.string_bank.train.epochs = 1;
+  opts.string_bank.train.batch_size = 16;
+  opts.string_bank.max_pairs_per_bucket = 16;
+  opts.string_bank.random_pair_samples = 120;
+  opts.gan.epochs = 4;
+  opts.gan.batch_size = 16;
+  opts.jsd_samples = 48;
+  opts.rejection_partner_sample = 8;
+  opts.max_label_pairs = 20000;
+  return opts;
+}
+
+struct Fixture {
+  ERDataset real;
+  std::vector<std::vector<std::string>> corpora;
+  Table background;
+};
+
+Fixture MakeFixture(DatasetKind kind = DatasetKind::kDblpAcm,
+                    double scale = 0.02) {
+  Fixture f;
+  f.real = datagen::Generate(kind, {.seed = 3, .scale = scale});
+  size_t idx = 0;
+  for (const auto& col : f.real.schema().columns()) {
+    if (col.type != ColumnType::kText) continue;
+    f.corpora.push_back(
+        datagen::BackgroundCorpus(kind, col.name, 60, 100 + idx++));
+  }
+  f.background = datagen::BackgroundEntities(kind, 50, 11);
+  return f;
+}
+
+/// Trains the tiny model set once and saves it to `dir`.
+Status TrainArtifact(const std::string& dir) {
+  Fixture f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.model_dir = dir;
+  opts.artifact_mode = SerdOptions::ArtifactMode::kSave;
+  SerdSynthesizer synth(f.real, opts);
+  return synth.Fit(f.corpora, f.background);
+}
+
+/// Byte-level digest of a released dataset: every cell plus the match
+/// pairs, with unambiguous separators.
+std::string DatasetDigest(const ERDataset& data) {
+  std::string out;
+  for (const Table* t : {&data.a, &data.b}) {
+    for (size_t r = 0; r < t->size(); ++r) {
+      for (const std::string& v : t->row(r).values) {
+        out += v;
+        out += '\x1f';
+      }
+      out += '\x1e';
+    }
+    out += '\x1d';
+  }
+  for (const PairRef& m : data.matches) {
+    out += std::to_string(m.a_idx) + "," + std::to_string(m.b_idx) + ";";
+  }
+  return out;
+}
+
+/// A reusable open/close latch for holding scheduler workers in place.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void WaitOpen() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+void SpinUntil(const std::function<bool()>& done) {
+  for (int i = 0; i < 20000 && !done(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ------------------------------------------------------------- scheduler
+
+TEST(SchedulerTest, RunsJobsAndReportsStatus) {
+  obs::MetricsRegistry metrics;
+  JobScheduler sched({.workers = 2, .metrics = &metrics});
+  std::atomic<int> ran{0};
+  std::vector<JobId> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = sched.Submit({.tenant = "t"}, [&ran](const JobContext&) {
+      ++ran;
+      return Status::OK();
+    });
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) {
+    auto status = sched.Wait(id);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, JobState::kDone);
+    EXPECT_TRUE(status->status.ok());
+    EXPECT_EQ(status->tenant, "t");
+    EXPECT_GE(status->run_seconds, 0.0);
+  }
+  EXPECT_EQ(ran.load(), 5);
+  auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counters["scheduler.submitted"], 5u);
+  EXPECT_EQ(snap.counters["scheduler.completed"], 5u);
+  EXPECT_EQ(snap.counters["scheduler.failed"], 0u);
+}
+
+TEST(SchedulerTest, FailedJobCarriesItsStatus) {
+  JobScheduler sched({.workers = 1});
+  auto id = sched.Submit({}, [](const JobContext&) {
+    return Status::Internal("boom");
+  });
+  ASSERT_TRUE(id.ok());
+  auto status = sched.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status->status.message(), "boom");
+
+  EXPECT_EQ(sched.Wait(999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sched.Query(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchedulerTest, AdmissionControlRejectsWithDistinctCodes) {
+  obs::MetricsRegistry metrics;
+  Gate gate;
+  JobScheduler sched({.workers = 1,
+                      .max_queued = 2,
+                      .max_inflight_per_tenant = 3,
+                      .max_job_entities = 100,
+                      .metrics = &metrics});
+
+  // Oversize is rejected outright, before any queue accounting.
+  auto oversize = sched.Submit({.entities = 101}, [](const JobContext&) {
+    return Status::OK();
+  });
+  EXPECT_EQ(oversize.status().code(), StatusCode::kInvalidArgument);
+
+  // Occupy the single worker, then fill the queue.
+  auto blocker = sched.Submit({.tenant = "a"}, [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  });
+  ASSERT_TRUE(blocker.ok());
+  SpinUntil([&] { return sched.running() == 1 && sched.queued() == 0; });
+  auto work = [](const JobContext&) { return Status::OK(); };
+  ASSERT_TRUE(sched.Submit({.tenant = "b"}, work).ok());
+  ASSERT_TRUE(sched.Submit({.tenant = "c"}, work).ok());
+  auto full = sched.Submit({.tenant = "d"}, work);
+  EXPECT_EQ(full.status().code(), StatusCode::kResourceExhausted);
+
+  gate.Open();
+  sched.Shutdown();
+  auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counters["scheduler.rejected_oversize"], 1u);
+  EXPECT_EQ(snap.counters["scheduler.rejected_queue_full"], 1u);
+  EXPECT_EQ(snap.counters["scheduler.completed"], 3u);
+}
+
+TEST(SchedulerTest, TenantInFlightCapIsPerTenant) {
+  Gate gate;
+  JobScheduler sched({.workers = 1, .max_inflight_per_tenant = 2});
+  auto gated = [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  };
+  ASSERT_TRUE(sched.Submit({.tenant = "noisy"}, gated).ok());
+  ASSERT_TRUE(sched.Submit({.tenant = "noisy"}, gated).ok());
+  auto third = sched.Submit({.tenant = "noisy"}, gated);
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  // Another tenant still gets in: the cap isolates tenants from each
+  // other instead of sharing one global budget.
+  ASSERT_TRUE(sched.Submit({.tenant = "quiet"}, gated).ok());
+  gate.Open();
+  sched.Shutdown();
+}
+
+TEST(SchedulerTest, HigherPriorityJumpsTheLine) {
+  Gate gate;
+  std::mutex order_mu;
+  std::vector<int> order;
+  JobScheduler sched({.workers = 1});
+  auto blocker = sched.Submit({}, [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  });
+  ASSERT_TRUE(blocker.ok());
+  SpinUntil([&] { return sched.running() == 1 && sched.queued() == 0; });
+  auto record = [&](int tag) {
+    return [&order_mu, &order, tag](const JobContext&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+      return Status::OK();
+    };
+  };
+  ASSERT_TRUE(sched.Submit({.priority = 0}, record(0)).ok());
+  ASSERT_TRUE(sched.Submit({.priority = 5}, record(5)).ok());
+  ASSERT_TRUE(sched.Submit({.priority = 1}, record(1)).ok());
+  ASSERT_TRUE(sched.Submit({.priority = 5}, record(50)).ok());
+  gate.Open();
+  sched.Shutdown();  // drains
+  // Highest priority first; FIFO within a class (5 before 50).
+  EXPECT_EQ(order, (std::vector<int>{5, 50, 1, 0}));
+}
+
+TEST(SchedulerTest, DrainShutdownRunsEveryAdmittedJob) {
+  std::atomic<int> ran{0};
+  {
+    JobScheduler sched({.workers = 2, .max_inflight_per_tenant = 32});
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(sched.Submit({}, [&ran](const JobContext&) {
+                         ++ran;
+                         return Status::OK();
+                       }).ok());
+    }
+    // Destructor == Shutdown(drain=true).
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(SchedulerTest, NoDrainShutdownFailsQueuedJobsAndStopsAdmission) {
+  Gate gate;
+  JobScheduler sched({.workers = 1});
+  auto blocker = sched.Submit({}, [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  });
+  ASSERT_TRUE(blocker.ok());
+  SpinUntil([&] { return sched.running() == 1; });
+  auto queued = sched.Submit({}, [](const JobContext&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(queued.ok());
+
+  std::thread stopper([&] { sched.Shutdown(/*drain=*/false); });
+  SpinUntil([&] { return sched.queued() == 0; });
+  gate.Open();
+  stopper.join();
+
+  auto dropped = sched.Wait(*queued);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->state, JobState::kFailed);
+  EXPECT_EQ(dropped->status.code(), StatusCode::kUnavailable);
+  auto ran = sched.Wait(*blocker);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(ran->state, JobState::kDone);
+
+  auto late = sched.Submit({}, [](const JobContext&) { return Status::OK(); });
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SchedulerTest, DerivedSeedsAreContentKeyedNotArrivalKeyed) {
+  EXPECT_EQ(JobScheduler::DeriveJobSeed(7, "k"),
+            JobScheduler::DeriveJobSeed(7, "k"));
+  EXPECT_NE(JobScheduler::DeriveJobSeed(7, "k"),
+            JobScheduler::DeriveJobSeed(7, "l"));
+  EXPECT_NE(JobScheduler::DeriveJobSeed(7, "k"),
+            JobScheduler::DeriveJobSeed(8, "k"));
+
+  // The seed a job observes depends only on (root seed, seed_key) — not
+  // on submission order or worker count.
+  auto collect = [](int workers, const std::vector<int>& order) {
+    JobScheduler sched({.workers = workers, .seed = 2024});
+    std::mutex mu;
+    std::map<std::string, uint64_t> seeds;
+    for (int i : order) {
+      std::string key = "job-" + std::to_string(i);
+      EXPECT_TRUE(sched.Submit({.seed_key = key},
+                               [&mu, &seeds, key](const JobContext& ctx) {
+                                 std::lock_guard<std::mutex> lock(mu);
+                                 seeds[key] = ctx.seed;
+                                 return Status::OK();
+                               })
+                      .ok());
+    }
+    sched.Shutdown();
+    return seeds;
+  };
+  auto a = collect(1, {0, 1, 2, 3});
+  auto b = collect(8, {3, 2, 1, 0});
+  EXPECT_EQ(a, b);
+}
+
+TEST(SchedulerTest, ConcurrentSubmittersAndWaiters) {
+  JobScheduler sched({.workers = 4, .max_queued = 256});
+  std::atomic<int> ran{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sched, &ran, t] {
+      for (int i = 0; i < 25; ++i) {
+        auto id = sched.Submit({.tenant = "t" + std::to_string(t),
+                                .seed_key = std::to_string(t * 100 + i)},
+                               [&ran](const JobContext&) {
+                                 ++ran;
+                                 return Status::OK();
+                               });
+        if (!id.ok()) continue;  // queue-full rejections are legitimate
+        auto status = sched.Wait(*id);
+        EXPECT_TRUE(status.ok());
+        EXPECT_EQ(status->state, JobState::kDone);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  sched.Shutdown();
+  EXPECT_GT(ran.load(), 0);
+}
+
+// ------------------------------------------------------------ model pool
+
+/// Pool tests use synthetic entries (no synthesizer): the pool only
+/// manages lifetime, never calls into the entry.
+ModelPool::EntryLoader FakeLoader(std::atomic<int>* loads) {
+  return [loads]() -> Result<std::unique_ptr<PoolEntry>> {
+    if (loads != nullptr) ++*loads;
+    return std::make_unique<PoolEntry>();
+  };
+}
+
+PoolKey KeyOf(const std::string& tenant, const std::string& id) {
+  return PoolKey{tenant, "/models", 42, id};
+}
+
+TEST(ModelPoolTest, HitMissEvictCountersAndLru) {
+  obs::MetricsRegistry metrics;
+  ModelPool pool({.capacity = 2, .metrics = &metrics});
+  std::atomic<int> loads{0};
+
+  { auto a = pool.Acquire(KeyOf("t", "a"), FakeLoader(&loads)); ASSERT_TRUE(a.ok()); }
+  { auto a = pool.Acquire(KeyOf("t", "a"), FakeLoader(&loads)); ASSERT_TRUE(a.ok()); }
+  { auto b = pool.Acquire(KeyOf("t", "b"), FakeLoader(&loads)); ASSERT_TRUE(b.ok()); }
+  EXPECT_EQ(pool.size(), 2u);
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  { auto a = pool.Acquire(KeyOf("t", "a"), FakeLoader(&loads)); ASSERT_TRUE(a.ok()); }
+  { auto c = pool.Acquire(KeyOf("t", "c"), FakeLoader(&loads)); ASSERT_TRUE(c.ok()); }
+  EXPECT_EQ(pool.size(), 2u);
+  // "b" was evicted: acquiring it again is a miss.
+  { auto b = pool.Acquire(KeyOf("t", "b"), FakeLoader(&loads)); ASSERT_TRUE(b.ok()); }
+
+  EXPECT_EQ(loads.load(), 4);  // a, b, c, b-again
+  auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counters["pool.misses"], 4u);
+  EXPECT_EQ(snap.counters["pool.hits"], 2u);
+  EXPECT_EQ(snap.counters["pool.evictions"], 2u);  // b, then a or c
+  EXPECT_EQ(snap.counters["pool.load_failures"], 0u);
+}
+
+TEST(ModelPoolTest, TenantIsPartOfTheKey) {
+  ModelPool pool({.capacity = 4});
+  std::atomic<int> loads{0};
+  auto a = pool.Acquire(KeyOf("tenant1", "x"), FakeLoader(&loads));
+  auto b = pool.Acquire(KeyOf("tenant2", "x"), FakeLoader(&loads));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(loads.load(), 2);  // no cross-tenant sharing
+}
+
+TEST(ModelPoolTest, PinnedEntriesAreNotEvicted) {
+  obs::MetricsRegistry metrics;
+  ModelPool pool({.capacity = 1, .metrics = &metrics});
+  std::atomic<int> loads{0};
+  auto a = pool.Acquire(KeyOf("t", "a"), FakeLoader(&loads));
+  ASSERT_TRUE(a.ok());
+  // "a" is pinned by the live lease, so inserting "b" overflows the
+  // capacity instead of evicting it.
+  auto b = pool.Acquire(KeyOf("t", "b"), FakeLoader(&loads));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(metrics.TakeSnapshot().counters["pool.evictions"], 0u);
+  // Releasing the pins lets the pool fall back under its cap.
+  a->Release();
+  b->Release();
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(metrics.TakeSnapshot().counters["pool.evictions"], 1u);
+}
+
+TEST(ModelPoolTest, SingleFlightCoalescesConcurrentLoads) {
+  obs::MetricsRegistry metrics;
+  ModelPool pool({.capacity = 2, .metrics = &metrics});
+  Gate gate;
+  std::atomic<int> loads{0};
+  auto slow_loader = [&]() -> Result<std::unique_ptr<PoolEntry>> {
+    ++loads;
+    gate.WaitOpen();
+    return std::make_unique<PoolEntry>();
+  };
+
+  constexpr int kThreads = 6;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto lease = pool.Acquire(KeyOf("t", "shared"), slow_loader);
+      if (lease.ok()) ++ok;
+    });
+  }
+  // Let the waiters pile up on the in-flight load, then release it.
+  SpinUntil([&] {
+    return metrics.TakeSnapshot().counters["pool.coalesced"] >=
+           kThreads - 1;
+  });
+  gate.Open();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kThreads);
+  EXPECT_EQ(loads.load(), 1);  // exactly one artifact read
+  auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counters["pool.misses"], 1u);
+  EXPECT_EQ(snap.counters["pool.coalesced"], kThreads - 1u);
+}
+
+TEST(ModelPoolTest, LoadFailureIsBroadcastAndRetryable) {
+  obs::MetricsRegistry metrics;
+  ModelPool pool({.capacity = 2, .metrics = &metrics});
+  int calls = 0;
+  auto flaky = [&calls]() -> Result<std::unique_ptr<PoolEntry>> {
+    if (++calls == 1) return Status::IOError("transient");
+    return std::make_unique<PoolEntry>();
+  };
+  auto first = pool.Acquire(KeyOf("t", "x"), flaky);
+  EXPECT_EQ(first.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(pool.size(), 0u);  // failed key removed, not poisoned
+  auto second = pool.Acquire(KeyOf("t", "x"), flaky);
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(metrics.TakeSnapshot().counters["pool.load_failures"], 1u);
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(WireTest, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_TRUE(serve::WriteFrame(fds[1], "hello").ok());
+  EXPECT_TRUE(serve::WriteFrame(fds[1], "").ok());
+  obs::Json msg = obs::Json::Object();
+  msg.Set("verb", "health");
+  msg.Set("n", 3);
+  EXPECT_TRUE(serve::WriteJson(fds[1], msg).ok());
+
+  std::string payload;
+  ASSERT_TRUE(serve::ReadFrame(fds[0], &payload).ok());
+  EXPECT_EQ(payload, "hello");
+  ASSERT_TRUE(serve::ReadFrame(fds[0], &payload).ok());
+  EXPECT_EQ(payload, "");
+  auto parsed = serve::ReadJson(fds[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("verb").AsString(), "health");
+  EXPECT_EQ(parsed->at("n").AsNumber(), 3.0);
+
+  // Orderly hangup between frames is Unavailable, not an error blob.
+  ::close(fds[1]);
+  EXPECT_EQ(serve::ReadFrame(fds[0], &payload).code(),
+            StatusCode::kUnavailable);
+  ::close(fds[0]);
+}
+
+TEST(WireTest, OversizeAndTruncatedFramesAreIOErrors) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // A length prefix over the frame cap must be rejected before any
+  // allocation of that size.
+  const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::write(fds[1], huge, 4), 4);
+  std::string payload;
+  EXPECT_EQ(serve::ReadFrame(fds[0], &payload).code(), StatusCode::kIOError);
+
+  // EOF mid-frame (prefix promises 100 bytes, none arrive).
+  const unsigned char short_frame[4] = {0x00, 0x00, 0x00, 0x64};
+  ASSERT_EQ(::write(fds[1], short_frame, 4), 4);
+  ::close(fds[1]);
+  EXPECT_EQ(serve::ReadFrame(fds[0], &payload).code(), StatusCode::kIOError);
+  ::close(fds[0]);
+}
+
+// ----------------------------------------------- artifact failure mapping
+
+TEST(ArtifactExitCodeTest, BucketsAndCodesAreStable) {
+  EXPECT_EQ(ArtifactLoadExitCode(Status::OK()), 0);
+  Status io = Status::IOError("cannot open artifact: /nope");
+  EXPECT_STREQ(ArtifactLoadFailureCause(io), "io");
+  EXPECT_EQ(ArtifactLoadExitCode(io), 3);
+  Status crc = Status::InvalidArgument("section 'gan' CRC mismatch");
+  EXPECT_STREQ(ArtifactLoadFailureCause(crc), "crc");
+  EXPECT_EQ(ArtifactLoadExitCode(crc), 4);
+  Status magic = Status::InvalidArgument("bad magic");
+  EXPECT_STREQ(ArtifactLoadFailureCause(magic), "format");
+  EXPECT_EQ(ArtifactLoadExitCode(magic), 4);
+  Status missing = Status::NotFound("artifact has no section 'o_real'");
+  EXPECT_STREQ(ArtifactLoadFailureCause(missing), "missing_section");
+  EXPECT_EQ(ArtifactLoadExitCode(missing), 4);
+  Status schema = Status::InvalidArgument("artifact schema mismatch");
+  EXPECT_STREQ(ArtifactLoadFailureCause(schema), "schema");
+  EXPECT_EQ(ArtifactLoadExitCode(schema), 5);
+  Status version = Status::FailedPrecondition("artifact version 9 unsupported");
+  EXPECT_STREQ(ArtifactLoadFailureCause(version), "version");
+  EXPECT_EQ(ArtifactLoadExitCode(version), 6);
+  Status decode = Status::InvalidArgument("truncated payload bytes left over");
+  EXPECT_STREQ(ArtifactLoadFailureCause(decode), "format");
+  Status other = Status::InvalidArgument("negative component count");
+  EXPECT_STREQ(ArtifactLoadFailureCause(other), "decode");
+  EXPECT_EQ(ArtifactLoadExitCode(other), 7);
+}
+
+TEST(ArtifactExitCodeTest, RealLoadFailuresMapToDocumentedCodes) {
+  Fixture f = MakeFixture();
+  SerdSynthesizer synth(f.real, FastOptions());
+
+  // Missing directory -> io -> exit 3 ("wrong path").
+  Status missing = synth.LoadModels(testing::TempDir() + "/serve_no_such");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(ArtifactLoadExitCode(missing), 3);
+
+  // Garbage bytes -> corrupt container -> exit 4.
+  std::string dir = MakeTempDir("garbage");
+  std::ofstream(dir + "/" + SerdSynthesizer::kModelFileName)
+      << "this is not an artifact";
+  Status garbage = synth.LoadModels(dir);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(ArtifactLoadExitCode(garbage), 4);
+}
+
+// ------------------------------------------- core thread-safety (tsan)
+
+TEST(CoreThreadSafetyTest, SnapshotReadsRaceFreeAgainstLoadAndSynthesize) {
+  std::string dir = MakeTempDir("warm_concurrent");
+  ASSERT_TRUE(TrainArtifact(dir).ok());
+
+  Fixture f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  SerdSynthesizer synth(f.real, opts);
+
+  std::atomic<bool> done{false};
+  // Snapshot readers: RunManifestJson from arbitrary threads while the
+  // single mutator thread loads models and synthesizes. Under the tsan
+  // label this is the proof of the class's thread-safety contract.
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&synth, &done] {
+      while (!done.load(std::memory_order_relaxed)) {
+        obs::Json manifest = synth.RunManifestJson();
+        EXPECT_TRUE(manifest.is_object());
+      }
+    });
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(synth.LoadModels(dir).ok());
+    synth.set_seed(100 + round);
+    auto result = synth.Synthesize();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+}
+
+// --------------------------------------- end-to-end determinism via pool
+
+/// Runs the same 3-job set through a scheduler+pool at the given worker
+/// count and submission order; returns seed_key -> dataset digest.
+std::map<std::string, std::string> RunJobSet(const std::string& artifact_dir,
+                                             int workers,
+                                             const std::vector<int>& order) {
+  ModelPool pool({.capacity = 2});
+  JobScheduler sched({.workers = workers, .seed = 9});
+
+  auto loader = [&artifact_dir]() -> Result<std::unique_ptr<PoolEntry>> {
+    auto entry = std::make_unique<PoolEntry>();
+    entry->real = datagen::Generate(DatasetKind::kDblpAcm,
+                                    {.seed = 3, .scale = 0.02});
+    SerdOptions opts = FastOptions();
+    opts.model_dir = artifact_dir;
+    opts.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+    entry->synth = std::make_unique<SerdSynthesizer>(entry->real, opts);
+    Status fit = entry->synth->Fit({}, Table());
+    if (!fit.ok()) return fit;
+    return entry;
+  };
+
+  std::mutex mu;
+  std::map<std::string, std::string> digests;
+  PoolKey key{"t", artifact_dir, 1, "dblp-acm@0.02#3"};
+  for (int i : order) {
+    std::string seed_key = "job-" + std::to_string(i);
+    EXPECT_TRUE(
+        sched
+            .Submit({.tenant = "t", .seed_key = seed_key},
+                    [&, seed_key](const JobContext& ctx) -> Status {
+                      auto lease = pool.Acquire(key, loader);
+                      if (!lease.ok()) return lease.status();
+                      std::lock_guard<std::mutex> run(lease->run_mutex());
+                      lease->synth()->set_seed(ctx.seed);
+                      auto result = lease->synth()->Synthesize();
+                      if (!result.ok()) return result.status();
+                      std::lock_guard<std::mutex> lock(mu);
+                      digests[seed_key] = DatasetDigest(result.value());
+                      return Status::OK();
+                    })
+            .ok());
+  }
+  sched.Shutdown();  // drain
+  return digests;
+}
+
+TEST(ServeDeterminismTest, JobOutputsIndependentOfArrivalOrderAndWorkers) {
+  std::string dir = MakeTempDir("determinism_artifact");
+  ASSERT_TRUE(TrainArtifact(dir).ok());
+
+  auto serial = RunJobSet(dir, /*workers=*/1, {0, 1, 2});
+  auto parallel = RunJobSet(dir, /*workers=*/8, {2, 0, 1});
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+  // Same per-job seeds (content-keyed), same warm models, one run mutex
+  // per entry => byte-identical released datasets per job, regardless of
+  // arrival order or parallelism.
+  EXPECT_EQ(serial, parallel);
+  // And distinct jobs genuinely differ (the per-job seed reaches the
+  // synthesis loop).
+  EXPECT_NE(serial["job-0"], serial["job-1"]);
+}
+
+// ------------------------------------------------------- server (socket)
+
+TEST(ServerTest, EndToEndSynthesizeStatsManifestAndWarmHits) {
+  std::string model_dir = MakeTempDir("server_artifact");
+  ASSERT_TRUE(TrainArtifact(model_dir).ok());
+  std::string out1 = testing::TempDir() + "/serd_serve_out1";
+  std::string out2 = testing::TempDir() + "/serd_serve_out2";
+  std::filesystem::remove_all(out1);
+  std::filesystem::remove_all(out2);
+
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.job_options = FastOptions();
+  serve::SerdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  obs::Json health = obs::Json::Object();
+  health.Set("verb", "health");
+  auto health_reply = client.Call(health);
+  ASSERT_TRUE(health_reply.ok());
+  EXPECT_TRUE(health_reply->at("ok").AsBool());
+
+  auto synth_request = [&](const std::string& out) {
+    obs::Json req = obs::Json::Object();
+    req.Set("verb", "synthesize");
+    req.Set("dataset", "dblp-acm");
+    req.Set("scale", 0.02);
+    req.Set("data_seed", static_cast<uint64_t>(3));
+    req.Set("seed", static_cast<uint64_t>(5));
+    req.Set("model_dir", model_dir);
+    req.Set("artifact_mode", "load");
+    req.Set("out", out);
+    return req;
+  };
+  auto first = client.Call(synth_request(out1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->at("ok").AsBool()) << first->Dump();
+  EXPECT_EQ(first->at("state").AsString(), "done");
+  EXPECT_TRUE(first->at("warm_started").AsBool());
+
+  auto second = client.Call(synth_request(out2));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->at("ok").AsBool()) << second->Dump();
+
+  // Same job => same sizes, and byte-identical released tables; the
+  // second job must have reused the warm pool entry.
+  EXPECT_EQ(first->at("a").AsNumber(), second->at("a").AsNumber());
+  EXPECT_EQ(first->at("matches").AsNumber(), second->at("matches").AsNumber());
+  for (const char* file : {"tableA.csv", "tableB.csv", "matches.csv"}) {
+    auto lhs = obs::ReadTextFile(out1 + "/" + file);
+    auto rhs = obs::ReadTextFile(out2 + "/" + file);
+    ASSERT_TRUE(lhs.ok() && rhs.ok()) << file;
+    EXPECT_EQ(*lhs, *rhs) << file;
+  }
+
+  obs::Json stats = obs::Json::Object();
+  stats.Set("verb", "stats");
+  auto stats_reply = client.Call(stats);
+  ASSERT_TRUE(stats_reply.ok());
+  const obs::Json& counters = stats_reply->at("metrics").at("counters");
+  EXPECT_EQ(counters.at("pool.hits").AsNumber(), 1.0);
+  EXPECT_EQ(counters.at("pool.misses").AsNumber(), 1.0);
+  EXPECT_EQ(counters.at("scheduler.completed").AsNumber(), 2.0);
+
+  obs::Json manifest = obs::Json::Object();
+  manifest.Set("verb", "manifest");
+  manifest.Set("dataset", "dblp-acm");
+  manifest.Set("scale", 0.02);
+  manifest.Set("data_seed", static_cast<uint64_t>(3));
+  manifest.Set("model_dir", model_dir);
+  manifest.Set("artifact_mode", "load");
+  auto manifest_reply = client.Call(manifest);
+  ASSERT_TRUE(manifest_reply.ok());
+  ASSERT_TRUE(manifest_reply->at("ok").AsBool()) << manifest_reply->Dump();
+  EXPECT_TRUE(manifest_reply->at("manifest").Has("report"));
+
+  obs::Json bogus = obs::Json::Object();
+  bogus.Set("verb", "frobnicate");
+  auto bogus_reply = client.Call(bogus);
+  ASSERT_TRUE(bogus_reply.ok());
+  EXPECT_FALSE(bogus_reply->at("ok").AsBool());
+  EXPECT_EQ(bogus_reply->at("code").AsString(), "InvalidArgument");
+
+  obs::Json unknown_job = obs::Json::Object();
+  unknown_job.Set("verb", "job");
+  unknown_job.Set("id", static_cast<uint64_t>(424242));
+  auto unknown_reply = client.Call(unknown_job);
+  ASSERT_TRUE(unknown_reply.ok());
+  EXPECT_EQ(unknown_reply->at("code").AsString(), "NotFound");
+
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, RejectsMalformedRequestsWithoutDying) {
+  serve::ServerOptions options;
+  options.workers = 1;
+  serve::SerdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  obs::Json no_dataset = obs::Json::Object();
+  no_dataset.Set("verb", "synthesize");
+  auto reply = client.Call(no_dataset);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->at("ok").AsBool());
+  EXPECT_EQ(reply->at("code").AsString(), "InvalidArgument");
+
+  obs::Json bad_mode = obs::Json::Object();
+  bad_mode.Set("verb", "synthesize");
+  bad_mode.Set("dataset", "dblp-acm");
+  bad_mode.Set("artifact_mode", "yolo");
+  reply = client.Call(bad_mode);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->at("ok").AsBool());
+
+  // The connection is still usable after rejected requests.
+  obs::Json health = obs::Json::Object();
+  health.Set("verb", "health");
+  reply = client.Call(health);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->at("ok").AsBool());
+
+  client.Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serd
