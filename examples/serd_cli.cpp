@@ -19,6 +19,13 @@
 //                                   re-decode reference path instead of
 //                                   the KV cache; slower, bit-identical
 //                                   output — used to audit the cache)
+//            [--blocking off|qgram|auto]  (S3 pair enumeration: exact
+//                                   O(|A|*|B|) scan, q-gram inverted-index
+//                                   candidates only, or auto-switch by
+//                                   pair count; default auto)
+//            [--label-cap N]  (max cross pairs labeled in S3; 0 = all.
+//                              Overrides the 250k default — use 0 with
+//                              --blocking qgram for full-size runs)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +50,8 @@ int Usage(const char* argv0) {
       "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n"
       "          [--threads N] [--manifest FILE.json]\n"
       "          [--save-models DIR] [--load-models DIR]\n"
-      "          [--reference-decode]\n",
+      "          [--reference-decode] [--blocking off|qgram|auto]\n"
+      "          [--label-cap N]\n",
       argv0);
   return 2;
 }
@@ -105,6 +113,14 @@ int main(int argc, char** argv) {
       options.artifact_mode = SerdOptions::ArtifactMode::kLoad;
     } else if (arg == "--reference-decode") {
       options.string_bank.incremental_decode = false;
+    } else if (arg == "--blocking") {
+      if (!ParseBlockingMode(next("--blocking"), &options.blocking)) {
+        std::fprintf(stderr, "--blocking takes off|qgram|auto\n");
+        return 2;
+      }
+    } else if (arg == "--label-cap") {
+      options.max_label_pairs =
+          static_cast<size_t>(std::atoll(next("--label-cap")));
     } else {
       return Usage(argv[0]);
     }
@@ -165,6 +181,12 @@ int main(int argc, char** argv) {
       report.rejected_by_discriminator, report.rejected_by_distribution,
       report.forced_accepts, report.mean_bank_epsilon, report.threads_used,
       report.parallel_speedup);
+  std::printf(
+      "S3: blocking=%s scored %ld of %ld pairs (%ld candidates, %ld pruned, "
+      "recall~%.4f)\n",
+      report.s3_blocked ? "qgram" : "off", report.s3_scored_pairs,
+      report.s3_total_pairs, report.s3_candidate_pairs,
+      report.s3_pruned_pairs, report.s3_block_recall);
 
   auto jsd = synth.EvaluateSyntheticJsd(result.value());
   if (jsd.ok()) std::printf("JSD(O_real, O_syn) = %.4f\n", jsd.value());

@@ -8,7 +8,7 @@
 //               [--tenant T] [--model-dir DIR]
 //               [--artifact-mode auto|load|save] [--out DIR]
 //               [--priority P] [--seed-key K] [--no-rejection]
-//               [--no-wait] [--id N]
+//               [--blocking off|qgram|auto] [--no-wait] [--id N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +30,7 @@ int Usage(const char* argv0) {
       "          [--tenant T] [--model-dir DIR]\n"
       "          [--artifact-mode auto|load|save] [--out DIR]\n"
       "          [--priority P] [--seed-key K] [--no-rejection]\n"
-      "          [--no-wait] [--id N]\n",
+      "          [--blocking off|qgram|auto] [--no-wait] [--id N]\n",
       argv0);
   return 2;
 }
@@ -78,6 +78,8 @@ int main(int argc, char** argv) {
       request.Set("priority", std::atoi(next("--priority")));
     } else if (arg == "--seed-key") {
       request.Set("seed_key", next("--seed-key"));
+    } else if (arg == "--blocking") {
+      request.Set("blocking", next("--blocking"));
     } else if (arg == "--no-rejection") {
       request.Set("no_rejection", true);
     } else if (arg == "--no-wait") {

@@ -42,8 +42,27 @@ CachedSimilarity::Digest CachedSimilarity::MakeDigest(
 
 Vec CachedSimilarity::SimilarityVector(const Digest& a,
                                        const Digest& b) const {
+  Vec x;
+  SimilarityVectorInto(a, b, &x);
+  return x;
+}
+
+std::vector<size_t> CachedSimilarity::GramColumns() const {
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < spec_->schema().num_columns(); ++c) {
+    const ColumnType type = spec_->schema().column(c).type;
+    if (type == ColumnType::kText || type == ColumnType::kCategorical) {
+      cols.push_back(c);
+    }
+  }
+  return cols;
+}
+
+void CachedSimilarity::SimilarityVectorInto(const Digest& a, const Digest& b,
+                                            Vec* out) const {
   const size_t l = spec_->schema().num_columns();
-  Vec x(l);
+  Vec& x = *out;
+  x.resize(l);
   for (size_t c = 0; c < l; ++c) {
     if (a.empty[c] && b.empty[c]) {
       x[c] = 1.0;
@@ -75,7 +94,6 @@ Vec CachedSimilarity::SimilarityVector(const Digest& a,
       }
     }
   }
-  return x;
 }
 
 }  // namespace serd

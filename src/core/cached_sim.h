@@ -39,6 +39,15 @@ class CachedSimilarity {
   /// SimilaritySpec::SimilarityVector).
   Vec SimilarityVector(const Digest& a, const Digest& b) const;
 
+  /// Same, writing into `out` (resized to the column count). The S3
+  /// labeling loop scores millions of pairs; reusing one output vector per
+  /// worker removes an allocation from every score.
+  void SimilarityVectorInto(const Digest& a, const Digest& b, Vec* out) const;
+
+  /// Schema columns carrying q-gram profiles in the digests (text and
+  /// categorical) — the columns the blocking layer indexes.
+  std::vector<size_t> GramColumns() const;
+
   const SimilaritySpec& spec() const { return *spec_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "core/serd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
@@ -11,6 +12,32 @@
 #include "runtime/parallel_for.h"
 
 namespace serd {
+
+const char* BlockingModeName(SerdOptions::BlockingMode mode) {
+  switch (mode) {
+    case SerdOptions::BlockingMode::kOff:
+      return "off";
+    case SerdOptions::BlockingMode::kQgram:
+      return "qgram";
+    case SerdOptions::BlockingMode::kAuto:
+      return "auto";
+  }
+  return "off";
+}
+
+bool ParseBlockingMode(const std::string& name,
+                       SerdOptions::BlockingMode* mode) {
+  if (name == "off") {
+    *mode = SerdOptions::BlockingMode::kOff;
+  } else if (name == "qgram") {
+    *mode = SerdOptions::BlockingMode::kQgram;
+  } else if (name == "auto") {
+    *mode = SerdOptions::BlockingMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 SerdSynthesizer::SerdSynthesizer(const ERDataset& real, SerdOptions options)
     : real_(&real), options_(std::move(options)) {
@@ -610,36 +637,91 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
 
   // --- S3: label remaining pairs by posterior (paper Section IV-C). ---
   obs::TraceSpan s3_span(metrics_.get(), "s3.label");
+  const size_t nb_rows = syn.b.size();
   std::unordered_set<uint64_t> known;
   for (const auto& lp : linked) {
-    known.insert(static_cast<uint64_t>(lp.a_idx) * syn.b.size() + lp.b_idx);
+    known.insert(static_cast<uint64_t>(lp.a_idx) * nb_rows + lp.b_idx);
   }
-  const size_t total_pairs = syn.a.size() * syn.b.size();
-  const size_t label_cap =
+  const size_t total_pairs = syn.a.size() * nb_rows;
+
+  // Resolve the blocking decision: explicit qgram, or auto once the pair
+  // space is large enough that the exact scan dominates the run.
+  const std::vector<size_t> gram_cols = cached_sim_->GramColumns();
+  const bool blocked =
+      total_pairs > 0 && !gram_cols.empty() &&
+      (options_.blocking == SerdOptions::BlockingMode::kQgram ||
+       (options_.blocking == SerdOptions::BlockingMode::kAuto &&
+        total_pairs >= options_.blocking_auto_min_pairs));
+
+  // Blocked enumeration: index B's q-gram profiles, generate candidate
+  // pairs whose shared-gram count can clear the match threshold, and score
+  // only those. Candidates are re-scored by the same GMM posterior below,
+  // so blocked matches are a subset of the exact scan's (precision 1 by
+  // construction); the recall estimate follows the labeling pass.
+  block::CandidateSet cand;
+  if (blocked) {
+    obs::TraceSpan index_span(metrics_.get(), "s3.block_index");
+    auto index_grams = [&](size_t row,
+                           size_t col) -> const std::vector<uint32_t>& {
+      return b_digests[row].grams[gram_cols[col]];
+    };
+    block::QgramIndex index = block::QgramIndex::Build(
+        nb_rows, gram_cols.size(), index_grams, options_.block);
+    auto probe_grams = [&](size_t row,
+                           size_t col) -> const std::vector<uint32_t>& {
+      return a_digests[row].grams[gram_cols[col]];
+    };
+    cand = block::GenerateCandidates(index, syn.a.size(), probe_grams,
+                                     pool_.get());
+    if (metrics_ != nullptr) {
+      const block::IndexStats& is = index.stats();
+      metrics_->gauge("s3.block_distinct_grams")->Set(is.distinct_grams);
+      metrics_->gauge("s3.block_stop_grams")->Set(is.stop_grams);
+      metrics_->gauge("s3.block_pruned_postings")->Set(is.pruned_postings);
+      metrics_->gauge("s3.block_df_threshold")->Set(is.df_threshold);
+    }
+  }
+
+  // The pair stream: candidate pairs when blocked, the full cross product
+  // otherwise — both enumerate in ascending (i, j) order. A cap below the
+  // stream size labels a seeded uniform subsample without replacement
+  // (sorted, so the ascending order survives).
+  const size_t stream_size = blocked ? cand.num_pairs() : total_pairs;
+  const size_t scan_count =
       options_.max_label_pairs == 0
-          ? total_pairs
-          : std::min(total_pairs, options_.max_label_pairs);
-  // Candidate pairs are labeled concurrently into a flag array, then
-  // appended in ascending pair order, so the match list is identical to
-  // the serial scan for any thread count.
-  const bool full_scan = label_cap >= total_pairs;
-  const size_t scan_count = full_scan ? total_pairs : label_cap;
-  const double stride =
-      full_scan ? 1.0 : static_cast<double>(total_pairs) / label_cap;
-  auto pair_at = [&](size_t k) {
-    size_t flat = full_scan ? k : static_cast<size_t>(k * stride);
-    return std::make_pair(flat / syn.b.size(), flat % syn.b.size());
+          ? stream_size
+          : std::min(stream_size, options_.max_label_pairs);
+  std::vector<size_t> subsample;
+  if (scan_count < stream_size) {
+    subsample = block::SampleDistinctSorted(stream_size, scan_count,
+                                            options_.seed ^ 0x5e3b10cULL);
+  }
+  auto pair_at = [&](size_t k) -> std::pair<size_t, size_t> {
+    const size_t pos = subsample.empty() ? k : subsample[k];
+    if (blocked) return cand.PairAt(pos);
+    return {pos / nb_rows, pos % nb_rows};
   };
+
+  // Scanned pairs are labeled concurrently into a flag array, then
+  // appended in ascending pair order, so the match list is identical to
+  // the serial scan for any thread count. The scored tally excludes pairs
+  // S2 already labeled (the `known` skips): its per-chunk sums commute, so
+  // the atomic total is deterministic too.
   std::vector<uint8_t> is_match_flag(scan_count, 0);
+  std::atomic<long> scored_pairs{0};
   runtime::ParallelFor(
       pool_.get(), 0, scan_count, 512, [&](size_t lo, size_t hi) {
+        long scored = 0;
+        Vec x;
         for (size_t k = lo; k < hi; ++k) {
           auto [i, j] = pair_at(k);
-          uint64_t key = static_cast<uint64_t>(i) * syn.b.size() + j;
+          uint64_t key = static_cast<uint64_t>(i) * nb_rows + j;
           if (known.count(key)) continue;
-          Vec x = cached_sim_->SimilarityVector(a_digests[i], b_digests[j]);
+          ++scored;
+          cached_sim_->SimilarityVectorInto(a_digests[i], b_digests[j], &x);
           if (o_real_.LabelAsMatch(x)) is_match_flag[k] = 1;
         }
+        scored_pairs.fetch_add(scored, std::memory_order_relaxed);
       });
   size_t posterior_matches = 0;
   for (size_t k = 0; k < scan_count; ++k) {
@@ -648,10 +730,61 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
     syn.matches.push_back({i, j});
     ++posterior_matches;
   }
+
+  // Recall harness: estimate the matches blocking pruned away from a
+  // seeded uniform sample of the non-candidate pair space, scored by the
+  // same posterior. Pure function of (options, dataset) — the sampling RNG
+  // is separate from the synthesis stream, so dataset bytes are identical
+  // with the estimator on or off.
+  double block_recall = 1.0;
+  if (blocked && options_.block_recall_samples > 0 &&
+      cand.num_pairs() < total_pairs) {
+    obs::TraceSpan recall_span(metrics_.get(), "s3.block_recall_estimate");
+    Rng recall_rng(options_.seed ^ 0xb10c4ec5ULL);
+    const size_t samples = std::min<size_t>(
+        static_cast<size_t>(options_.block_recall_samples), total_pairs);
+    size_t outside = 0, missed = 0;
+    Vec x;
+    for (size_t s = 0; s < samples; ++s) {
+      const size_t flat = recall_rng.UniformInt(total_pairs);
+      const size_t i = flat / nb_rows, j = flat % nb_rows;
+      if (cand.Contains(i, static_cast<uint32_t>(j))) continue;
+      if (known.count(static_cast<uint64_t>(flat))) continue;
+      ++outside;
+      cached_sim_->SimilarityVectorInto(a_digests[i], b_digests[j], &x);
+      if (o_real_.LabelAsMatch(x)) ++missed;
+    }
+    const double pruned =
+        static_cast<double>(total_pairs - cand.num_pairs());
+    const double est_missed =
+        outside > 0
+            ? (static_cast<double>(missed) / static_cast<double>(outside)) *
+                  pruned
+            : 0.0;
+    const double found = static_cast<double>(posterior_matches);
+    block_recall = found + est_missed > 0.0
+                       ? found / (found + est_missed)
+                       : 1.0;
+  }
   s3_span.Stop();
+
+  report.s3_blocked = blocked;
+  report.s3_total_pairs = static_cast<long>(total_pairs);
+  report.s3_candidate_pairs = static_cast<long>(stream_size);
+  report.s3_pruned_pairs = static_cast<long>(total_pairs - stream_size);
+  report.s3_scanned_pairs = static_cast<long>(scan_count);
+  report.s3_scored_pairs = scored_pairs.load(std::memory_order_relaxed);
+  report.s3_posterior_matches = static_cast<long>(posterior_matches);
+  report.s3_block_recall = block_recall;
   if (metrics_ != nullptr) {
     metrics_->counter("s3.scanned_pairs")->Add(scan_count);
+    metrics_->counter("s3.scored_pairs")
+        ->Add(static_cast<uint64_t>(report.s3_scored_pairs));
+    metrics_->counter("s3.candidates")->Add(stream_size);
+    metrics_->counter("s3.pruned_pairs")->Add(total_pairs - stream_size);
     metrics_->counter("s3.posterior_matches")->Add(posterior_matches);
+    metrics_->gauge("s3.block_recall")->Set(block_recall);
+    metrics_->gauge("s3.blocked")->Set(blocked ? 1.0 : 0.0);
   }
 
   if (m_syn != nullptr && n_syn != nullptr) {
@@ -711,6 +844,14 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   opts.Set("target_b", options_.target_b);
   opts.Set("match_link_rate", options_.match_link_rate);
   opts.Set("max_label_pairs", options_.max_label_pairs);
+  opts.Set("blocking", BlockingModeName(options_.blocking));
+  opts.Set("blocking_auto_min_pairs", options_.blocking_auto_min_pairs);
+  opts.Set("block_max_df_frac", options_.block.max_df_frac);
+  opts.Set("block_min_df_rows", options_.block.min_df_rows);
+  opts.Set("block_min_shared_grams", options_.block.min_shared_grams);
+  opts.Set("block_jaccard_tau", options_.block.jaccard_tau);
+  opts.Set("block_prefix_jaccard", options_.block.prefix_jaccard);
+  opts.Set("block_recall_samples", options_.block_recall_samples);
   opts.Set("observability", options_.observability);
   opts.Set("incremental_decode", options_.string_bank.incremental_decode);
   opts.Set("model_dir", options_.model_dir);
@@ -738,6 +879,16 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
           static_cast<int64_t>(report_.encoder_cache_hits));
   rep.Set("encoder_cache_misses",
           static_cast<int64_t>(report_.encoder_cache_misses));
+  rep.Set("s3_blocked", report_.s3_blocked);
+  rep.Set("s3_total_pairs", static_cast<int64_t>(report_.s3_total_pairs));
+  rep.Set("s3_candidate_pairs",
+          static_cast<int64_t>(report_.s3_candidate_pairs));
+  rep.Set("s3_pruned_pairs", static_cast<int64_t>(report_.s3_pruned_pairs));
+  rep.Set("s3_scanned_pairs", static_cast<int64_t>(report_.s3_scanned_pairs));
+  rep.Set("s3_scored_pairs", static_cast<int64_t>(report_.s3_scored_pairs));
+  rep.Set("s3_posterior_matches",
+          static_cast<int64_t>(report_.s3_posterior_matches));
+  rep.Set("s3_block_recall", report_.s3_block_recall);
   rep.Set("guard_exhausted", report_.guard_exhausted);
   rep.Set("shortfall_a", report_.shortfall_a);
   rep.Set("shortfall_b", report_.shortfall_b);

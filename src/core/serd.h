@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "block/candidates.h"
+#include "block/qgram_index.h"
 #include "core/cached_sim.h"
 #include "data/er_dataset.h"
 #include "gan/entity_gan.h"
@@ -62,7 +64,29 @@ struct SerdOptions {
 
   // --- S3: labeling ---
   /// Cap on cross pairs examined in the final labeling pass (0 = all).
+  /// When the pair stream exceeds the cap, a uniform sample without
+  /// replacement (Floyd's algorithm, seeded from `seed`) is labeled.
   size_t max_label_pairs = 250000;
+
+  /// How S3 enumerates the cross-pair space (DESIGN.md Section 5j).
+  ///   kOff   — exact O(|A|·|B|) scan (the reference behavior).
+  ///   kQgram — only candidate pairs from the q-gram inverted index are
+  ///            scored. Candidates are re-scored by the same GMM
+  ///            posterior, so blocked matches are a subset of the exact
+  ///            ones (precision 1 by construction); the measured recall
+  ///            is estimated per run (SerdReport::s3_block_recall).
+  ///   kAuto  — kQgram when the pair count reaches
+  ///            blocking_auto_min_pairs, else the exact scan.
+  enum class BlockingMode { kOff, kQgram, kAuto };
+  BlockingMode blocking = BlockingMode::kOff;
+  /// Pair-count threshold at which kAuto switches to the q-gram index.
+  size_t blocking_auto_min_pairs = 1u << 20;
+  /// Index construction / candidate generation knobs.
+  block::BlockOptions block;
+  /// Uniform pair draws behind the per-run recall estimate (0 disables;
+  /// the estimate then reports 1.0). Sampling is seeded and independent
+  /// of the synthesis RNG, so it never perturbs the dataset bytes.
+  int block_recall_samples = 2048;
 
   // --- artifact store (warm start; DESIGN.md Section 5g) ---
   /// What Fit() does with `model_dir` when it is non-empty.
@@ -129,6 +153,32 @@ struct SerdReport {
   long decode_cached_steps = 0;
   long encoder_cache_hits = 0;
   long encoder_cache_misses = 0;
+  /// --- S3 labeling accounting. ---
+  /// True when this run's S3 used the q-gram blocking index.
+  bool s3_blocked = false;
+  /// |A_syn| * |B_syn|: the full cross-pair space S3 is responsible for.
+  long s3_total_pairs = 0;
+  /// Pairs surviving blocking (== s3_total_pairs for the exact scan).
+  long s3_candidate_pairs = 0;
+  /// Pairs the index pruned without scoring (total - candidates).
+  long s3_pruned_pairs = 0;
+  /// Pairs enumerated by the labeling loop (candidates, after the
+  /// max_label_pairs subsample).
+  long s3_scanned_pairs = 0;
+  /// Pairs actually scored through the GMM posterior. Scanned pairs
+  /// already labeled by S2 (the `known` set) are skipped, so scored <
+  /// scanned whenever S2 linked pairs fall inside the scan — the number
+  /// bench deltas must compare (the old s3.scanned_pairs counted the
+  /// skips as work).
+  long s3_scored_pairs = 0;
+  /// Matches S3 added on top of the S2-linked ones.
+  long s3_posterior_matches = 0;
+  /// Estimated recall of the blocked match set vs the exact scan: blocked
+  /// matches / (blocked matches + missed-match estimate from a seeded
+  /// uniform sample of the pruned pair space). Exactly 1.0 when blocking
+  /// is off (precision is 1.0 by construction either way — candidates are
+  /// re-scored by the same posterior).
+  double s3_block_recall = 1.0;
   /// True when the S2 guard loop hit its iteration cap before reaching the
   /// target sizes; the returned dataset is short by shortfall_a/_b rows.
   bool guard_exhausted = false;
@@ -167,6 +217,14 @@ struct SerdReport {
     decode_cached_steps = 0;
     encoder_cache_hits = 0;
     encoder_cache_misses = 0;
+    s3_blocked = false;
+    s3_total_pairs = 0;
+    s3_candidate_pairs = 0;
+    s3_pruned_pairs = 0;
+    s3_scanned_pairs = 0;
+    s3_scored_pairs = 0;
+    s3_posterior_matches = 0;
+    s3_block_recall = 1.0;
     guard_exhausted = false;
     shortfall_a = 0;
     shortfall_b = 0;
@@ -260,6 +318,17 @@ class SerdSynthesizer {
   void set_enable_rejection(bool enabled) {
     std::lock_guard<std::mutex> lock(state_mu_);
     options_.enable_rejection = enabled;
+    report_.ResetOnlineStats();
+  }
+
+  /// Switches the S3 enumeration strategy for the next Synthesize() (the
+  /// offline models are untouched; blocking only affects which pairs S3
+  /// scores). Lets the serving pool honor per-job blocking requests on a
+  /// warm entry, and lets the agreement tests run exact-vs-blocked from
+  /// one Fit(). Resets the run statistics.
+  void set_blocking(SerdOptions::BlockingMode mode) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    options_.blocking = mode;
     report_.ResetOnlineStats();
   }
 
@@ -358,6 +427,13 @@ class SerdSynthesizer {
   /// thread-safety contract.
   mutable std::mutex state_mu_;
 };
+
+/// Stable wire/CLI names of the blocking modes: "off", "qgram", "auto".
+const char* BlockingModeName(SerdOptions::BlockingMode mode);
+
+/// Parses a BlockingModeName back; false on an unknown name.
+bool ParseBlockingMode(const std::string& name,
+                       SerdOptions::BlockingMode* mode);
 
 /// Buckets an artifact load failure (a LoadModels() Status) into a short
 /// stable cause tag: "io" (missing/unreadable file), "crc", "format",

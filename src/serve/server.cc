@@ -69,6 +69,11 @@ SerdOptions DefaultJobOptions() {
   options.string_bank.train.epochs = 2;
   options.gan.epochs = 10;
   options.max_reject_retries = 2;
+  // S3 switches to the q-gram inverted index once the pair space is large
+  // enough for the exact scan to dominate (SerdOptions::BlockingMode);
+  // small jobs (every smoke/test scale) keep the exact scan, so their
+  // output is unchanged.
+  options.blocking = SerdOptions::BlockingMode::kAuto;
   return options;
 }
 
@@ -86,6 +91,9 @@ struct SerdServer::JobParams {
   int priority = 0;
   std::string seed_key;
   bool enable_rejection = true;
+  /// Per-job S3 blocking mode; defaults to the server's job options so a
+  /// reused warm entry is always reset to a known mode.
+  SerdOptions::BlockingMode blocking = DefaultJobOptions().blocking;
   bool wait = true;
 
   std::string DatasetId() const {
@@ -208,6 +216,12 @@ Status SerdServer::ParseJobParams(const obs::Json& request,
   params->priority = static_cast<int>(GetNumber(request, "priority", 0));
   params->seed_key = GetString(request, "seed_key", "");
   params->enable_rejection = !GetBool(request, "no_rejection", false);
+  params->blocking = options_.job_options.blocking;
+  const std::string blocking = GetString(request, "blocking", "");
+  if (!blocking.empty() && !ParseBlockingMode(blocking, &params->blocking)) {
+    return Status::InvalidArgument("unknown blocking '" + blocking +
+                                   "' (off|qgram|auto)");
+  }
   params->wait = GetBool(request, "wait", true);
   return Status::OK();
 }
@@ -280,6 +294,7 @@ obs::Json SerdServer::HandleSynthesize(const obs::Json& request) {
     std::lock_guard<std::mutex> run_lock(lease->run_mutex());
     SerdSynthesizer* synth = lease->synth();
     synth->set_enable_rejection(params.enable_rejection);
+    synth->set_blocking(params.blocking);
     synth->set_seed(job_seed);
     Result<ERDataset> result = synth->Synthesize();
     if (!result.ok()) return result.status();
