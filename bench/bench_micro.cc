@@ -374,6 +374,51 @@ void BM_GenerateCandidatesBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateCandidatesBatched)->Arg(4)->Unit(benchmark::kMillisecond);
 
+void BM_GenerateCandidatesLaneBatched(benchmark::State& state) {
+  // Token-lockstep decoding on per-candidate RNG streams: encode once,
+  // then every live lane advances through one M-row GEMM per weight per
+  // layer per step (lanes retire on EOS, shrinking M). Compare against
+  // BM_GenerateCandidatesBatched at the same candidate count for the
+  // lane-batching speedup; Arg(1) isolates the per-step overhead of the
+  // batched driver at M=1.
+  GenerateFixture fx(40);
+  const int candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EncoderMemoryPtr memory = fx.model->EncodeMemory(fx.src_ids);
+    int produced = fx.model->GenerateBatchLanes(
+        memory, candidates, /*stream_seed=*/19, 1.0f,
+        [](int, const std::vector<int>&) { return true; },
+        /*lockstep=*/true);
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * candidates);
+}
+BENCHMARK(BM_GenerateCandidatesLaneBatched)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateCandidatesLaneOracle(benchmark::State& state) {
+  // The lane-sequential oracle on the same per-candidate streams: decodes
+  // identical tokens to the lockstep row above, one lane at a time. The
+  // gap between this row and the lockstep row is pure matrix-batching.
+  GenerateFixture fx(40);
+  const int candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EncoderMemoryPtr memory = fx.model->EncodeMemory(fx.src_ids);
+    int produced = fx.model->GenerateBatchLanes(
+        memory, candidates, /*stream_seed=*/19, 1.0f,
+        [](int, const std::vector<int>&) { return true; },
+        /*lockstep=*/false);
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * candidates);
+}
+BENCHMARK(BM_GenerateCandidatesLaneOracle)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // ---- Observability rows: instrumentation-site cost with the registry ----
 // ---- off (null pointers, the default) vs on. The disabled rows must  ----
 // ---- be indistinguishable from uninstrumented code (< 2% on any hot  ----

@@ -19,6 +19,15 @@
 //                                   re-decode reference path instead of
 //                                   the KV cache; slower, bit-identical
 //                                   output — used to audit the cache)
+//            [--batched-decode]  (decode candidates token-lockstep on
+//                                 per-candidate RNG streams — one M-row
+//                                 GEMM per layer per step. Released bytes
+//                                 differ from the default shared-stream
+//                                 path; see DESIGN.md §5k)
+//            [--batched-oracle]  (per-candidate streams decoded one lane
+//                                 at a time: the bit-exactness oracle for
+//                                 --batched-decode — identical output,
+//                                 no matrix batching)
 //            [--blocking off|qgram|auto]  (S3 pair enumeration: exact
 //                                   O(|A|*|B|) scan, q-gram inverted-index
 //                                   candidates only, or auto-switch by
@@ -50,7 +59,8 @@ int Usage(const char* argv0) {
       "          [--alpha A] [--beta B] [--buckets K] [--candidates C]\n"
       "          [--threads N] [--manifest FILE.json]\n"
       "          [--save-models DIR] [--load-models DIR]\n"
-      "          [--reference-decode] [--blocking off|qgram|auto]\n"
+      "          [--reference-decode] [--batched-decode] [--batched-oracle]\n"
+      "          [--blocking off|qgram|auto]\n"
       "          [--label-cap N]\n",
       argv0);
   return 2;
@@ -113,6 +123,12 @@ int main(int argc, char** argv) {
       options.artifact_mode = SerdOptions::ArtifactMode::kLoad;
     } else if (arg == "--reference-decode") {
       options.string_bank.incremental_decode = false;
+    } else if (arg == "--batched-decode") {
+      options.string_bank.batched_decode = true;
+      options.string_bank.batched_lockstep = true;
+    } else if (arg == "--batched-oracle") {
+      options.string_bank.batched_decode = true;
+      options.string_bank.batched_lockstep = false;
     } else if (arg == "--blocking") {
       if (!ParseBlockingMode(next("--blocking"), &options.blocking)) {
         std::fprintf(stderr, "--blocking takes off|qgram|auto\n");

@@ -1,6 +1,14 @@
 // Loopback client for serd_serve: builds one request from flags, sends
 // it, prints the JSON response to stdout. Exit code 0 iff the response
-// carries "ok": true — scripts can branch on it without parsing.
+// carries "ok": true — scripts can branch on *why* a call failed without
+// parsing JSON. Failure exit codes mirror the serd_cli artifact scheme
+// (documented at serve::WireFailureExitCode):
+//   0 = ok                 2 = usage error (bad flags)
+//   3 = InvalidArgument    (server rejected the request)
+//   4 = ResourceExhausted  (queue full / tenant cap; retry later)
+//   5 = Unavailable        (server draining/stopped or orderly hangup)
+//   6 = IOError            (transport: connect/frame/socket failure)
+//   1 = any other server-side failure
 //
 //   serd_submit --port N | --port-file F
 //               --verb health|stats|synthesize|job|manifest|shutdown
@@ -8,7 +16,8 @@
 //               [--tenant T] [--model-dir DIR]
 //               [--artifact-mode auto|load|save] [--out DIR]
 //               [--priority P] [--seed-key K] [--no-rejection]
-//               [--blocking off|qgram|auto] [--no-wait] [--id N]
+//               [--blocking off|qgram|auto] [--batched-decode]
+//               [--no-wait] [--id N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +39,8 @@ int Usage(const char* argv0) {
       "          [--tenant T] [--model-dir DIR]\n"
       "          [--artifact-mode auto|load|save] [--out DIR]\n"
       "          [--priority P] [--seed-key K] [--no-rejection]\n"
-      "          [--blocking off|qgram|auto] [--no-wait] [--id N]\n",
+      "          [--blocking off|qgram|auto] [--batched-decode]\n"
+      "          [--no-wait] [--id N]\n",
       argv0);
   return 2;
 }
@@ -80,6 +90,8 @@ int main(int argc, char** argv) {
       request.Set("seed_key", next("--seed-key"));
     } else if (arg == "--blocking") {
       request.Set("blocking", next("--blocking"));
+    } else if (arg == "--batched-decode") {
+      request.Set("batched_decode", true);
     } else if (arg == "--no-rejection") {
       request.Set("no_rejection", true);
     } else if (arg == "--no-wait") {
@@ -109,14 +121,17 @@ int main(int argc, char** argv) {
   Status connected = client.Connect(port);
   if (!connected.ok()) {
     std::fprintf(stderr, "serd_submit: %s\n", connected.ToString().c_str());
-    return 1;
+    return serve::WireFailureExitCode(connected.code());
   }
   Result<obs::Json> response = client.Call(request);
   if (!response.ok()) {
     std::fprintf(stderr, "serd_submit: %s\n",
                  response.status().ToString().c_str());
-    return 1;
+    return serve::WireFailureExitCode(response.status().code());
   }
   std::fputs(response->Dump().c_str(), stdout);
-  return response->at("ok").AsBool(false) ? 0 : 1;
+  if (response->at("ok").AsBool(false)) return 0;
+  // Server-side failure: the response's "code" (StatusCodeName form, from
+  // ErrorJson or a failed job status) selects the documented exit code.
+  return serve::WireFailureExitCode(response->at("code").AsString());
 }

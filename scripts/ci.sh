@@ -41,11 +41,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "==> ctest -L asan (Address+UB Sanitizer suite)"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L asan
 
-  echo "==> ctest (KV-cache decode equivalence under ASan)"
+  echo "==> ctest (decode equivalence under ASan)"
   # The fuzz sweep asserting cached-decode logits match the full re-decode
-  # reference; run by name so a label change can't silently drop it.
+  # reference, plus the lane-batched decode suites asserting the lockstep
+  # path matches the lane-sequential oracle bitwise; run by name so a
+  # label change can't silently drop them.
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -R 'KvCacheFuzzSweep|KvCacheTest'
+    -R 'KvCacheFuzzSweep|KvCacheTest|BatchedDecodeTest|BatchedBankTest'
 fi
 
 if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
@@ -128,6 +130,34 @@ assert blk["s3_scored_pairs"] < off["s3_scored_pairs"], \
 assert blk["s3_total_pairs"] == off["s3_total_pairs"], \
     "pair universes differ"
 assert blk["s3_block_recall"] == 1.0, "recall estimator saw a miss"
+assert blk["s3_block_recall_estimated"] == (blk["s3_pruned_pairs"] > 0), \
+    "estimated-recall flag disagrees with pruning"
+assert off["s3_block_recall_estimated"] is False, \
+    "exact scan claims an estimated recall"
+EOF
+
+  echo "==> smoke: lane-batched decode matches its lane-sequential oracle"
+  # Same seed, token-lockstep lane batching (--batched-decode) vs the
+  # per-candidate-stream oracle that decodes one lane at a time
+  # (--batched-oracle): identical RNG streams, so the released datasets
+  # must match byte for byte while only the lockstep run batches GEMMs.
+  "$CLI" "${COMMON[@]}" --batched-decode \
+    --out "$SMOKE_DIR/lanes" --manifest "$SMOKE_DIR/lanes.json"
+  "$CLI" "${COMMON[@]}" --batched-oracle \
+    --out "$SMOKE_DIR/lanes_ref" --manifest "$SMOKE_DIR/lanes_ref.json"
+  diff -r "$SMOKE_DIR/lanes" "$SMOKE_DIR/lanes_ref"
+  grep -q '"batched_decode": true' "$SMOKE_DIR/lanes.json"
+  grep -q '"batched_lockstep": true' "$SMOKE_DIR/lanes.json"
+  grep -q '"batched_lockstep": false' "$SMOKE_DIR/lanes_ref.json"
+  python3 - "$SMOKE_DIR/lanes.json" "$SMOKE_DIR/lanes_ref.json" <<'EOF'
+import json, sys
+lanes = json.load(open(sys.argv[1]))["report"]
+ref = json.load(open(sys.argv[2]))["report"]
+assert lanes["decode_steps"] > 0, "lane-batched run decoded nothing"
+assert lanes["decode_cached_steps"] == lanes["decode_steps"], \
+    "lane-batched run fell back to full re-decode"
+assert lanes["decode_steps"] == ref["decode_steps"], \
+    "lockstep and oracle drew different token streams"
 EOF
 fi
 

@@ -737,8 +737,10 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   // is separate from the synthesis stream, so dataset bytes are identical
   // with the estimator on or off.
   double block_recall = 1.0;
+  bool block_recall_estimated = false;
   if (blocked && options_.block_recall_samples > 0 &&
       cand.num_pairs() < total_pairs) {
+    block_recall_estimated = true;
     obs::TraceSpan recall_span(metrics_.get(), "s3.block_recall_estimate");
     Rng recall_rng(options_.seed ^ 0xb10c4ec5ULL);
     const size_t samples = std::min<size_t>(
@@ -776,6 +778,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   report.s3_scored_pairs = scored_pairs.load(std::memory_order_relaxed);
   report.s3_posterior_matches = static_cast<long>(posterior_matches);
   report.s3_block_recall = block_recall;
+  report.s3_block_recall_estimated = block_recall_estimated;
   if (metrics_ != nullptr) {
     metrics_->counter("s3.scanned_pairs")->Add(scan_count);
     metrics_->counter("s3.scored_pairs")
@@ -784,6 +787,8 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
     metrics_->counter("s3.pruned_pairs")->Add(total_pairs - stream_size);
     metrics_->counter("s3.posterior_matches")->Add(posterior_matches);
     metrics_->gauge("s3.block_recall")->Set(block_recall);
+    metrics_->gauge("s3.block_recall_estimated")
+        ->Set(block_recall_estimated ? 1.0 : 0.0);
     metrics_->gauge("s3.blocked")->Set(blocked ? 1.0 : 0.0);
   }
 
@@ -854,6 +859,8 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   opts.Set("block_recall_samples", options_.block_recall_samples);
   opts.Set("observability", options_.observability);
   opts.Set("incremental_decode", options_.string_bank.incremental_decode);
+  opts.Set("batched_decode", options_.string_bank.batched_decode);
+  opts.Set("batched_lockstep", options_.string_bank.batched_lockstep);
   opts.Set("model_dir", options_.model_dir);
   opts.Set("artifact_mode", static_cast<int>(options_.artifact_mode));
   root.Set("options", std::move(opts));
@@ -889,6 +896,7 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   rep.Set("s3_posterior_matches",
           static_cast<int64_t>(report_.s3_posterior_matches));
   rep.Set("s3_block_recall", report_.s3_block_recall);
+  rep.Set("s3_block_recall_estimated", report_.s3_block_recall_estimated);
   rep.Set("guard_exhausted", report_.guard_exhausted);
   rep.Set("shortfall_a", report_.shortfall_a);
   rep.Set("shortfall_b", report_.shortfall_b);

@@ -179,6 +179,13 @@ struct SerdReport {
   /// is off (precision is 1.0 by construction either way — candidates are
   /// re-scored by the same posterior).
   double s3_block_recall = 1.0;
+  /// True when s3_block_recall is the sampled estimate (blocking pruned
+  /// pairs and the estimator ran) rather than the trivially-exact 1.0 of
+  /// an unblocked full scan. Blocked-only runs (e.g. iTunes-Amazon at
+  /// scale 1.0, where the exact scan is out of reach) publish recall into
+  /// the same field measured runs use; this flag keeps estimated and
+  /// measured values from ever being conflated downstream.
+  bool s3_block_recall_estimated = false;
   /// True when the S2 guard loop hit its iteration cap before reaching the
   /// target sizes; the returned dataset is short by shortfall_a/_b rows.
   bool guard_exhausted = false;
@@ -225,6 +232,7 @@ struct SerdReport {
     s3_scored_pairs = 0;
     s3_posterior_matches = 0;
     s3_block_recall = 1.0;
+    s3_block_recall_estimated = false;
     guard_exhausted = false;
     shortfall_a = 0;
     shortfall_b = 0;
@@ -329,6 +337,20 @@ class SerdSynthesizer {
   void set_blocking(SerdOptions::BlockingMode mode) {
     std::lock_guard<std::mutex> lock(state_mu_);
     options_.blocking = mode;
+    report_.ResetOnlineStats();
+  }
+
+  /// Switches the candidate-decode mode of every trained string bank for
+  /// the next Synthesize() (serve jobs toggle it per request on a warm
+  /// entry). Lane-batched decode draws from per-candidate RNG streams, so
+  /// flipping it changes released bytes — callers opt in per job
+  /// (DESIGN.md §5k). Resets the run statistics.
+  void set_batched_decode(bool enabled) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    options_.string_bank.batched_decode = enabled;
+    for (auto& bank : banks_) {
+      if (bank != nullptr) bank->set_batched_decode(enabled);
+    }
     report_.ResetOnlineStats();
   }
 

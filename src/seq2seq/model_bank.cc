@@ -242,6 +242,11 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
   std::string best;
   double best_score = 1e9;
   double best_err = 2.0;
+  // Minimum similarity error over every accepted candidate, tracked
+  // independently of the best-score candidate: a candidate can be on
+  // target (tiny err) yet lose on score to one with a better pool
+  // fraction, and that on-target sighting must still stop the loop.
+  double min_err = 2.0;
   // Candidates are scored by similarity error plus a small implausibility
   // penalty. Early exit once a candidate is essentially on target:
   // decoding is the dominant online cost (paper Table IV).
@@ -256,6 +261,7 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
       // rejection (paper Section V case 1).
       if (pool_fraction >= options_.min_pool_word_fraction) {
         double err = std::fabs(sim_(s, candidate) - target_sim);
+        min_err = std::min(min_err, err);
         double score = err + 0.15 * (1.0 - pool_fraction);
         if (score < best_score) {
           best_score = score;
@@ -264,7 +270,7 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
         }
       }
     }
-    return best_err > kGoodEnough;
+    return min_err > kGoodEnough;
   };
   GenerateStats gstats;
   if (options_.incremental_decode) {
@@ -280,16 +286,29 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
       ++stats_.encoder_cache_hits;
       obs::Inc(obs::GetCounter(options_.metrics, "s2.encoder_cache_hits"));
     }
-    model->GenerateBatch(
-        memory, options_.num_candidates, rng, options_.temperature,
-        [&](int, const std::vector<int>& out_ids) {
-          return consider(out_ids);
-        },
-        /*use_kv_cache=*/true, &gstats);
+    if (options_.batched_decode) {
+      // One draw from the shared stream seeds the per-candidate streams;
+      // the caller's RNG advances by exactly one draw per synthesis call,
+      // independent of how many candidates or tokens get decoded.
+      const uint64_t stream_seed = rng->Next();
+      model->GenerateBatchLanes(
+          memory, options_.num_candidates, stream_seed, options_.temperature,
+          [&](int, const std::vector<int>& out_ids) {
+            return consider(out_ids);
+          },
+          /*lockstep=*/options_.batched_lockstep, &gstats);
+    } else {
+      model->GenerateBatch(
+          memory, options_.num_candidates, rng, options_.temperature,
+          [&](int, const std::vector<int>& out_ids) {
+            return consider(out_ids);
+          },
+          /*use_kv_cache=*/true, &gstats);
+    }
   } else {
     // Reference implementation: per-candidate encode + full re-decode,
     // exactly the pre-KV-cache behaviour.
-    for (int c = 0; c < options_.num_candidates && best_err > kGoodEnough;
+    for (int c = 0; c < options_.num_candidates && min_err > kGoodEnough;
          ++c) {
       auto out_ids =
           model->Generate(src_ids, rng, options_.temperature, &gstats);

@@ -51,6 +51,22 @@ struct StringBankOptions {
   /// produce bit-identical synthesized strings at a fixed seed.
   bool incremental_decode = true;
 
+  /// Decode candidates on per-candidate RNG streams (one counter-derived
+  /// stream per candidate index) so all live candidates advance
+  /// token-lockstep through one M-row GEMM per weight per layer per step
+  /// (TransformerSeq2Seq::GenerateBatchLanes). Off by default because the
+  /// per-candidate streams draw differently from the shared-stream path,
+  /// so released bytes change when this flips (DESIGN.md §5k) — quality is
+  /// gated e2e instead (F1 delta vs --reference-decode). Only consulted
+  /// when incremental_decode is on.
+  bool batched_decode = false;
+
+  /// With batched_decode: true = token-lockstep matrix batching, false =
+  /// the lane-sequential per-candidate-stream oracle (same streams, lanes
+  /// decoded one at a time). Both produce bit-identical strings — the
+  /// oracle exists for equivalence tests and the ci.sh diff stage.
+  bool batched_lockstep = true;
+
   /// Observability sink (not owned; nullptr = off): counters
   /// s2.bank_synth_calls / s2.bank_fallback_calls / s2.bank_refined_calls
   /// / s2.decode_steps / s2.decode_cached_steps /
@@ -111,6 +127,12 @@ class StringSynthesisBank {
   bool trained() const { return trained_; }
   const StringBankStats& stats() const { return stats_; }
   const CharVocab& vocab() const { return vocab_; }
+
+  /// Flips the candidate-decode mode after training/restore (serve jobs
+  /// toggle it per request on a warm bank). Affects only how future
+  /// Synthesize calls decode, never the trained weights.
+  void set_batched_decode(bool enabled) { options_.batched_decode = enabled; }
+  bool batched_decode() const { return options_.batched_decode; }
 
   /// The bucket index whose interval contains `sim`.
   int BucketOf(double sim) const;

@@ -6,6 +6,7 @@
 
 #include "nn/arena.h"
 #include "nn/kernels.h"
+#include "runtime/sharded_rng.h"
 #include "text/char_vocab.h"
 
 namespace serd {
@@ -408,6 +409,121 @@ int TransformerSeq2Seq::GenerateBatch(const std::vector<int>& src_ids,
                                       GenerateStats* stats) const {
   return GenerateBatch(EncodeMemory(src_ids), num_candidates, rng,
                        temperature, on_candidate, use_kv_cache, stats);
+}
+
+int TransformerSeq2Seq::GenerateBatchLanes(const EncoderMemoryPtr& memory,
+                                           int num_candidates,
+                                           std::uint64_t stream_seed,
+                                           float temperature,
+                                           const CandidateFn& on_candidate,
+                                           bool lockstep,
+                                           GenerateStats* stats) const {
+  SERD_CHECK(memory != nullptr);
+  SERD_CHECK_EQ(memory->model_uid, uid_)
+      << "encoder memory was built by a different model";
+  SERD_CHECK_GT(temperature, 0.0f);
+  SERD_CHECK_GT(num_candidates, 0);
+  // Same cap as Generate/GenerateBatch, from the unclamped source length.
+  const int length_cap =
+      std::min<int>(config_.max_len, memory->src_len + 8);
+  std::vector<float> probs;
+  std::vector<double> weights;
+  int produced = 0;
+
+  if (!lockstep) {
+    // Lane-sequential oracle: identical per-candidate streams, candidates
+    // decoded one at a time through the single-lane incremental decoder.
+    // The lockstep path below must match this bitwise, lane for lane.
+    IncrementalDecoder dec(this, memory);
+    for (int c = 0; c < num_candidates; ++c) {
+      if (c > 0) dec.Restart();
+      Rng lane_rng(runtime::ShardedRng::DeriveSeed(stream_seed,
+                                                   static_cast<uint64_t>(c)));
+      std::vector<int> generated = {CharVocab::kBos};
+      while (static_cast<int>(generated.size()) < length_cap) {
+        const float* logits = dec.Step(generated.back());
+        if (stats != nullptr) {
+          ++stats->steps;
+          ++stats->cached_steps;
+        }
+        const int next = SampleToken(logits, config_.vocab_size, temperature,
+                                     &probs, &weights, &lane_rng);
+        if (next == CharVocab::kEos) break;
+        generated.push_back(next);
+      }
+      ++produced;
+      std::vector<int> out_ids(generated.begin() + 1, generated.end());
+      if (!on_candidate(c, out_ids)) break;
+    }
+    return produced;
+  }
+
+  // Token-lockstep path: every live lane advances one position per
+  // BatchedDecoder::Step. Finished lanes are delivered strictly in
+  // candidate order so observable behaviour (callback sequence, early
+  // exit) matches the lane-sequential oracle above.
+  BatchedDecoder dec(this,
+                     std::vector<EncoderMemoryPtr>(num_candidates, memory));
+  std::vector<Rng> lane_rngs;
+  lane_rngs.reserve(num_candidates);
+  for (int c = 0; c < num_candidates; ++c) {
+    lane_rngs.emplace_back(runtime::ShardedRng::DeriveSeed(
+        stream_seed, static_cast<uint64_t>(c)));
+  }
+  std::vector<std::vector<int>> generated(
+      num_candidates, std::vector<int>{CharVocab::kBos});
+  std::vector<bool> finished(num_candidates, false);
+  std::vector<int> live, still, tokens;
+  if (length_cap > 1) {
+    live.resize(num_candidates);
+    for (int c = 0; c < num_candidates; ++c) live[c] = c;
+  } else {
+    finished.assign(num_candidates, true);  // degenerate cap: empty outputs
+  }
+  int next_to_deliver = 0;
+  // Delivers every finished lane whose predecessors are all delivered.
+  // Returns false when the callback stops the batch.
+  auto deliver_ready = [&]() {
+    while (next_to_deliver < num_candidates && finished[next_to_deliver]) {
+      const auto& g = generated[next_to_deliver];
+      std::vector<int> out_ids(g.begin() + 1, g.end());
+      ++produced;
+      if (!on_candidate(next_to_deliver, out_ids)) return false;
+      ++next_to_deliver;
+    }
+    return true;
+  };
+  while (!live.empty()) {
+    tokens.clear();
+    for (int lane : live) tokens.push_back(generated[lane].back());
+    const float* logits = dec.Step(live, tokens);
+    if (stats != nullptr) {
+      stats->steps += static_cast<long>(live.size());
+      stats->cached_steps += static_cast<long>(live.size());
+    }
+    still.clear();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const int lane = live[i];
+      const int next = SampleToken(
+          logits + i * static_cast<std::size_t>(config_.vocab_size),
+          config_.vocab_size, temperature, &probs, &weights,
+          &lane_rngs[lane]);
+      if (next != CharVocab::kEos) generated[lane].push_back(next);
+      if (next == CharVocab::kEos ||
+          static_cast<int>(generated[lane].size()) >= length_cap) {
+        finished[lane] = true;  // lane retires; its cache rows go dormant
+      } else {
+        still.push_back(lane);
+      }
+    }
+    live.swap(still);
+    // Early stop abandons every live and undelivered lane. Abandoned
+    // lanes drew only from their own streams, so delivered candidates
+    // are unaffected — unlike the shared-stream GenerateBatch.
+    if (!deliver_ready()) return produced;
+  }
+  deliver_ready();
+  return produced;
 }
 
 std::vector<float> TransformerSeq2Seq::NextLogitsFull(

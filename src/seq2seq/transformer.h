@@ -39,10 +39,12 @@ class MultiHeadAttention : public nn::Module {
                         const std::vector<float>* mask) const;
 
  private:
-  // The incremental decode path (kv_cache.cc) re-implements this forward
-  // one row at a time against cached K/V, and EncodeMemory precomputes the
-  // cross-attention projections; both need the raw projection layers.
+  // The incremental decode paths (kv_cache.cc) re-implement this forward
+  // row-at-a-time / lane-batched against cached K/V, and EncodeMemory
+  // precomputes the cross-attention projections; all need the raw
+  // projection layers.
   friend class IncrementalDecoder;
+  friend class BatchedDecoder;
   friend class TransformerSeq2Seq;
 
   int d_model_, num_heads_, head_dim_;
@@ -76,6 +78,7 @@ class DecoderLayer : public nn::Module {
 
  private:
   friend class IncrementalDecoder;
+  friend class BatchedDecoder;
   friend class TransformerSeq2Seq;
 
   std::unique_ptr<MultiHeadAttention> self_attn_, cross_attn_;
@@ -139,6 +142,29 @@ class TransformerSeq2Seq : public nn::Module {
                     const CandidateFn& on_candidate, bool use_kv_cache = true,
                     GenerateStats* stats = nullptr) const;
 
+  /// Per-candidate-stream decoding: candidate c samples from its own
+  /// counter-derived Rng seeded with ShardedRng::DeriveSeed(stream_seed, c),
+  /// so no draw-order constraint couples the candidates and they can decode
+  /// token-lockstep. With `lockstep` every live candidate advances one
+  /// position per BatchedDecoder::Step (one M-row GEMM per weight per layer
+  /// per step), lanes retiring on EOS/length-cap so the batch shrinks as
+  /// candidates finish; without it candidates decode one at a time through
+  /// IncrementalDecoder — the per-lane bit-exactness oracle. Both modes
+  /// produce identical per-candidate token sequences, and `on_candidate`
+  /// is always invoked in candidate order (lockstep buffers finished lanes
+  /// until every lower-indexed lane has been delivered). Returning false
+  /// from `on_candidate` abandons all undelivered candidates, mirroring
+  /// GenerateBatch's early exit — per-candidate streams mean the extra
+  /// tokens an abandoned lane decoded in lockstep mode never influence any
+  /// delivered candidate. Released strings differ from the shared-stream
+  /// GenerateBatch path (different RNG draws), which is why the bank keeps
+  /// this behind StringBankOptions::batched_decode (DESIGN.md §5k).
+  /// Returns the number of candidates delivered to `on_candidate`.
+  int GenerateBatchLanes(const EncoderMemoryPtr& memory, int num_candidates,
+                         std::uint64_t stream_seed, float temperature,
+                         const CandidateFn& on_candidate, bool lockstep = true,
+                         GenerateStats* stats = nullptr) const;
+
   /// Next-token logits after `prefix_ids` (which must start with BOS) via
   /// the full re-decode over `memory` — the reference the equivalence
   /// tests compare IncrementalDecoder::Step against.
@@ -152,6 +178,7 @@ class TransformerSeq2Seq : public nn::Module {
 
  private:
   friend class IncrementalDecoder;
+  friend class BatchedDecoder;
 
   nn::TensorPtr Encode(nn::Tape* tape, const std::vector<int>& src_ids,
                        float dropout, Rng* rng) const;

@@ -94,6 +94,10 @@ struct SerdServer::JobParams {
   /// Per-job S3 blocking mode; defaults to the server's job options so a
   /// reused warm entry is always reset to a known mode.
   SerdOptions::BlockingMode blocking = DefaultJobOptions().blocking;
+  /// Per-job candidate-decode mode (lane-batched per-candidate streams);
+  /// defaults to the server's job options and is re-applied to the warm
+  /// entry on every job, like `blocking`.
+  bool batched_decode = DefaultJobOptions().string_bank.batched_decode;
   bool wait = true;
 
   std::string DatasetId() const {
@@ -222,6 +226,9 @@ Status SerdServer::ParseJobParams(const obs::Json& request,
     return Status::InvalidArgument("unknown blocking '" + blocking +
                                    "' (off|qgram|auto)");
   }
+  params->batched_decode = GetBool(request, "batched_decode",
+                                   options_.job_options.string_bank
+                                       .batched_decode);
   params->wait = GetBool(request, "wait", true);
   return Status::OK();
 }
@@ -295,6 +302,7 @@ obs::Json SerdServer::HandleSynthesize(const obs::Json& request) {
     SerdSynthesizer* synth = lease->synth();
     synth->set_enable_rejection(params.enable_rejection);
     synth->set_blocking(params.blocking);
+    synth->set_batched_decode(params.batched_decode);
     synth->set_seed(job_seed);
     Result<ERDataset> result = synth->Synthesize();
     if (!result.ok()) return result.status();

@@ -147,6 +147,32 @@ Result<int> ConnectTo(int port) {
   return fd;
 }
 
+int WireFailureExitCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kUnavailable:
+      return 5;
+    case StatusCode::kIOError:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
+int WireFailureExitCode(const std::string& code_name) {
+  if (code_name == "OK") return 0;
+  if (code_name == "InvalidArgument") return 3;
+  if (code_name == "ResourceExhausted") return 4;
+  if (code_name == "Unavailable") return 5;
+  if (code_name == "IOError") return 6;
+  return 1;
+}
+
 Status ServeClient::Connect(int port) {
   Close();
   Result<int> fd = ConnectTo(port);

@@ -45,6 +45,25 @@ Status ListenOn(int port, int* listen_fd, int* bound_port);
 /// Blocking connect to 127.0.0.1:`port`.
 Result<int> ConnectTo(int port);
 
+/// Maps a failed wire-level status class to serd_submit's documented
+/// process exit codes, mirroring the serd_cli artifact scheme (0 = ok,
+/// 2 = usage, then one exit code per failure class) so scripts can branch
+/// on *why* a call failed without parsing JSON:
+///   3 = InvalidArgument   (server rejected the request itself)
+///   4 = ResourceExhausted (admission control: queue full / tenant cap —
+///                          retry after capacity frees up)
+///   5 = Unavailable       (server draining/stopped, orderly hangup, or
+///                          connect refused)
+///   6 = IOError           (transport: mid-frame EOF, oversized frame,
+///                          socket read/write failure)
+///   1 = any other failure (job execution errors, Internal, ...)
+int WireFailureExitCode(StatusCode code);
+
+/// Same mapping from a response's "code" field (StatusCodeName strings —
+/// what ErrorJson and failed-job statuses put on the wire). Unrecognized
+/// or missing names map to 1.
+int WireFailureExitCode(const std::string& code_name);
+
 /// Synchronous loopback client: one connection, Call() sends a request
 /// frame and blocks for the response frame. Used by serd_submit, the CI
 /// smoke stage, tests, and bench_serve.

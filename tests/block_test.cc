@@ -423,6 +423,8 @@ TEST(BlockingPipelineTest, ExactVsBlockedAgreementFuzz) {
     EXPECT_EQ(exact_report.s3_pruned_pairs, 0);
     EXPECT_EQ(exact_report.s3_candidate_pairs, exact_report.s3_total_pairs);
     EXPECT_EQ(exact_report.s3_block_recall, 1.0);
+    // Exact scans measure recall; the flag must say so.
+    EXPECT_FALSE(exact_report.s3_block_recall_estimated);
 
     f.synth->set_blocking(SerdOptions::BlockingMode::kQgram);
     auto blocked = f.synth->Synthesize();
@@ -434,6 +436,10 @@ TEST(BlockingPipelineTest, ExactVsBlockedAgreementFuzz) {
               report.s3_total_pairs);
     EXPECT_GT(report.s3_block_recall, 0.0);
     EXPECT_LE(report.s3_block_recall, 1.0);
+    // Blocked runs publish the sampled estimate in s3_block_recall; the
+    // flag keeps it from being conflated with a measured value whenever
+    // blocking actually pruned anything.
+    EXPECT_EQ(report.s3_block_recall_estimated, report.s3_pruned_pairs > 0);
 
     // Blocking only changes which pairs S3 scores, never the entities.
     ASSERT_EQ(exact->a.size(), blocked->a.size());

@@ -549,6 +549,37 @@ TEST(WireTest, OversizeAndTruncatedFramesAreIOErrors) {
   ::close(fds[0]);
 }
 
+TEST(WireTest, FailureExitCodesAreStablePerClass) {
+  // serd_submit's documented scheme: one exit code per failure class,
+  // derivable either from a StatusCode (transport failures) or from a
+  // response's "code" name (server-side failures).
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kOk), 0);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kInvalidArgument), 3);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kResourceExhausted), 4);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kUnavailable), 5);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kIOError), 6);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kInternal), 1);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kNotFound), 1);
+
+  EXPECT_EQ(serve::WireFailureExitCode("OK"), 0);
+  EXPECT_EQ(serve::WireFailureExitCode("InvalidArgument"), 3);
+  EXPECT_EQ(serve::WireFailureExitCode("ResourceExhausted"), 4);
+  EXPECT_EQ(serve::WireFailureExitCode("Unavailable"), 5);
+  EXPECT_EQ(serve::WireFailureExitCode("IOError"), 6);
+  EXPECT_EQ(serve::WireFailureExitCode("Internal"), 1);
+  EXPECT_EQ(serve::WireFailureExitCode(""), 1);  // missing "code" field
+
+  // The string and enum views of the same class must always agree.
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kResourceExhausted,
+        StatusCode::kUnavailable, StatusCode::kIOError,
+        StatusCode::kFailedPrecondition}) {
+    EXPECT_EQ(serve::WireFailureExitCode(code),
+              serve::WireFailureExitCode(StatusCodeName(code)))
+        << StatusCodeName(code);
+  }
+}
+
 // ----------------------------------------------- artifact failure mapping
 
 TEST(ArtifactExitCodeTest, BucketsAndCodesAreStable) {
