@@ -73,6 +73,20 @@ struct BenchRow {
   double p99_seconds = 0.0;
 };
 
+/// Queue-drain behavior under mass cancellation: every other submitted
+/// job is cancelled right after submission, and the row records how fast
+/// the queue reaches empty. Cancelled-in-queue jobs must cost ~nothing
+/// (they complete at cancel time without a worker), so the drain rate
+/// should sit well above the plain-throughput row's jobs/sec.
+struct CancelRow {
+  int workers = 0;
+  int jobs = 0;
+  int cancelled = 0;  ///< jobs that ended kCancelled
+  int completed = 0;  ///< jobs that ran to kDone
+  double wall_seconds = 0.0;
+  double drained_per_second = 0.0;  ///< terminal jobs / wall second
+};
+
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
@@ -152,7 +166,65 @@ BenchRow RunConfig(const std::string& artifact_dir, int workers) {
   return row;
 }
 
-void WriteJson(const std::vector<BenchRow>& rows, const char* path) {
+CancelRow RunCancelConfig(const std::string& artifact_dir, int workers) {
+  ModelPool pool({.capacity = kTenants});
+  JobScheduler sched({.workers = workers,
+                      .max_queued = 256,
+                      .max_inflight_per_tenant = 64,
+                      .seed = 9});
+  auto loader = LoaderFor(artifact_dir);
+  auto key_for = [&artifact_dir](int tenant) {
+    return PoolKey{"tenant-" + std::to_string(tenant), artifact_dir, 1,
+                   "dblp-acm@0.02#3"};
+  };
+  auto submit = [&](int tenant, const std::string& seed_key) {
+    return sched.Submit(
+        {.tenant = "tenant-" + std::to_string(tenant), .seed_key = seed_key},
+        [&pool, &loader, &key_for, tenant](const JobContext& ctx) -> Status {
+          auto lease = pool.Acquire(key_for(tenant), loader);
+          if (!lease.ok()) return lease.status();
+          std::lock_guard<std::mutex> run(lease->run_mutex());
+          if (ctx.cancel->cancelled()) return ctx.cancel->cause();
+          lease->synth()->set_seed(ctx.seed);
+          auto result = lease->synth()->Synthesize(ctx.cancel);
+          return result.ok() ? Status::OK() : result.status();
+        });
+  };
+
+  std::vector<JobId> warm;
+  for (int t = 0; t < kTenants; ++t) {
+    auto id = submit(t, "warmup-" + std::to_string(t));
+    if (id.ok()) warm.push_back(*id);
+  }
+  for (JobId id : warm) sched.Wait(id);
+
+  WallTimer timer;
+  std::vector<JobId> ids;
+  for (int j = 0; j < kJobs; ++j) {
+    auto id = submit(j % kTenants, "cancel-job-" + std::to_string(j));
+    if (id.ok()) ids.push_back(*id);
+  }
+  // 50 % cancelled load, issued while the queue is full.
+  for (size_t i = 0; i < ids.size(); i += 2) sched.Cancel(ids[i]);
+
+  CancelRow row;
+  row.workers = workers;
+  for (JobId id : ids) {
+    auto status = sched.Wait(id);
+    if (!status.ok()) continue;
+    ++row.jobs;
+    if (status->state == serve::JobState::kCancelled) ++row.cancelled;
+    if (status->state == serve::JobState::kDone) ++row.completed;
+  }
+  row.wall_seconds = timer.Seconds();
+  row.drained_per_second =
+      row.wall_seconds > 0.0 ? row.jobs / row.wall_seconds : 0.0;
+  sched.Shutdown();
+  return row;
+}
+
+void WriteJson(const std::vector<BenchRow>& rows, const CancelRow& cancel,
+               const char* path) {
   std::ofstream out(path);
   const double base = rows.empty() ? 0.0 : rows.front().jobs_per_second;
   // hardware_threads contextualizes the speedup column: on a 1-core host
@@ -169,10 +241,18 @@ void WriteJson(const std::vector<BenchRow>& rows, const char* path) {
         "\"p50_seconds\": %.6f, \"p99_seconds\": %.6f, "
         "\"speedup_vs_1\": %.2f}%s\n",
         r.workers, r.jobs, r.wall_seconds, r.jobs_per_second, r.p50_seconds,
-        r.p99_seconds, base > 0.0 ? r.jobs_per_second / base : 0.0,
-        i + 1 < rows.size() ? "," : "");
+        r.p99_seconds, base > 0.0 ? r.jobs_per_second / base : 0.0, ",");
     out << buf;
   }
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"name\": \"serve_cancel_50pct_workers_%d\", \"jobs\": %d, "
+      "\"cancelled\": %d, \"completed\": %d, \"wall_seconds\": %.6f, "
+      "\"drained_per_second\": %.3f}\n",
+      cancel.workers, cancel.jobs, cancel.cancelled, cancel.completed,
+      cancel.wall_seconds, cancel.drained_per_second);
+  out << buf;
   out << "  ]\n}\n";
 }
 
@@ -217,7 +297,13 @@ int Run() {
         row.p50_seconds, row.p99_seconds);
     rows.push_back(row);
   }
-  WriteJson(rows, "BENCH_serve.json");
+  CancelRow cancel = RunCancelConfig(artifact_dir, 4);
+  std::printf(
+      "cancel_50pct workers=%d jobs=%d cancelled=%d completed=%d "
+      "wall=%.2fs drain=%.2f jobs/s\n",
+      cancel.workers, cancel.jobs, cancel.cancelled, cancel.completed,
+      cancel.wall_seconds, cancel.drained_per_second);
+  WriteJson(rows, cancel, "BENCH_serve.json");
   std::printf("wrote BENCH_serve.json\n");
   return 0;
 }

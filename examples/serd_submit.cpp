@@ -8,16 +8,25 @@
 //   4 = ResourceExhausted  (queue full / tenant cap; retry later)
 //   5 = Unavailable        (server draining/stopped or orderly hangup)
 //   6 = IOError            (transport: connect/frame/socket failure)
+//   7 = DeadlineExceeded   (the job's --deadline-ms budget elapsed)
+//   8 = Cancelled          (the job was cancelled via the cancel verb)
 //   1 = any other server-side failure
 //
+// Transient rejections (ResourceExhausted, Unavailable) are retried with
+// bounded exponential backoff (--retries, --backoff-ms); retrying a
+// synthesize is safe because job seeds are content-keyed, not
+// arrival-keyed. --retries 0 disables retries (single attempt).
+//
 //   serd_submit --port N | --port-file F
-//               --verb health|stats|synthesize|job|manifest|shutdown
+//               --verb health|stats|synthesize|job|cancel|manifest|
+//                      reload|shutdown
 //               [--dataset D] [--scale S] [--data-seed N] [--seed N]
 //               [--tenant T] [--model-dir DIR]
 //               [--artifact-mode auto|load|save] [--out DIR]
 //               [--priority P] [--seed-key K] [--no-rejection]
 //               [--blocking off|qgram|auto] [--batched-decode]
-//               [--no-wait] [--id N]
+//               [--deadline-ms N] [--no-wait] [--id N]
+//               [--retries N] [--backoff-ms N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,13 +43,18 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port N | --port-file F\n"
-      "          --verb health|stats|synthesize|job|manifest|shutdown\n"
+      "          --verb health|stats|synthesize|job|cancel|manifest|"
+      "reload|shutdown\n"
       "          [--dataset D] [--scale S] [--data-seed N] [--seed N]\n"
       "          [--tenant T] [--model-dir DIR]\n"
       "          [--artifact-mode auto|load|save] [--out DIR]\n"
       "          [--priority P] [--seed-key K] [--no-rejection]\n"
       "          [--blocking off|qgram|auto] [--batched-decode]\n"
-      "          [--no-wait] [--id N]\n",
+      "          [--deadline-ms N] [--no-wait] [--id N]\n"
+      "          [--retries N] [--backoff-ms N]\n"
+      "exit codes: 0 ok, 2 usage, 3 InvalidArgument, 4 ResourceExhausted,\n"
+      "            5 Unavailable, 6 IOError, 7 DeadlineExceeded,\n"
+      "            8 Cancelled, 1 other failure\n",
       argv0);
   return 2;
 }
@@ -50,6 +64,8 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   int port = 0;
   std::string port_file;
+  serve::RetryOptions retry;
+  retry.max_retries = 3;
   obs::Json request = obs::Json::Object();
 
   for (int i = 1; i < argc; ++i) {
@@ -94,10 +110,17 @@ int main(int argc, char** argv) {
       request.Set("batched_decode", true);
     } else if (arg == "--no-rejection") {
       request.Set("no_rejection", true);
+    } else if (arg == "--deadline-ms") {
+      request.Set("deadline_ms",
+                  static_cast<uint64_t>(std::atoll(next("--deadline-ms"))));
     } else if (arg == "--no-wait") {
       request.Set("wait", false);
     } else if (arg == "--id") {
       request.Set("id", static_cast<uint64_t>(std::atoll(next("--id"))));
+    } else if (arg == "--retries") {
+      retry.max_retries = std::atoi(next("--retries"));
+    } else if (arg == "--backoff-ms") {
+      retry.base_backoff_ms = std::atoi(next("--backoff-ms"));
     } else {
       return Usage(argv[0]);
     }
@@ -123,7 +146,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serd_submit: %s\n", connected.ToString().c_str());
     return serve::WireFailureExitCode(connected.code());
   }
-  Result<obs::Json> response = client.Call(request);
+  Result<obs::Json> response = client.CallWithRetry(request, retry);
   if (!response.ok()) {
     std::fprintf(stderr, "serd_submit: %s\n",
                  response.status().ToString().c_str());

@@ -197,6 +197,41 @@ if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
   grep -q '"pool.hits": 1' "$SERVE_DIR/stats.json"
   grep -q '"pool.misses": 1' "$SERVE_DIR/stats.json"
 
+  echo "==> smoke: kill -9 a client mid-request; server keeps serving"
+  # The abandoned job must still run to completion server-side (its seed
+  # is content-keyed, the client is irrelevant once the frame landed) and
+  # return its pool lease; health answers throughout. The sleep gives the
+  # client time to get the request frame onto the wire before it dies.
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb synthesize "${JOB[@]}" \
+    --seed-key abandoned --out "$SERVE_DIR/abandoned" >/dev/null 2>&1 &
+  ABANDONED_PID=$!
+  sleep 0.5
+  kill -9 "$ABANDONED_PID" 2>/dev/null || true
+  wait "$ABANDONED_PID" 2>/dev/null || true
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb health >/dev/null
+  for _ in $(seq 1 100); do
+    "$SUBMIT" --port-file "$SERVE_DIR/port" --verb stats \
+      > "$SERVE_DIR/stats_fault.json"
+    grep -q '"scheduler.completed": 3' "$SERVE_DIR/stats_fault.json" && break
+    sleep 0.1
+  done
+  grep -q '"scheduler.completed": 3' "$SERVE_DIR/stats_fault.json"
+  grep -q '"pool.pinned": 0' "$SERVE_DIR/stats_fault.json"
+
+  echo "==> smoke: a 1 ms deadline trips and exits with code 7"
+  set +e
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb synthesize "${JOB[@]}" \
+    --seed-key doomed --deadline-ms 1 --out "$SERVE_DIR/doomed" \
+    > "$SERVE_DIR/doomed.json"
+  DOOMED_CODE=$?
+  set -e
+  [[ "$DOOMED_CODE" == 7 ]]   # DeadlineExceeded
+  grep -q '"code": "DeadlineExceeded"' "$SERVE_DIR/doomed.json"
+  [[ ! -e "$SERVE_DIR/doomed" ]]   # no partial release on disk
+  "$SUBMIT" --port-file "$SERVE_DIR/port" --verb stats \
+    > "$SERVE_DIR/stats_deadline.json"
+  grep -q '"scheduler.deadline_exceeded": 1' "$SERVE_DIR/stats_deadline.json"
+
   echo "==> smoke: clean shutdown on the shutdown verb"
   "$SUBMIT" --port-file "$SERVE_DIR/port" --verb shutdown >/dev/null
   wait "$SERVE_PID"

@@ -1,0 +1,92 @@
+#ifndef SERD_COMMON_CANCEL_H_
+#define SERD_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace serd {
+
+/// Cooperative cancellation signal shared between a job's owner (the
+/// scheduler / a client `cancel` request) and the code running the job.
+///
+/// Two trip sources, first one wins:
+///   - Cancel(cause): explicit, e.g. a client-initiated cancellation.
+///   - ArmDeadline(t, cause): lazy — cancelled() self-trips once
+///     steady_clock passes `t`, so no timer thread is needed; the poll
+///     itself enforces the deadline.
+///
+/// cancelled() is a single relaxed atomic load on the not-tripped fast
+/// path (plus a clock read when a deadline is armed), so it is cheap
+/// enough to poll once per synthesis loop iteration or per decoded
+/// candidate. cause() returns the Status the tripping site supplied
+/// (kCancelled or kDeadlineExceeded), OK when not tripped.
+///
+/// Thread-safe. Arming is expected to happen once, before the workers
+/// that poll start; Cancel may race freely with polls.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trips the token with `cause` (should be a non-OK Status, typically
+  /// Status::Cancelled). No-op if already tripped.
+  void Cancel(Status cause) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TripLocked(std::move(cause));
+  }
+
+  /// Arms a deadline: polls at or after `deadline` trip the token with
+  /// `cause` (typically Status::DeadlineExceeded).
+  void ArmDeadline(Clock::time_point deadline, Status cause) {
+    std::lock_guard<std::mutex> lock(mu_);
+    deadline_ = deadline;
+    deadline_cause_ = std::move(cause);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// True once tripped (explicitly or by an armed deadline elapsing).
+  /// Lock-free until the deadline actually elapses: `deadline_` is
+  /// published by the ArmDeadline release-store on `armed_`, so the
+  /// hot-path clock compare needs no mutex.
+  bool cancelled() const {
+    if (tripped_.load(std::memory_order_acquire)) return true;
+    if (armed_.load(std::memory_order_acquire) &&
+        Clock::now() >= deadline_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      TripLocked(deadline_cause_);
+      return true;
+    }
+    return false;
+  }
+
+  /// The Status supplied by the tripping site; OK when not tripped.
+  Status cause() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tripped_.load(std::memory_order_relaxed) ? cause_ : Status::OK();
+  }
+
+ private:
+  void TripLocked(Status cause) const {
+    if (tripped_.load(std::memory_order_relaxed)) return;
+    cause_ = std::move(cause);
+    tripped_.store(true, std::memory_order_release);
+  }
+
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> tripped_{false};
+  std::atomic<bool> armed_{false};
+  mutable Status cause_;
+  Clock::time_point deadline_{};
+  Status deadline_cause_;
+};
+
+}  // namespace serd
+
+#endif  // SERD_COMMON_CANCEL_H_

@@ -26,6 +26,13 @@ enum class StatusCode {
   kResourceExhausted,
   /// The serving endpoint is not accepting work (shutting down / drained).
   kUnavailable,
+  /// The job's deadline elapsed before (or while) it ran. Retrying with a
+  /// larger `deadline_ms` may succeed; job seeds are content-keyed, so a
+  /// retry produces byte-identical output.
+  kDeadlineExceeded,
+  /// The caller cancelled the job (`cancel` wire verb). Terminal; nothing
+  /// was released or persisted.
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -71,6 +78,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

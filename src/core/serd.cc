@@ -302,11 +302,14 @@ bool SerdSynthesizer::RejectedByDiscriminator(const Entity& e) const {
   return score < options_.beta;
 }
 
-Result<ERDataset> SerdSynthesizer::Synthesize() {
+Result<ERDataset> SerdSynthesizer::Synthesize(const CancelToken* cancel) {
   // The run accumulates into a local report and commits it under
   // state_mu_ at the end, so a concurrent RunManifestJson() snapshot sees
   // either the previous run's report or this one, never a half-updated
-  // mix (class thread-safety contract).
+  // mix (class thread-safety contract). The same locals-then-commit shape
+  // is what makes cancellation state-safe: every `return cancel_status()`
+  // below drops the locals and leaves report_/models untouched, so a
+  // re-run of the job is byte-identical to one that was never cancelled.
   SerdReport report;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -315,6 +318,25 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
           "Fit() must succeed before Synthesize()");
     }
     report = report_;
+  }
+  auto cancel_status = [cancel]() -> Status {
+    Status cause = cancel->cause();
+    return cause.ok() ? Status::Cancelled("synthesis cancelled") : cause;
+  };
+  // Fold the token into the string banks' decode early-stop callbacks for
+  // the duration of the run (cleared on every exit path), so a trip also
+  // interrupts a candidate decode already in flight, not just the next
+  // loop iteration.
+  struct BankCancelGuard {
+    std::vector<std::unique_ptr<StringSynthesisBank>>* banks;
+    ~BankCancelGuard() {
+      for (auto& bank : *banks) {
+        if (bank != nullptr) bank->set_cancel_token(nullptr);
+      }
+    }
+  } bank_cancel_guard{&banks_};
+  for (auto& bank : banks_) {
+    if (bank != nullptr) bank->set_cancel_token(cancel);
   }
   WallTimer timer;
   if (pool_ != nullptr) pool_->ResetStats();
@@ -453,6 +475,9 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
                                     : 60 * (na + nb) + 1000;
   while ((syn.a.size() < na || syn.b.size() < nb) &&
          guard++ < max_iterations) {
+    // Deadline/cancellation poll: one relaxed atomic load per accepted
+    // entity, so a tripped token stops the run within one loop iteration.
+    if (cancel != nullptr && cancel->cancelled()) return cancel_status();
     // --- S2-1: choose the source entity e. ---
     bool a_full = syn.a.size() >= na;
     bool b_full = syn.b.size() >= nb;
@@ -485,6 +510,10 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
     std::vector<Vec> delta_pos, delta_neg;
     for (int attempt = 0; attempt <= options_.max_reject_retries;
          ++attempt) {
+      // Per-attempt poll: rejection retries can dominate an iteration's
+      // wall time (each one decodes candidates and estimates a JSD), so a
+      // deadline that trips mid-iteration is honored between attempts too.
+      if (cancel != nullptr && cancel->cancelled()) return cancel_status();
       const bool last_attempt = attempt == options_.max_reject_retries;
       auto sample = sample_vector(&rng);
       Entity candidate = SynthesizeFrom(e, sample.x, &rng);
@@ -634,6 +663,11 @@ Result<ERDataset> SerdSynthesizer::Synthesize() {
   for (const auto& lp : linked) {
     if (lp.match) syn.matches.push_back({lp.a_idx, lp.b_idx});
   }
+
+  // Last poll before the S3 scan commits to labeling the full pair
+  // stream (the scan itself is not interrupted; at serving scales it is
+  // bounded by max_label_pairs).
+  if (cancel != nullptr && cancel->cancelled()) return cancel_status();
 
   // --- S3: label remaining pairs by posterior (paper Section IV-C). ---
   obs::TraceSpan s3_span(metrics_.get(), "s3.label");

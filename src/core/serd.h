@@ -9,6 +9,7 @@
 
 #include "block/candidates.h"
 #include "block/qgram_index.h"
+#include "common/cancel.h"
 #include "core/cached_sim.h"
 #include "data/er_dataset.h"
 #include "gan/entity_gan.h"
@@ -278,7 +279,17 @@ class SerdSynthesizer {
              const Table& background_entities);
 
   /// S2 + S3. Requires Fit() to have succeeded.
-  Result<ERDataset> Synthesize();
+  ///
+  /// `cancel` (optional) is polled cooperatively: once per S2 guard-loop
+  /// iteration, once per rejection attempt, before the S3 labeling scan,
+  /// and inside the string banks' candidate-decode early-stop callbacks —
+  /// so a running job stops within one loop iteration of the token
+  /// tripping. A cancelled run returns the token's cause
+  /// (kCancelled/kDeadlineExceeded) and mutates nothing: the run
+  /// accumulates into locals and commits the report only on success, so a
+  /// re-run of the same job afterwards is byte-identical to a run that
+  /// was never cancelled.
+  Result<ERDataset> Synthesize(const CancelToken* cancel = nullptr);
 
   /// File name of the model artifact inside SerdOptions::model_dir.
   static constexpr char kModelFileName[] = "serd_models.bin";

@@ -251,6 +251,15 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
   // penalty. Early exit once a candidate is essentially on target:
   // decoding is the dominant online cost (paper Table IV).
   constexpr double kGoodEnough = 0.03;
+  // A tripped cancel token ends the candidate draw exactly like an
+  // on-target sighting would: the early-stop callback returns false and
+  // the decoder abandons the remaining candidates/steps. The run-level
+  // poll in SerdSynthesizer::Synthesize then discards whatever this call
+  // returns, so cancellation never changes released bytes.
+  auto keep_going = [&] {
+    return min_err > kGoodEnough &&
+           (cancel_ == nullptr || !cancel_->cancelled());
+  };
   // Scores one decoded candidate; returns whether to keep drawing more.
   auto consider = [&](const std::vector<int>& out_ids) {
     std::string candidate = vocab_.Decode(out_ids);
@@ -270,7 +279,7 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
         }
       }
     }
-    return min_err > kGoodEnough;
+    return keep_going();
   };
   GenerateStats gstats;
   if (options_.incremental_decode) {
@@ -308,8 +317,7 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
   } else {
     // Reference implementation: per-candidate encode + full re-decode,
     // exactly the pre-KV-cache behaviour.
-    for (int c = 0; c < options_.num_candidates && min_err > kGoodEnough;
-         ++c) {
+    for (int c = 0; c < options_.num_candidates && keep_going(); ++c) {
       auto out_ids =
           model->Generate(src_ids, rng, options_.temperature, &gstats);
       consider(out_ids);

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "seq2seq/trainer.h"
 #include "seq2seq/transformer.h"
 #include "text/char_vocab.h"
@@ -134,6 +135,15 @@ class StringSynthesisBank {
   void set_batched_decode(bool enabled) { options_.batched_decode = enabled; }
   bool batched_decode() const { return options_.batched_decode; }
 
+  /// Cooperative cancellation for candidate decode (not owned; nullptr =
+  /// never cancelled). A tripped token is folded into the decoder's
+  /// early-stop callbacks, so a Synthesize call abandons remaining
+  /// candidates within one decode step and returns its best-so-far — the
+  /// caller (SerdSynthesizer::Synthesize) then observes the token at its
+  /// next poll and aborts the run, so the truncated string is discarded,
+  /// never released. Set per run by the synthesizer; clear with nullptr.
+  void set_cancel_token(const CancelToken* cancel) { cancel_ = cancel; }
+
   /// The bucket index whose interval contains `sim`.
   int BucketOf(double sim) const;
 
@@ -170,6 +180,7 @@ class StringSynthesisBank {
   std::vector<std::string> word_pool_;  // background words for refinement
   std::vector<std::string> corpus_;     // background strings (fallback seeds)
   bool trained_ = false;
+  const CancelToken* cancel_ = nullptr;  // not owned; see set_cancel_token
   mutable StringBankStats stats_;
 };
 

@@ -1,8 +1,35 @@
 #include "serve/model_pool.h"
 
+#include "artifact/artifact_file.h"
 #include "common/timer.h"
 
 namespace serd::serve {
+
+Result<uint64_t> ArtifactVersionFingerprint(const std::string& path) {
+  Result<artifact::ArtifactReader> reader =
+      artifact::ArtifactReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  // FNV-1a over the validated header: format version + every section's
+  // name/size/CRC. Payloads are covered transitively by their CRCs, so no
+  // payload is decoded to compute the version identity.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(artifact::kArtifactFormatVersion);
+  for (const auto& section : reader.value().sections()) {
+    for (char ch : section.name) {
+      h ^= static_cast<uint8_t>(ch);
+      h *= 1099511628211ULL;
+    }
+    mix(section.size);
+    mix(section.crc);
+  }
+  return h;
+}
 
 std::string PoolKey::Token() const {
   // \x1f (ASCII unit separator) cannot appear in tenant names, paths, or
@@ -27,6 +54,10 @@ struct ModelPool::Slot {
   bool failed = false;
   size_t pins = 0;
   uint64_t last_used = 0;
+  /// Artifact fingerprint this entry was loaded against; 0 = the loading
+  /// Acquire did not carry a version (steady-state jobs). A non-zero
+  /// Acquire version that differs detaches the slot and reloads.
+  uint64_t version = 0;
 };
 
 ModelPool::ModelPool(ModelPoolOptions options) : options_(std::move(options)) {
@@ -37,7 +68,9 @@ ModelPool::ModelPool(ModelPoolOptions options) : options_(std::move(options)) {
   c_coalesced_ = obs::GetCounter(m, "pool.coalesced");
   c_evictions_ = obs::GetCounter(m, "pool.evictions");
   c_load_failures_ = obs::GetCounter(m, "pool.load_failures");
+  c_reloads_ = obs::GetCounter(m, "pool.reloads");
   g_size_ = obs::GetGauge(m, "pool.size");
+  g_pinned_ = obs::GetGauge(m, "pool.pinned");
   h_load_seconds_ = obs::GetTimer(m, "pool.load_seconds");
 }
 
@@ -65,7 +98,11 @@ void ModelPool::Lease::Release() {
 void ModelPool::Unpin(const std::shared_ptr<void>& erased_slot) {
   std::lock_guard<std::mutex> lock(mu_);
   auto* slot = static_cast<Slot*>(erased_slot.get());
-  if (slot->pins > 0) --slot->pins;
+  if (slot->pins > 0) {
+    --slot->pins;
+    if (total_pins_ > 0) --total_pins_;
+    obs::Set(g_pinned_, static_cast<double>(total_pins_));
+  }
   // A pin released over capacity (every entry was pinned when the last
   // insert happened) is the deferred eviction point.
   EvictIfNeededLocked();
@@ -96,9 +133,11 @@ void ModelPool::EvictIfNeededLocked() {
 }
 
 Result<ModelPool::Lease> ModelPool::Acquire(const PoolKey& key,
-                                            const EntryLoader& loader) {
+                                            const EntryLoader& loader,
+                                            uint64_t version) {
   const std::string token = key.Token();
   std::shared_ptr<Slot> slot;
+  bool is_reload = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -106,9 +145,21 @@ Result<ModelPool::Lease> ModelPool::Acquire(const PoolKey& key,
       if (it == slots_.end()) break;  // miss: this thread loads
       slot = it->second;
       if (slot->state == Slot::State::kReady) {
+        if (version != 0 && slot->version != version) {
+          // Stale for the requested artifact version: detach the old slot
+          // — in-flight leases keep it alive and finish on the old
+          // artifacts; it is destroyed when the last one releases — and
+          // fall through to load the replacement under the same token
+          // (waiters that arrive meanwhile coalesce on the new load).
+          slots_.erase(it);
+          is_reload = true;
+          break;
+        }
         ++slot->pins;
+        ++total_pins_;
         slot->last_used = ++tick_;
         obs::Inc(c_hits_);
+        obs::Set(g_pinned_, static_cast<double>(total_pins_));
         return Lease(this, std::shared_ptr<void>(slot, slot.get()),
                      slot->entry.get());
       }
@@ -120,7 +171,8 @@ Result<ModelPool::Lease> ModelPool::Acquire(const PoolKey& key,
       });
       if (slot->failed) return slot->error;
       // Ready now — loop back through the map in case it was evicted
-      // between the notify and this wake-up (then this thread reloads).
+      // between the notify and this wake-up (then this thread reloads),
+      // and to apply the version check against the fresh slot.
       slot.reset();
     }
     slot = std::make_shared<Slot>();
@@ -147,7 +199,11 @@ Result<ModelPool::Lease> ModelPool::Acquire(const PoolKey& key,
   slot->entry = std::move(loaded.value());
   slot->state = Slot::State::kReady;
   slot->pins = 1;
+  ++total_pins_;
   slot->last_used = ++tick_;
+  slot->version = version;
+  if (is_reload) obs::Inc(c_reloads_);
+  obs::Set(g_pinned_, static_cast<double>(total_pins_));
   EvictIfNeededLocked();
   Lease lease(this, std::shared_ptr<void>(slot, slot.get()),
               slot->entry.get());
@@ -159,6 +215,11 @@ Result<ModelPool::Lease> ModelPool::Acquire(const PoolKey& key,
 size_t ModelPool::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();
+}
+
+size_t ModelPool::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pins_;
 }
 
 }  // namespace serd::serve

@@ -55,9 +55,21 @@ struct ModelPoolOptions {
   /// blocking (an admission-controlled scheduler bounds how far).
   size_t capacity = 4;
   /// Counters pool.hits / .misses / .coalesced / .evictions /
-  /// .load_failures, gauge pool.size, timer pool.load_seconds.
+  /// .load_failures / .reloads, gauges pool.size / pool.pinned (live
+  /// leases — 0 when no job holds an entry), timer pool.load_seconds.
   obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Content fingerprint of the model artifact at `path` (a SERDMDL1 file):
+/// an FNV-1a hash over the validated header — format version plus every
+/// section's name, size, and payload CRC — without decoding any payload,
+/// so probing is cheap relative to a load. Any retrain that changes a
+/// single model byte changes a section CRC and therefore the fingerprint;
+/// this is the version identity behind ModelPool hot-reload (Acquire's
+/// `version` argument and the server's `reload` verb). Errors: whatever
+/// artifact::ArtifactReader::Open reports (IOError / InvalidArgument /
+/// FailedPrecondition).
+Result<uint64_t> ArtifactVersionFingerprint(const std::string& path);
 
 /// Ref-counted LRU of warm SerdSynthesizer artifacts with single-flight
 /// loading: the first Acquire() of a key runs the loader while concurrent
@@ -65,6 +77,16 @@ struct ModelPoolOptions {
 /// `pool.coalesced`) instead of re-reading the artifact. A load failure
 /// is broadcast to the waiters and the key is removed, so a later
 /// Acquire() retries (transient I/O failures don't poison the key).
+///
+/// Hot-reload: each ready entry remembers the artifact version it was
+/// loaded against (0 = unversioned). An Acquire carrying a different
+/// non-zero version detaches the stale entry from the pool — in-flight
+/// leases keep it alive and finish on the old artifacts; it is destroyed
+/// when the last lease releases — and single-flight loads a replacement
+/// that is atomically swapped in under the pool lock (`pool.reloads`).
+/// Acquires with version 0 never trigger a reload; they hit whatever is
+/// resident, so steady-state jobs pay no probe cost and pick up the new
+/// entry on their first acquire after the swap.
 ///
 /// Thread-safety: all methods may be called from any thread. The loader
 /// runs outside the pool lock (loads are slow; lookups must not stall
@@ -114,10 +136,21 @@ class ModelPool {
   /// Returns a pinned lease on the ready entry for `key`, loading it via
   /// `loader` on a miss (single-flight). Returns the loader's error if
   /// the load fails.
-  Result<Lease> Acquire(const PoolKey& key, const EntryLoader& loader);
+  ///
+  /// `version` is the artifact fingerprint the caller expects
+  /// (ArtifactVersionFingerprint); 0 = "any resident version". A ready
+  /// entry whose recorded version differs from a non-zero `version`
+  /// triggers the hot-reload swap described on the class. A failed reload
+  /// drops the key entirely (the stale entry is already detached); the
+  /// next Acquire reloads from disk.
+  Result<Lease> Acquire(const PoolKey& key, const EntryLoader& loader,
+                        uint64_t version = 0);
 
   /// Ready + loading entries currently resident.
   size_t size() const;
+
+  /// Live leases across all entries, detached (draining) ones included.
+  size_t pinned() const;
 
  private:
   struct Slot;
@@ -133,13 +166,16 @@ class ModelPool {
   std::condition_variable load_cv_;
   std::map<std::string, std::shared_ptr<Slot>> slots_;
   uint64_t tick_ = 0;  ///< LRU clock: bumped on every successful Acquire
+  size_t total_pins_ = 0;  ///< live leases (detached slots included)
 
   obs::Counter* c_hits_ = nullptr;
   obs::Counter* c_misses_ = nullptr;
   obs::Counter* c_coalesced_ = nullptr;
   obs::Counter* c_evictions_ = nullptr;
   obs::Counter* c_load_failures_ = nullptr;
+  obs::Counter* c_reloads_ = nullptr;
   obs::Gauge* g_size_ = nullptr;
+  obs::Gauge* g_pinned_ = nullptr;
   obs::Histogram* h_load_seconds_ = nullptr;
 };
 

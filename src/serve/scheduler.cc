@@ -1,5 +1,6 @@
 #include "serve/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/timer.h"
@@ -33,8 +34,18 @@ const char* JobStateName(JobState state) {
       return "done";
     case JobState::kFailed:
       return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
+}
+
+bool IsTerminalJobState(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled ||
+         state == JobState::kDeadlineExceeded;
 }
 
 uint64_t JobScheduler::DeriveJobSeed(uint64_t root_seed,
@@ -49,12 +60,20 @@ JobScheduler::JobScheduler(SchedulerOptions options)
   c_submitted_ = obs::GetCounter(m, "scheduler.submitted");
   c_completed_ = obs::GetCounter(m, "scheduler.completed");
   c_failed_ = obs::GetCounter(m, "scheduler.failed");
+  c_cancelled_ = obs::GetCounter(m, "scheduler.cancelled");
+  c_deadline_ = obs::GetCounter(m, "scheduler.deadline_exceeded");
+  c_fairshare_preempt_ =
+      obs::GetCounter(m, "scheduler.fairshare_preemptions");
   c_rej_queue_full_ = obs::GetCounter(m, "scheduler.rejected_queue_full");
   c_rej_tenant_cap_ = obs::GetCounter(m, "scheduler.rejected_tenant_cap");
   c_rej_oversize_ = obs::GetCounter(m, "scheduler.rejected_oversize");
   c_rej_shutdown_ = obs::GetCounter(m, "scheduler.rejected_shutdown");
   h_queue_seconds_ = obs::GetTimer(m, "scheduler.queue_seconds");
   h_run_seconds_ = obs::GetTimer(m, "scheduler.run_seconds");
+  h_tenant_wait_ms_ = obs::GetHistogram(
+      m, "scheduler.tenant_wait_ms",
+      {1.0, 5.0, 20.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+       10000.0, 30000.0, 60000.0});
   g_queue_depth_ = obs::GetGauge(m, "scheduler.queue_depth");
   pool_ = std::make_unique<runtime::ThreadPool>(options_.workers);
 }
@@ -65,6 +84,10 @@ Result<JobId> JobScheduler::Submit(
     JobSpec spec, std::function<Status(const JobContext&)> work) {
   if (work == nullptr) {
     return Status::InvalidArgument("job has no work function");
+  }
+  if (spec.deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0, got " +
+                                   std::to_string(spec.deadline_ms));
   }
   if (spec.tenant.empty()) spec.tenant = "default";
   std::shared_ptr<JobRecord> record;
@@ -82,10 +105,10 @@ Result<JobId> JobScheduler::Submit(
           " entities, over the admission limit of " +
           std::to_string(options_.max_job_entities));
     }
-    if (queue_.size() >= options_.max_queued) {
+    if (queued_total_ >= options_.max_queued) {
       obs::Inc(c_rej_queue_full_);
       return Status::ResourceExhausted(
-          "job queue is full (" + std::to_string(queue_.size()) +
+          "job queue is full (" + std::to_string(queued_total_) +
           " queued, limit " + std::to_string(options_.max_queued) + ")");
     }
     size_t inflight = 0;
@@ -108,12 +131,20 @@ Result<JobId> JobScheduler::Submit(
     record->spec = std::move(spec);
     record->work = std::move(work);
     record->submitted_at = std::chrono::steady_clock::now();
+    if (record->spec.deadline_ms > 0) {
+      record->has_deadline = true;
+      record->deadline =
+          record->submitted_at +
+          std::chrono::milliseconds(record->spec.deadline_ms);
+    }
+    record->queue_key =
+        std::make_pair(-int64_t{record->spec.priority}, record->id);
     jobs_.emplace(record->id, record);
-    queue_.emplace(std::make_pair(-int64_t{record->spec.priority},
-                                  record->id),
-                   record);
+    tenant_queues_[record->spec.tenant].jobs.emplace(record->queue_key,
+                                                     record);
+    ++queued_total_;
     ++tenant_inflight_[record->spec.tenant];
-    obs::Set(g_queue_depth_, static_cast<double>(queue_.size()));
+    obs::Set(g_queue_depth_, static_cast<double>(queued_total_));
   }
   obs::Inc(c_submitted_);
   // One drain task per admitted job: a worker picks up the *best* queued
@@ -123,27 +154,144 @@ Result<JobId> JobScheduler::Submit(
   return record->id;
 }
 
+std::shared_ptr<JobScheduler::JobRecord> JobScheduler::PickJobLocked(
+    bool* preempted) {
+  *preempted = false;
+  if (queued_total_ == 0) return nullptr;
+
+  // DRR pick with the rotation fast-forwarded analytically: each whole
+  // rotation grants every backlogged tenant 1 unit of credit, a tenant is
+  // eligible once its credit covers its head job's cost, and the pick
+  // serves whichever tenant becomes eligible first. Instead of looping
+  // rotations, compute each tenant's remaining need (cost - deficit) and
+  // take the minimum; ties break round-robin from just after the last
+  // served tenant, so equal-need tenants alternate. O(#tenants) per pick.
+  auto cost_of = [](const JobRecord& r) {
+    return std::max<int64_t>(1, static_cast<int64_t>(r.spec.entities));
+  };
+
+  // Cyclic rank: position of `name` in the rotation starting after
+  // rr_cursor_ (tenant-name order, wrapping).
+  auto cyclic_rank = [this](const std::string& name) {
+    size_t rank = 0;
+    for (auto it = tenant_queues_.upper_bound(rr_cursor_);; ++it) {
+      if (it == tenant_queues_.end()) it = tenant_queues_.begin();
+      if (it->first == name) return rank;
+      ++rank;
+    }
+  };
+
+  std::map<std::string, TenantQueue>::iterator winner =
+      tenant_queues_.end();
+  int64_t winner_need = 0;
+  size_t winner_rank = 0;
+  std::pair<int64_t, JobId> global_best{0, 0};
+  bool have_global = false;
+  for (auto it = tenant_queues_.begin(); it != tenant_queues_.end(); ++it) {
+    const auto& head_key = it->second.jobs.begin()->first;
+    if (!have_global || head_key < global_best) {
+      global_best = head_key;
+      have_global = true;
+    }
+    int64_t need =
+        std::max<int64_t>(0, cost_of(*it->second.jobs.begin()->second) -
+                                 it->second.deficit);
+    size_t rank = cyclic_rank(it->first);
+    if (winner == tenant_queues_.end() || need < winner_need ||
+        (need == winner_need && rank < winner_rank)) {
+      winner = it;
+      winner_need = need;
+      winner_rank = rank;
+    }
+  }
+
+  // Advance every backlogged tenant's credit by the rotations consumed,
+  // then charge the winner its head job's cost.
+  for (auto& [name, tq] : tenant_queues_) tq.deficit += winner_need;
+  std::shared_ptr<JobRecord> job = winner->second.jobs.begin()->second;
+  winner->second.deficit -= cost_of(*job);
+  winner->second.jobs.erase(winner->second.jobs.begin());
+  rr_cursor_ = winner->first;
+  if (winner->second.jobs.empty()) tenant_queues_.erase(winner);
+  --queued_total_;
+  *preempted = job->queue_key != global_best;
+  return job;
+}
+
+void JobScheduler::RemoveFromQueueLocked(const JobRecord& record) {
+  auto it = tenant_queues_.find(record.spec.tenant);
+  if (it == tenant_queues_.end()) return;
+  if (it->second.jobs.erase(record.queue_key) == 0) return;
+  if (it->second.jobs.empty()) tenant_queues_.erase(it);
+  --queued_total_;
+}
+
+void JobScheduler::ReleaseTenantLocked(const std::string& tenant) {
+  auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && --it->second == 0) {
+    tenant_inflight_.erase(it);
+  }
+}
+
 void JobScheduler::DrainOne() {
   std::shared_ptr<JobRecord> job;
+  bool preempted = false;
+  bool expired_in_queue = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return;  // shutdown(drain=false) already failed it
-    job = queue_.begin()->second;
-    queue_.erase(queue_.begin());
-    job->state = JobState::kRunning;
+    job = PickJobLocked(&preempted);
+    if (job == nullptr) {
+      // Shutdown(drain=false) or Cancel() already emptied this task's
+      // slot; nothing to run.
+      return;
+    }
     job->queue_seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() -
                              job->submitted_at)
                              .count();
-    ++running_;
-    obs::Set(g_queue_depth_, static_cast<double>(queue_.size()));
+    if (job->has_deadline &&
+        std::chrono::steady_clock::now() >= job->deadline) {
+      // Expired while queued: complete immediately without running — the
+      // deadline budget covers queueing, so a job the queue starved past
+      // its deadline must not consume a worker slot on work nobody can
+      // use anymore.
+      job->state = JobState::kDeadlineExceeded;
+      job->status = Status::DeadlineExceeded(
+          "deadline of " + std::to_string(job->spec.deadline_ms) +
+          " ms expired while queued");
+      job->cause = "deadline_expired_in_queue";
+      ReleaseTenantLocked(job->spec.tenant);
+      obs::Inc(c_deadline_);
+      expired_in_queue = true;
+    } else {
+      job->state = JobState::kRunning;
+      ++running_;
+    }
+    obs::Set(g_queue_depth_, static_cast<double>(queued_total_));
   }
   obs::Observe(h_queue_seconds_, job->queue_seconds);
+  obs::Observe(h_tenant_wait_ms_, job->queue_seconds * 1000.0);
+  if (preempted) obs::Inc(c_fairshare_preempt_);
+  if (expired_in_queue) {
+    done_cv_.notify_all();
+    return;
+  }
 
+  if (job->has_deadline) {
+    // Mid-run enforcement is the token's job: the work function's
+    // cooperative polls (Synthesize loop, decode callbacks) trip it once
+    // the deadline passes — no timer thread.
+    job->cancel.ArmDeadline(
+        job->deadline,
+        Status::DeadlineExceeded(
+            "deadline of " + std::to_string(job->spec.deadline_ms) +
+            " ms expired while running"));
+  }
   JobContext ctx;
   ctx.id = job->id;
   ctx.seed = job->seed;
   ctx.tenant = job->spec.tenant;
+  ctx.cancel = &job->cancel;
   WallTimer timer;
   Status status = job->work(ctx);
   const double run_seconds = timer.Seconds();
@@ -152,13 +300,28 @@ void JobScheduler::DrainOne() {
     std::lock_guard<std::mutex> lock(mu_);
     job->run_seconds = run_seconds;
     job->status = std::move(status);
-    job->state = job->status.ok() ? JobState::kDone : JobState::kFailed;
-    --running_;
-    auto it = tenant_inflight_.find(job->spec.tenant);
-    if (it != tenant_inflight_.end() && --it->second == 0) {
-      tenant_inflight_.erase(it);
+    switch (job->status.code()) {
+      case StatusCode::kOk:
+        job->state = JobState::kDone;
+        obs::Inc(c_completed_);
+        break;
+      case StatusCode::kCancelled:
+        job->state = JobState::kCancelled;
+        if (job->cause.empty()) job->cause = "client_cancel";
+        obs::Inc(c_cancelled_);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        job->state = JobState::kDeadlineExceeded;
+        if (job->cause.empty()) job->cause = "deadline_expired_running";
+        obs::Inc(c_deadline_);
+        break;
+      default:
+        job->state = JobState::kFailed;
+        obs::Inc(c_failed_);
+        break;
     }
-    obs::Inc(job->state == JobState::kDone ? c_completed_ : c_failed_);
+    --running_;
+    ReleaseTenantLocked(job->spec.tenant);
   }
   obs::Observe(h_run_seconds_, run_seconds);
   done_cv_.notify_all();
@@ -170,6 +333,7 @@ JobStatus JobScheduler::StatusLocked(const JobRecord& record) const {
   out.state = record.state;
   out.status = record.status;
   out.tenant = record.spec.tenant;
+  out.cause = record.cause;
   out.queue_seconds = record.queue_seconds;
   out.run_seconds = record.run_seconds;
   return out;
@@ -182,11 +346,49 @@ Result<JobStatus> JobScheduler::Wait(JobId id) const {
     return Status::NotFound("unknown job id " + std::to_string(id));
   }
   const std::shared_ptr<JobRecord>& record = it->second;
-  done_cv_.wait(lock, [&record] {
-    return record->state == JobState::kDone ||
-           record->state == JobState::kFailed;
-  });
+  done_cv_.wait(lock,
+                [&record] { return IsTerminalJobState(record->state); });
   return StatusLocked(*record);
+}
+
+Result<JobStatus> JobScheduler::Cancel(JobId id) {
+  bool notify = false;
+  JobStatus out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("unknown job id " + std::to_string(id));
+    }
+    JobRecord& job = *it->second;
+    switch (job.state) {
+      case JobState::kQueued:
+        // Remove and complete immediately; the slot and tenant budget
+        // free up right away. The pending DrainOne task for this job
+        // finds nothing to pick and no-ops.
+        RemoveFromQueueLocked(job);
+        job.state = JobState::kCancelled;
+        job.status = Status::Cancelled("cancelled by client while queued");
+        job.cause = "client_cancel";
+        ReleaseTenantLocked(job.spec.tenant);
+        obs::Inc(c_cancelled_);
+        obs::Set(g_queue_depth_, static_cast<double>(queued_total_));
+        notify = true;
+        break;
+      case JobState::kRunning:
+        // Cooperative: trip the token; the worker observes it at the next
+        // poll and commits the terminal state. Until then the job still
+        // reports "running" with the cause already recorded.
+        job.cancel.Cancel(Status::Cancelled("cancelled by client"));
+        if (job.cause.empty()) job.cause = "client_cancel";
+        break;
+      default:
+        break;  // already terminal: no-op
+    }
+    out = StatusLocked(job);
+  }
+  if (notify) done_cv_.notify_all();
+  return out;
 }
 
 Result<JobStatus> JobScheduler::Query(JobId id) const {
@@ -205,15 +407,15 @@ void JobScheduler::Shutdown(bool drain) {
     if (!drain) {
       // Fail everything still queued; the pool's pending drain tasks then
       // find an empty queue and no-op.
-      while (!queue_.empty()) {
-        std::shared_ptr<JobRecord> job = queue_.begin()->second;
-        queue_.erase(queue_.begin());
+      while (!tenant_queues_.empty()) {
+        auto tq = tenant_queues_.begin();
+        std::shared_ptr<JobRecord> job = tq->second.jobs.begin()->second;
+        tq->second.jobs.erase(tq->second.jobs.begin());
+        if (tq->second.jobs.empty()) tenant_queues_.erase(tq);
+        --queued_total_;
         job->state = JobState::kFailed;
         job->status = Status::Unavailable("scheduler shut down before run");
-        auto it = tenant_inflight_.find(job->spec.tenant);
-        if (it != tenant_inflight_.end() && --it->second == 0) {
-          tenant_inflight_.erase(it);
-        }
+        ReleaseTenantLocked(job->spec.tenant);
         obs::Inc(c_failed_);
       }
       obs::Set(g_queue_depth_, 0.0);
@@ -230,7 +432,7 @@ void JobScheduler::Shutdown(bool drain) {
 
 size_t JobScheduler::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queued_total_;
 }
 
 size_t JobScheduler::running() const {

@@ -98,6 +98,9 @@ struct SerdServer::JobParams {
   /// defaults to the server's job options and is re-applied to the warm
   /// entry on every job, like `blocking`.
   bool batched_decode = DefaultJobOptions().string_bank.batched_decode;
+  /// Wall-clock budget in milliseconds from admission (0 = none); maps to
+  /// JobSpec::deadline_ms.
+  int64_t deadline_ms = 0;
   bool wait = true;
 
   std::string DatasetId() const {
@@ -142,7 +145,15 @@ void SerdServer::AcceptLoop() {
 void SerdServer::HandleConnection(int fd) {
   for (;;) {
     Result<obs::Json> request = ReadJson(fd);
-    if (!request.ok()) break;  // hangup (Unavailable) or broken frame
+    if (!request.ok()) {
+      // A well-framed but unparseable payload is a client bug, not a dead
+      // connection: answer it and keep serving. Transport failures —
+      // hangup (Unavailable), truncated or oversized frame (IOError) —
+      // end the connection; the framing is unrecoverable after those.
+      if (request.status().code() != StatusCode::kInvalidArgument) break;
+      if (!WriteJson(fd, ErrorJson(request.status())).ok()) break;
+      continue;
+    }
     obs::Json response = Handle(request.value());
     if (!WriteJson(fd, response).ok()) break;
   }
@@ -163,7 +174,9 @@ obs::Json SerdServer::Handle(const obs::Json& request) {
   if (verb == "stats") return HandleStats();
   if (verb == "synthesize") return HandleSynthesize(request);
   if (verb == "job") return HandleJob(request);
+  if (verb == "cancel") return HandleCancel(request);
   if (verb == "manifest") return HandleManifest(request);
+  if (verb == "reload") return HandleReload(request);
   if (verb == "shutdown") {
     {
       std::lock_guard<std::mutex> lock(stop_mu_);
@@ -229,6 +242,11 @@ Status SerdServer::ParseJobParams(const obs::Json& request,
   params->batched_decode = GetBool(request, "batched_decode",
                                    options_.job_options.string_bank
                                        .batched_decode);
+  params->deadline_ms =
+      static_cast<int64_t>(GetNumber(request, "deadline_ms", 0));
+  if (params->deadline_ms < 0) {
+    return Status::InvalidArgument("'deadline_ms' must be non-negative");
+  }
   params->wait = GetBool(request, "wait", true);
   return Status::OK();
 }
@@ -290,6 +308,7 @@ obs::Json SerdServer::HandleSynthesize(const obs::Json& request) {
   datagen::PaperStats sizes = datagen::PaperSizes(params.kind);
   spec.entities = static_cast<size_t>(
       static_cast<double>(sizes.a_size + sizes.b_size) * params.scale);
+  spec.deadline_ms = params.deadline_ms;
 
   auto work = [this, params](const JobContext& ctx) -> Status {
     const uint64_t job_seed = params.has_seed ? params.seed : ctx.seed;
@@ -299,12 +318,16 @@ obs::Json SerdServer::HandleSynthesize(const obs::Json& request) {
     // One entry runs one job at a time (the synthesizer is single-writer);
     // parallel throughput comes from jobs on distinct entries.
     std::lock_guard<std::mutex> run_lock(lease->run_mutex());
+    // A cancel/deadline that tripped while this job waited for the pool
+    // lease or the entry's run mutex stops it before any synthesis work
+    // (and before the out_dir is touched).
+    if (ctx.cancel->cancelled()) return ctx.cancel->cause();
     SerdSynthesizer* synth = lease->synth();
     synth->set_enable_rejection(params.enable_rejection);
     synth->set_blocking(params.blocking);
     synth->set_batched_decode(params.batched_decode);
     synth->set_seed(job_seed);
-    Result<ERDataset> result = synth->Synthesize();
+    Result<ERDataset> result = synth->Synthesize(ctx.cancel);
     if (!result.ok()) return result.status();
     if (!params.out_dir.empty()) {
       SERD_RETURN_IF_ERROR(SaveDataset(result.value(), params.out_dir));
@@ -349,9 +372,61 @@ obs::Json SerdServer::HandleJob(const obs::Json& request) {
   return JobStatusJson(*status);
 }
 
+obs::Json SerdServer::HandleCancel(const obs::Json& request) {
+  if (!request.Has("id")) {
+    return ErrorJson(Status::InvalidArgument("request is missing 'id'"));
+  }
+  JobId id = static_cast<JobId>(request.at("id").AsNumber());
+  Result<JobStatus> status = scheduler_.Cancel(id);
+  if (!status.ok()) return ErrorJson(status.status());
+  // The post-cancel snapshot, with "ok" reporting whether the *cancel*
+  // was accepted (it always is for a known id), not whether the job
+  // succeeded: a response body identical to "job" would read a cancelled
+  // job as a failed request.
+  obs::Json out = JobStatusJson(*status);
+  out.Set("ok", true);
+  return out;
+}
+
+obs::Json SerdServer::HandleReload(const obs::Json& request) {
+  JobParams params;
+  Status parsed = ParseJobParams(request, &params);
+  if (!parsed.ok()) return ErrorJson(parsed);
+  if (params.model_dir.empty()) {
+    return ErrorJson(
+        Status::InvalidArgument("reload requires 'model_dir'"));
+  }
+  Result<uint64_t> fingerprint = ArtifactVersionFingerprint(
+      params.model_dir + "/" + SerdSynthesizer::kModelFileName);
+  if (!fingerprint.ok()) return ErrorJson(fingerprint.status());
+  // Reloads must restore from disk, never retrain: a job-params default
+  // of artifact_mode=auto would silently refit if the artifact vanished
+  // between the fingerprint probe and the load.
+  params.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+  const uint64_t reloads_before = pool_reloads();
+  Result<ModelPool::Lease> lease =
+      pool_.Acquire(KeyFor(params), LoaderFor(params), *fingerprint);
+  if (!lease.ok()) return ErrorJson(lease.status());
+  lease->Release();
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", true);
+  out.Set("version", *fingerprint);
+  out.Set("reloaded", pool_reloads() > reloads_before);
+  return out;
+}
+
+uint64_t SerdServer::pool_reloads() {
+  return metrics_.counter("pool.reloads")->value();
+}
+
 obs::Json SerdServer::JobStatusJson(const JobStatus& status) const {
   obs::Json out = obs::Json::Object();
-  const bool failed = status.state == JobState::kFailed;
+  // Cancelled and deadline-exceeded jobs report ok=false too: the caller
+  // did not get a dataset, and "code" tells the failure class apart
+  // (serd_submit maps Cancelled/DeadlineExceeded to their own exit codes).
+  const bool failed = status.state == JobState::kFailed ||
+                      status.state == JobState::kCancelled ||
+                      status.state == JobState::kDeadlineExceeded;
   out.Set("ok", !failed);
   out.Set("job", status.id);
   out.Set("state", JobStateName(status.state));
@@ -362,6 +437,7 @@ obs::Json SerdServer::JobStatusJson(const JobStatus& status) const {
     out.Set("code", StatusCodeName(status.status.code()));
     out.Set("error", status.status.message());
   }
+  if (!status.cause.empty()) out.Set("cause", status.cause);
   std::lock_guard<std::mutex> lock(info_mu_);
   auto it = job_info_.find(status.id);
   if (it != job_info_.end()) {

@@ -52,17 +52,35 @@ struct ServerOptions {
 ///   stats       -> live metrics snapshot + scheduler/pool gauges
 ///   synthesize  -> submit a job: {"dataset","scale","data_seed","seed",
 ///                  "tenant","model_dir","artifact_mode","out","priority",
-///                  "seed_key","no_rejection","wait"}; with "wait":true
-///                  (default) blocks until the job finishes and returns
-///                  its report, else returns the job id immediately
+///                  "seed_key","no_rejection","deadline_ms","wait"}; with
+///                  "wait":true (default) blocks until the job finishes
+///                  and returns its report, else returns the job id
+///                  immediately. "deadline_ms" (0 = none) bounds the
+///                  job's total wall clock from admission — an expired
+///                  job finishes as DeadlineExceeded whether it was still
+///                  queued or already running.
 ///   job         -> {"id", "wait"}: query (or block on) a submitted job
+///   cancel      -> {"id"}: cancel a submitted job. Queued jobs complete
+///                  immediately as "cancelled"; running jobs stop within
+///                  one synthesis loop iteration. Returns the post-cancel
+///                  job status (a no-op on already-terminal jobs).
 ///   manifest    -> run manifest of the warm entry for a (tenant,dataset,
 ///                  model_dir) triple — loads it if cold
+///   reload      -> hot-swap the warm entry for a (tenant,dataset,
+///                  model_dir) triple against the artifact currently on
+///                  disk: fingerprints the artifact, single-flight loads
+///                  the new version if it changed, and atomically swaps
+///                  it in while in-flight jobs drain on the old entry.
+///                  Requires "model_dir". Responds with "version" (the
+///                  artifact fingerprint) and "reloaded" (false when the
+///                  resident entry already matched).
 ///   shutdown    -> acknowledges, then stops the server (drains queued
 ///                  jobs first)
 ///
 /// Every response carries "ok"; failures add "error" (message) and
-/// "code" (StatusCodeName).
+/// "code" (StatusCodeName). A malformed-but-well-framed request (garbage
+/// JSON) gets an InvalidArgument response instead of a hangup, so clients
+/// can tell a bad request from a dead server.
 class SerdServer {
  public:
   explicit SerdServer(ServerOptions options);
@@ -104,10 +122,15 @@ class SerdServer {
   obs::Json Handle(const obs::Json& request);
   obs::Json HandleSynthesize(const obs::Json& request);
   obs::Json HandleJob(const obs::Json& request);
+  obs::Json HandleCancel(const obs::Json& request);
   obs::Json HandleStats();
   obs::Json HandleManifest(const obs::Json& request);
+  obs::Json HandleReload(const obs::Json& request);
 
   Status ParseJobParams(const obs::Json& request, JobParams* params) const;
+  /// Current pool.reloads count (the reload verb reports whether its
+  /// Acquire actually swapped).
+  uint64_t pool_reloads();
   PoolKey KeyFor(const JobParams& params) const;
   ModelPool::EntryLoader LoaderFor(const JobParams& params) const;
   obs::Json JobStatusJson(const JobStatus& status) const;

@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace serd::serve {
 
@@ -17,10 +19,17 @@ std::string Errno(const char* what) {
 }
 
 /// Writes exactly `n` bytes, looping over short writes and EINTR.
+/// Sockets are written with MSG_NOSIGNAL so a peer that disconnected
+/// mid-response surfaces as an EPIPE IOError instead of a process-killing
+/// SIGPIPE; non-socket fds (the pipe-based wire tests) fall back to
+/// write().
 Status WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    ssize_t wrote = ::write(fd, data + off, n - off);
+    ssize_t wrote = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == ENOTSOCK) {
+      wrote = ::write(fd, data + off, n - off);
+    }
     if (wrote < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(Errno("write"));
@@ -159,6 +168,10 @@ int WireFailureExitCode(StatusCode code) {
       return 5;
     case StatusCode::kIOError:
       return 6;
+    case StatusCode::kDeadlineExceeded:
+      return 7;
+    case StatusCode::kCancelled:
+      return 8;
     default:
       return 1;
   }
@@ -170,11 +183,14 @@ int WireFailureExitCode(const std::string& code_name) {
   if (code_name == "ResourceExhausted") return 4;
   if (code_name == "Unavailable") return 5;
   if (code_name == "IOError") return 6;
+  if (code_name == "DeadlineExceeded") return 7;
+  if (code_name == "Cancelled") return 8;
   return 1;
 }
 
 Status ServeClient::Connect(int port) {
   Close();
+  port_ = port;
   Result<int> fd = ConnectTo(port);
   if (!fd.ok()) return fd.status();
   fd_ = fd.value();
@@ -192,6 +208,81 @@ Result<obs::Json> ServeClient::Call(const obs::Json& request) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   SERD_RETURN_IF_ERROR(WriteJson(fd_, request));
   return ReadJson(fd_);
+}
+
+namespace {
+
+/// Transient failure classes worth a backoff-and-retry (wire.h docs).
+bool RetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+bool RetryableCodeName(const std::string& name) {
+  return name == "Unavailable" || name == "ResourceExhausted";
+}
+
+/// splitmix64 — one multiply-shift step per draw, deterministic per seed.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Result<obs::Json> ServeClient::CallWithRetry(const obs::Json& request,
+                                             const RetryOptions& retry) {
+  uint64_t jitter_state = retry.jitter_seed;
+  for (int attempt = 0;; ++attempt) {
+    Status transient = Status::OK();
+    if (fd_ < 0 && port_ >= 0) {
+      // Reconnect (first call after a transport failure closed the fd, or
+      // the caller never connected after construction). Connect refusal
+      // while the server restarts is the transient case backoff exists for.
+      Status status = Connect(port_);
+      if (!status.ok()) {
+        transient = Status::Unavailable("connect: " + status.message());
+      }
+    }
+    if (transient.ok()) {
+      Result<obs::Json> response = Call(request);
+      if (response.ok()) {
+        const obs::Json& body = response.value();
+        bool ok_field = body.Has("ok") ? body.at("ok").AsBool(true) : true;
+        const std::string& code_name = body.at("code").AsString();
+        if (ok_field || !RetryableCodeName(code_name)) return response;
+        transient = Status(code_name == "Unavailable"
+                               ? StatusCode::kUnavailable
+                               : StatusCode::kResourceExhausted,
+                           body.at("error").AsString());
+        // The response frame was consumed cleanly; the connection is
+        // still usable, no reconnect needed for the retry.
+      } else {
+        if (!RetryableCode(response.status().code())) return response;
+        transient = response.status();
+        Close();  // mid-call failure: framing state is undefined
+      }
+    }
+    if (attempt >= retry.max_retries) {
+      if (!transient.ok()) return transient;
+      return Status::Internal("retry loop exited without a status");
+    }
+    int backoff = retry.base_backoff_ms;
+    for (int i = 0; i < attempt && backoff < retry.max_backoff_ms; ++i) {
+      backoff *= 2;
+    }
+    if (backoff > retry.max_backoff_ms) backoff = retry.max_backoff_ms;
+    if (backoff < 1) backoff = 1;
+    // Uniform over [backoff/2, backoff] — decorrelates a fleet of
+    // retrying clients while staying deterministic per jitter_seed.
+    int64_t half = backoff / 2;
+    int64_t sleep_ms =
+        half + static_cast<int64_t>(NextJitter(&jitter_state) %
+                                    static_cast<uint64_t>(backoff - half + 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
 }
 
 }  // namespace serd::serve

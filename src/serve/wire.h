@@ -56,6 +56,10 @@ Result<int> ConnectTo(int port);
 ///                          connect refused)
 ///   6 = IOError           (transport: mid-frame EOF, oversized frame,
 ///                          socket read/write failure)
+///   7 = DeadlineExceeded  (the job's deadline_ms elapsed in queue or
+///                          mid-run; retry with a larger deadline is safe —
+///                          job seeds are content-keyed)
+///   8 = Cancelled         (the job was cancelled via the `cancel` verb)
 ///   1 = any other failure (job execution errors, Internal, ...)
 int WireFailureExitCode(StatusCode code);
 
@@ -63,6 +67,24 @@ int WireFailureExitCode(StatusCode code);
 /// what ErrorJson and failed-job statuses put on the wire). Unrecognized
 /// or missing names map to 1.
 int WireFailureExitCode(const std::string& code_name);
+
+/// Backoff policy for ServeClient::CallWithRetry. Retries are safe to
+/// enable for any serving verb: job seeds are content-keyed (derived from
+/// the seed_key, not from arrival order), so a retried synthesize produces
+/// byte-identical output to the attempt it replaces.
+struct RetryOptions {
+  /// Additional attempts after the first (0 = behave exactly like Call).
+  int max_retries = 0;
+  /// First retry waits ~base_backoff_ms; each further retry doubles it.
+  int base_backoff_ms = 100;
+  /// Upper bound on a single backoff interval.
+  int max_backoff_ms = 2000;
+  /// Seed for the deterministic jitter stream: each sleep is drawn
+  /// uniformly from [backoff/2, backoff], so a fleet of clients with
+  /// distinct seeds does not retry in lockstep, while tests with a fixed
+  /// seed stay reproducible.
+  uint64_t jitter_seed = 0x5eed;
+};
 
 /// Synchronous loopback client: one connection, Call() sends a request
 /// frame and blocks for the response frame. Used by serd_submit, the CI
@@ -81,8 +103,19 @@ class ServeClient {
   /// One request/response round trip.
   Result<obs::Json> Call(const obs::Json& request);
 
+  /// Call() plus bounded exponential backoff on the transient failure
+  /// classes: transport kUnavailable (orderly hangup / connect refused
+  /// while the server restarts) and responses whose "code" field is
+  /// ResourceExhausted or Unavailable (admission control). Reconnects
+  /// before each retry — a failed round trip leaves the stream's framing
+  /// undefined, so the old connection is never reused. Non-transient
+  /// failures and non-retryable responses return immediately.
+  Result<obs::Json> CallWithRetry(const obs::Json& request,
+                                  const RetryOptions& retry);
+
  private:
   int fd_ = -1;
+  int port_ = -1;
 };
 
 }  // namespace serd::serve

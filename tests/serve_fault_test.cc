@@ -1,0 +1,330 @@
+// Fault-injection harness for the serving wire: a FaultyClient speaks
+// deliberately broken protocol at a live SerdServer — truncated length
+// prefixes, oversized declared lengths, slow-loris partial frames,
+// garbage JSON payloads, and mid-response disconnects — and after every
+// fault the server must still answer a clean health check, never crash,
+// and never leak a pool lease or scheduler slot. Runs under the tsan and
+// asan CTest labels: the disconnect paths are exactly where a lifetime
+// bug would hide.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "core/serd.h"
+#include "datagen/generators.h"
+#include "obs/json.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace serd {
+namespace {
+
+using datagen::DatasetKind;
+
+/// Raw-socket client that can violate the framing protocol in ways
+/// ServeClient cannot: partial prefixes, lying length fields, abrupt
+/// closes. Every method is a single deliberate fault.
+class FaultyClient {
+ public:
+  explicit FaultyClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~FaultyClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void SendRaw(const void* data, size_t n) {
+    ASSERT_GE(fd_, 0);
+    const char* p = static_cast<const char*>(data);
+    size_t off = 0;
+    while (off < n) {
+      ssize_t wrote = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+      if (wrote <= 0) return;  // server already dropped us — also a fault
+      off += static_cast<size_t>(wrote);
+    }
+  }
+
+  /// A correct 4-byte big-endian prefix for `payload_len` bytes.
+  void SendPrefix(uint32_t payload_len) {
+    unsigned char prefix[4] = {
+        static_cast<unsigned char>(payload_len >> 24),
+        static_cast<unsigned char>(payload_len >> 16),
+        static_cast<unsigned char>(payload_len >> 8),
+        static_cast<unsigned char>(payload_len)};
+    SendRaw(prefix, sizeof(prefix));
+  }
+
+  /// A correctly framed (but arbitrarily malformed) payload.
+  void SendFrame(const std::string& payload) {
+    SendPrefix(static_cast<uint32_t>(payload.size()));
+    SendRaw(payload.data(), payload.size());
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Server-must-still-be-alive probe: a fresh, well-behaved connection
+/// gets a healthy answer within the Call timeout.
+void ExpectHealthy(int port) {
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  obs::Json health = obs::Json::Object();
+  health.Set("verb", "health");
+  auto reply = client.Call(health);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->at("ok").AsBool());
+  client.Close();
+}
+
+class ServeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::ServerOptions options;
+    options.workers = 1;
+    server_ = std::make_unique<serve::SerdServer>(options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  int port() const { return server_->port(); }
+
+  std::unique_ptr<serve::SerdServer> server_;
+};
+
+TEST_F(ServeFaultTest, TruncatedLengthPrefixThenDisconnect) {
+  FaultyClient faulty(port());
+  ASSERT_TRUE(faulty.connected());
+  const unsigned char partial[2] = {0x00, 0x00};
+  faulty.SendRaw(partial, sizeof(partial));
+  faulty.Close();  // EOF mid-prefix: server sees a broken frame, drops us
+  ExpectHealthy(port());
+}
+
+TEST_F(ServeFaultTest, OversizedDeclaredLengthIsRejectedBeforeAllocation) {
+  FaultyClient faulty(port());
+  ASSERT_TRUE(faulty.connected());
+  // 4 GiB-1 declared, nothing sent: the frame cap rejects the prefix
+  // itself; the connection is dropped without a 4 GiB allocation.
+  faulty.SendPrefix(0xFFFFFFFFu);
+  char buf[16];
+  // The server closes on us (EOF) rather than answering or hanging.
+  EXPECT_EQ(::read(faulty.fd(), buf, sizeof(buf)), 0);
+  ExpectHealthy(port());
+}
+
+TEST_F(ServeFaultTest, SlowLorisPartialFrameThenDisconnect) {
+  FaultyClient faulty(port());
+  ASSERT_TRUE(faulty.connected());
+  // Promise 100 bytes, deliver 10 slowly, hang up. The blocking read on
+  // this connection's thread must resolve via the EOF, not hold a slot
+  // forever.
+  faulty.SendPrefix(100);
+  for (int i = 0; i < 10; ++i) {
+    faulty.SendRaw("x", 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  faulty.Close();
+  ExpectHealthy(port());
+}
+
+TEST_F(ServeFaultTest, GarbageJsonGetsInvalidArgumentNotAHangup) {
+  FaultyClient faulty(port());
+  ASSERT_TRUE(faulty.connected());
+  faulty.SendFrame("{\"verb\": not json at all");
+  // A well-framed but unparseable request earns an error *response* — a
+  // client can tell its own bad request (exit 3) from a dead server.
+  auto reply = serve::ReadJson(faulty.fd());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->at("ok").AsBool());
+  EXPECT_EQ(reply->at("code").AsString(), "InvalidArgument");
+  EXPECT_EQ(serve::WireFailureExitCode(reply->at("code").AsString()), 3);
+
+  // And the same connection still serves correct frames afterwards.
+  faulty.SendFrame("{\"verb\":\"health\"}");
+  auto health = serve::ReadJson(faulty.fd());
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->at("ok").AsBool());
+  faulty.Close();
+  ExpectHealthy(port());
+}
+
+TEST_F(ServeFaultTest, DisconnectBeforeResponseDoesNotKillTheServer) {
+  // The server's response write lands on a closed socket (EPIPE): with
+  // plain write(2) that would raise SIGPIPE and kill the process; the
+  // MSG_NOSIGNAL write path must survive it.
+  FaultyClient faulty(port());
+  ASSERT_TRUE(faulty.connected());
+  faulty.SendFrame("{\"verb\":\"health\"}");
+  faulty.Close();
+  ExpectHealthy(port());
+
+  // Same fault at a request the server answers with an error body.
+  FaultyClient faulty2(port());
+  ASSERT_TRUE(faulty2.connected());
+  faulty2.SendFrame("{\"verb\":\"frobnicate\"}");
+  faulty2.Close();
+  ExpectHealthy(port());
+}
+
+TEST_F(ServeFaultTest, StormOfMixedFaultsLeavesTheServerServing) {
+  for (int round = 0; round < 10; ++round) {
+    FaultyClient faulty(port());
+    ASSERT_TRUE(faulty.connected());
+    switch (round % 5) {
+      case 0: {
+        const unsigned char partial[3] = {0x00, 0x00, 0x01};
+        faulty.SendRaw(partial, sizeof(partial));
+        break;
+      }
+      case 1:
+        faulty.SendPrefix(0xFFFFFFFFu);
+        break;
+      case 2:
+        faulty.SendPrefix(64);
+        faulty.SendRaw("short", 5);
+        break;
+      case 3:
+        faulty.SendFrame("]]] garbage [[[");
+        break;
+      case 4:
+        faulty.SendFrame("{\"verb\":\"stats\"}");
+        break;
+    }
+    faulty.Close();
+  }
+  ExpectHealthy(port());
+}
+
+// ------------------------- disconnect mid-job: no leaked lease or slot
+
+SerdOptions TinyOptions() {
+  SerdOptions opts;
+  opts.seed = 77;
+  opts.string_bank.num_buckets = 4;
+  opts.string_bank.num_candidates = 2;
+  opts.string_bank.transformer.d_model = 16;
+  opts.string_bank.transformer.num_heads = 2;
+  opts.string_bank.transformer.num_layers = 1;
+  opts.string_bank.transformer.ffn_dim = 24;
+  opts.string_bank.transformer.max_len = 32;
+  opts.string_bank.train.epochs = 1;
+  opts.string_bank.train.batch_size = 16;
+  opts.string_bank.max_pairs_per_bucket = 16;
+  opts.string_bank.random_pair_samples = 120;
+  opts.gan.epochs = 4;
+  opts.gan.batch_size = 16;
+  opts.jsd_samples = 48;
+  opts.rejection_partner_sample = 8;
+  opts.max_label_pairs = 20000;
+  return opts;
+}
+
+Status TrainTinyArtifact(const std::string& dir) {
+  ERDataset real =
+      datagen::Generate(DatasetKind::kDblpAcm, {.seed = 3, .scale = 0.02});
+  SerdOptions opts = TinyOptions();
+  opts.model_dir = dir;
+  opts.artifact_mode = SerdOptions::ArtifactMode::kSave;
+  SerdSynthesizer synth(real, opts);
+  std::vector<std::vector<std::string>> corpora;
+  size_t idx = 0;
+  for (const auto& col : real.schema().columns()) {
+    if (col.type != ColumnType::kText) continue;
+    corpora.push_back(
+        datagen::BackgroundCorpus(DatasetKind::kDblpAcm, col.name, 60,
+                                  100 + idx++));
+  }
+  return synth.Fit(corpora,
+                   datagen::BackgroundEntities(DatasetKind::kDblpAcm, 50, 11));
+}
+
+TEST(ServeFaultJobTest, DisconnectMidJobCompletesItAndReturnsEveryLease) {
+  std::string model_dir =
+      testing::TempDir() + "/serd_fault_artifact";
+  std::filesystem::remove_all(model_dir);
+  std::filesystem::create_directories(model_dir);
+  ASSERT_TRUE(TrainTinyArtifact(model_dir).ok());
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.job_options = TinyOptions();
+  serve::SerdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Submit a real blocking job, then vanish before the response: the
+  // worker must still finish the job and return its pool lease.
+  {
+    FaultyClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    obs::Json req = obs::Json::Object();
+    req.Set("verb", "synthesize");
+    req.Set("dataset", "dblp-acm");
+    req.Set("scale", 0.02);
+    req.Set("data_seed", static_cast<uint64_t>(3));
+    req.Set("seed", static_cast<uint64_t>(5));
+    req.Set("model_dir", model_dir);
+    req.Set("artifact_mode", "load");
+    ASSERT_TRUE(serve::WriteJson(client.fd(), req).ok());
+    client.Close();  // gone before the (blocking) response
+  }
+
+  // The abandoned job still runs to completion...
+  serve::ServeClient observer;
+  ASSERT_TRUE(observer.Connect(server.port()).ok());
+  obs::Json stats = obs::Json::Object();
+  stats.Set("verb", "stats");
+  double completed = 0.0;
+  for (int i = 0; i < 20000 && completed < 1.0; ++i) {
+    auto reply = observer.Call(stats);
+    ASSERT_TRUE(reply.ok());
+    completed = reply->at("metrics")
+                    .at("counters")
+                    .at("scheduler.completed")
+                    .AsNumber();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(completed, 1.0);
+
+  // ...and afterwards nothing is pinned or queued: the dead connection
+  // leaked neither a pool lease nor a scheduler slot.
+  auto final_stats = observer.Call(stats);
+  ASSERT_TRUE(final_stats.ok());
+  EXPECT_EQ(final_stats->at("metrics")
+                .at("gauges")
+                .at("pool.pinned")
+                .AsNumber(),
+            0.0);
+  EXPECT_EQ(final_stats->at("scheduler").at("queued").AsNumber(), 0.0);
+  EXPECT_EQ(final_stats->at("scheduler").at("running").AsNumber(), 0.0);
+  observer.Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serd

@@ -7,6 +7,7 @@
 // asan CTest labels.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -98,10 +99,13 @@ Fixture MakeFixture(DatasetKind kind = DatasetKind::kDblpAcm,
   return f;
 }
 
-/// Trains the tiny model set once and saves it to `dir`.
-Status TrainArtifact(const std::string& dir) {
+/// Trains the tiny model set once and saves it to `dir`. Distinct
+/// training seeds produce distinct model bytes (and therefore distinct
+/// artifact fingerprints) — the hot-reload tests rely on that.
+Status TrainArtifact(const std::string& dir, uint64_t train_seed = 77) {
   Fixture f = MakeFixture();
   SerdOptions opts = FastOptions();
+  opts.seed = train_seed;
   opts.model_dir = dir;
   opts.artifact_mode = SerdOptions::ArtifactMode::kSave;
   SerdSynthesizer synth(f.real, opts);
@@ -383,6 +387,183 @@ TEST(SchedulerTest, ConcurrentSubmittersAndWaiters) {
   EXPECT_GT(ran.load(), 0);
 }
 
+TEST(SchedulerTest, DeadlineExpiredInQueueReportsItsCause) {
+  obs::MetricsRegistry metrics;
+  Gate gate;
+  JobScheduler sched({.workers = 1, .metrics = &metrics});
+  auto blocker = sched.Submit({}, [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  });
+  ASSERT_TRUE(blocker.ok());
+  SpinUntil([&] { return sched.running() == 1; });
+
+  // 1 ms budget, then the job sits behind the blocker for far longer: it
+  // must complete at dequeue without its work function ever running.
+  std::atomic<bool> ran{false};
+  auto doomed = sched.Submit({.deadline_ms = 1}, [&ran](const JobContext&) {
+    ran = true;
+    return Status::OK();
+  });
+  ASSERT_TRUE(doomed.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Open();
+
+  auto status = sched.Wait(*doomed);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(status->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status->cause, "deadline_expired_in_queue");
+  EXPECT_FALSE(ran.load());
+  sched.Shutdown();
+  EXPECT_EQ(metrics.TakeSnapshot().counters["scheduler.deadline_exceeded"],
+            1u);
+}
+
+TEST(SchedulerTest, DeadlineExpiredMidRunReportsItsCause) {
+  obs::MetricsRegistry metrics;
+  JobScheduler sched({.workers = 1, .metrics = &metrics});
+  // The work function cooperates: it polls its token, like Synthesize
+  // does from the rejection loop, and returns the token's cause.
+  auto id = sched.Submit({.deadline_ms = 30}, [](const JobContext& ctx) {
+    for (int i = 0; i < 20000 && !ctx.cancel->cancelled(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return ctx.cancel->cause();
+  });
+  ASSERT_TRUE(id.ok());
+  auto status = sched.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(status->status.code(), StatusCode::kDeadlineExceeded);
+  // Distinct from the in-queue cause: this job was already running.
+  EXPECT_EQ(status->cause, "deadline_expired_running");
+  sched.Shutdown();
+  EXPECT_EQ(metrics.TakeSnapshot().counters["scheduler.deadline_exceeded"],
+            1u);
+}
+
+TEST(SchedulerTest, CancelQueuedJobFreesTheSchedulerSlot) {
+  obs::MetricsRegistry metrics;
+  Gate gate;
+  JobScheduler sched(
+      {.workers = 1, .max_inflight_per_tenant = 2, .metrics = &metrics});
+  auto blocker = sched.Submit({.tenant = "t"}, [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  });
+  ASSERT_TRUE(blocker.ok());
+  SpinUntil([&] { return sched.running() == 1; });
+
+  std::atomic<bool> ran{false};
+  auto queued = sched.Submit({.tenant = "t"}, [&ran](const JobContext&) {
+    ran = true;
+    return Status::OK();
+  });
+  ASSERT_TRUE(queued.ok());
+  // Tenant budget is now exhausted (blocker + queued).
+  auto capped = sched.Submit({.tenant = "t"},
+                             [](const JobContext&) { return Status::OK(); });
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+
+  auto cancelled = sched.Cancel(*queued);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_EQ(cancelled->state, JobState::kCancelled);
+  EXPECT_EQ(cancelled->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled->cause, "client_cancel");
+
+  // The cancel released the queue slot and the tenant budget immediately
+  // — the same submission that was just rejected is admitted now, while
+  // the blocker is still running.
+  auto retry = sched.Submit({.tenant = "t"},
+                            [](const JobContext&) { return Status::OK(); });
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+
+  gate.Open();
+  sched.Shutdown();
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(metrics.TakeSnapshot().counters["scheduler.cancelled"], 1u);
+}
+
+TEST(SchedulerTest, CancelRunningJobTripsItsToken) {
+  JobScheduler sched({.workers = 1});
+  auto id = sched.Submit({}, [](const JobContext& ctx) {
+    for (int i = 0; i < 20000 && !ctx.cancel->cancelled(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return ctx.cancel->cause();
+  });
+  ASSERT_TRUE(id.ok());
+  SpinUntil([&] { return sched.running() == 1; });
+
+  auto snapshot = sched.Cancel(*id);
+  ASSERT_TRUE(snapshot.ok());
+  auto status = sched.Wait(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  EXPECT_EQ(status->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(status->cause, "client_cancel");
+
+  // Cancelling a terminal job is a no-op that returns the final record.
+  auto again = sched.Cancel(*id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->state, JobState::kCancelled);
+  EXPECT_EQ(sched.Cancel(999).status().code(), StatusCode::kNotFound);
+  sched.Shutdown();
+}
+
+TEST(SchedulerTest, FairShareServesLightTenantsUnderSkew) {
+  obs::MetricsRegistry metrics;
+  Gate gate;
+  JobScheduler sched({.workers = 1,
+                      .max_queued = 64,
+                      .max_inflight_per_tenant = 32,
+                      .metrics = &metrics});
+  auto blocker = sched.Submit({.tenant = "a"}, [&gate](const JobContext&) {
+    gate.WaitOpen();
+    return Status::OK();
+  });
+  ASSERT_TRUE(blocker.ok());
+  SpinUntil([&] { return sched.running() == 1 && sched.queued() == 0; });
+
+  // The 20:5:1 skew from the issue: tenant "a" floods the queue while
+  // "c" submits a single job. Under plain (-priority, id) order c's job
+  // would be served dead last; DRR must serve it within the first
+  // rotation instead.
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto record = [&](const std::string& tenant) {
+    return [&order_mu, &order, tenant](const JobContext&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tenant);
+      return Status::OK();
+    };
+  };
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sched.Submit({.tenant = "a"}, record("a")).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sched.Submit({.tenant = "b"}, record("b")).ok());
+  }
+  ASSERT_TRUE(sched.Submit({.tenant = "c"}, record("c")).ok());
+  gate.Open();
+  sched.Shutdown();  // drains in DRR order
+
+  ASSERT_EQ(order.size(), 26u);
+  size_t c_position = 0;
+  while (c_position < order.size() && order[c_position] != "c") ++c_position;
+  // One rotation serves each backlogged tenant once, so c's only job
+  // lands within the first rotation (3 picks), never behind a's flood.
+  EXPECT_LT(c_position, 3u) << "tenant c starved until pick " << c_position;
+
+  auto snap = metrics.TakeSnapshot();
+  // Fairness overrode pure (-priority, id) order at least once (a's
+  // oldest job was the global head whenever b or c got served).
+  EXPECT_GE(snap.counters["scheduler.fairshare_preemptions"], 1u);
+  // Every pick records the tenant's queue wait.
+  EXPECT_EQ(snap.histograms["scheduler.tenant_wait_ms"].count, 27u);
+}
+
 // ------------------------------------------------------------ model pool
 
 /// Pool tests use synthetic entries (no synthesizer): the pool only
@@ -502,6 +683,53 @@ TEST(ModelPoolTest, LoadFailureIsBroadcastAndRetryable) {
   EXPECT_EQ(metrics.TakeSnapshot().counters["pool.load_failures"], 1u);
 }
 
+TEST(ModelPoolTest, HotReloadDetachesStaleEntriesAndCountsReloads) {
+  obs::MetricsRegistry metrics;
+  ModelPool pool({.capacity = 2, .metrics = &metrics});
+  std::atomic<int> loads{0};
+  PoolKey key = KeyOf("t", "x");
+
+  auto v1_a = pool.Acquire(key, FakeLoader(&loads), /*version=*/1);
+  ASSERT_TRUE(v1_a.ok());
+  auto v1_b = pool.Acquire(key, FakeLoader(&loads), /*version=*/1);
+  ASSERT_TRUE(v1_b.ok());
+  EXPECT_EQ(loads.load(), 1);  // matching version is a plain hit
+  EXPECT_EQ(&v1_a->real(), &v1_b->real());
+  EXPECT_EQ(pool.pinned(), 2u);
+
+  // A different version detaches the stale slot and loads a fresh one;
+  // the live v1 leases keep their entry alive and usable meanwhile.
+  auto v2 = pool.Acquire(key, FakeLoader(&loads), /*version=*/2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(loads.load(), 2);
+  EXPECT_NE(&v2->real(), &v1_a->real());
+  EXPECT_EQ(pool.size(), 1u);  // one resident entry; the stale one drains
+  EXPECT_EQ(pool.pinned(), 3u);
+
+  // Same version again: hit, no second reload. Version 0 ("any") also
+  // hits whatever is resident — steady-state jobs never probe.
+  auto v2_b = pool.Acquire(key, FakeLoader(&loads), /*version=*/2);
+  ASSERT_TRUE(v2_b.ok());
+  auto any = pool.Acquire(key, FakeLoader(&loads), /*version=*/0);
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ(loads.load(), 2);
+  EXPECT_EQ(&any->real(), &v2->real());
+
+  auto snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.counters["pool.reloads"], 1u);
+  EXPECT_EQ(snap.counters["pool.misses"], 2u);
+
+  // Releasing every lease (stale entry included) drains the gauge to 0 —
+  // the no-leaked-lease invariant the fault harness also checks.
+  v1_a->Release();
+  v1_b->Release();
+  v2->Release();
+  v2_b->Release();
+  any->Release();
+  EXPECT_EQ(pool.pinned(), 0u);
+  EXPECT_EQ(metrics.TakeSnapshot().gauges["pool.pinned"], 0.0);
+}
+
 // ------------------------------------------------------------------ wire
 
 TEST(WireTest, FramesRoundTripOverAPipe) {
@@ -558,6 +786,8 @@ TEST(WireTest, FailureExitCodesAreStablePerClass) {
   EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kResourceExhausted), 4);
   EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kUnavailable), 5);
   EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kIOError), 6);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kDeadlineExceeded), 7);
+  EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kCancelled), 8);
   EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kInternal), 1);
   EXPECT_EQ(serve::WireFailureExitCode(StatusCode::kNotFound), 1);
 
@@ -566,6 +796,8 @@ TEST(WireTest, FailureExitCodesAreStablePerClass) {
   EXPECT_EQ(serve::WireFailureExitCode("ResourceExhausted"), 4);
   EXPECT_EQ(serve::WireFailureExitCode("Unavailable"), 5);
   EXPECT_EQ(serve::WireFailureExitCode("IOError"), 6);
+  EXPECT_EQ(serve::WireFailureExitCode("DeadlineExceeded"), 7);
+  EXPECT_EQ(serve::WireFailureExitCode("Cancelled"), 8);
   EXPECT_EQ(serve::WireFailureExitCode("Internal"), 1);
   EXPECT_EQ(serve::WireFailureExitCode(""), 1);  // missing "code" field
 
@@ -573,11 +805,69 @@ TEST(WireTest, FailureExitCodesAreStablePerClass) {
   for (StatusCode code :
        {StatusCode::kInvalidArgument, StatusCode::kResourceExhausted,
         StatusCode::kUnavailable, StatusCode::kIOError,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
         StatusCode::kFailedPrecondition}) {
     EXPECT_EQ(serve::WireFailureExitCode(code),
               serve::WireFailureExitCode(StatusCodeName(code)))
         << StatusCodeName(code);
   }
+}
+
+TEST(WireTest, CallWithRetryBacksOffThroughTransientRejections) {
+  int listen_fd = -1;
+  int port = 0;
+  ASSERT_TRUE(serve::ListenOn(0, &listen_fd, &port).ok());
+
+  // A scripted server: connection 1 rejects twice with ResourceExhausted
+  // before answering, connection 2 rejects every call.
+  std::thread server([listen_fd] {
+    for (int conn = 0; conn < 2; ++conn) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      for (int call = 0;; ++call) {
+        auto request = serve::ReadJson(fd);
+        if (!request.ok()) break;
+        obs::Json response = obs::Json::Object();
+        if (conn == 1 || call < 2) {
+          response.Set("ok", false);
+          response.Set("code", "ResourceExhausted");
+          response.Set("error", "queue full");
+        } else {
+          response.Set("ok", true);
+        }
+        if (!serve::WriteJson(fd, response).ok()) break;
+      }
+      ::close(fd);
+    }
+  });
+
+  obs::Json health = obs::Json::Object();
+  health.Set("verb", "health");
+  serve::RetryOptions retry;
+  retry.max_retries = 3;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 4;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  // Two rejections, then success — within the retry budget.
+  auto recovered = client.CallWithRetry(health, retry);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->at("ok").AsBool());
+  client.Close();
+
+  serve::ServeClient exhausted;
+  ASSERT_TRUE(exhausted.Connect(port).ok());
+  // Permanently busy: the retry budget runs out and the transient class
+  // surfaces as the final status (serd_submit exit code 4).
+  auto gave_up = exhausted.CallWithRetry(health, retry);
+  ASSERT_FALSE(gave_up.ok());
+  EXPECT_EQ(gave_up.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(serve::WireFailureExitCode(gave_up.status().code()), 4);
+  exhausted.Close();
+
+  ::close(listen_fd);
+  server.join();
 }
 
 // ----------------------------------------------- artifact failure mapping
@@ -661,6 +951,56 @@ TEST(CoreThreadSafetyTest, SnapshotReadsRaceFreeAgainstLoadAndSynthesize) {
   for (auto& t : readers) t.join();
 }
 
+// ------------------------------------------------- cancellation (core)
+
+TEST(CoreCancellationTest, CancelledRunLeavesSynthesizerStateUntouched) {
+  std::string dir = MakeTempDir("cancel_artifact");
+  ASSERT_TRUE(TrainArtifact(dir).ok());
+  Fixture f = MakeFixture();
+  SerdOptions opts = FastOptions();
+  opts.model_dir = dir;
+  opts.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+  SerdSynthesizer synth(f.real, opts);
+  ASSERT_TRUE(synth.Fit({}, Table()).ok());
+
+  synth.set_seed(5);
+  auto reference = synth.Synthesize();
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string ref_digest = DatasetDigest(*reference);
+
+  // Client-style cancellation: a pre-tripped token stops the run at its
+  // first poll and surfaces the token's cause.
+  CancelToken cancelled;
+  cancelled.Cancel(Status::Cancelled("client went away"));
+  synth.set_seed(6);
+  auto aborted = synth.Synthesize(&cancelled);
+  EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+
+  // Deadline-style cancellation: an already-elapsed armed deadline trips
+  // on the first poll with its own cause.
+  CancelToken expired;
+  expired.ArmDeadline(CancelToken::Clock::now(),
+                      Status::DeadlineExceeded("budget spent"));
+  synth.set_seed(6);
+  auto over_budget = synth.Synthesize(&expired);
+  EXPECT_EQ(over_budget.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The aborted runs mutated nothing the next run can observe: the same
+  // seed reproduces the reference byte-for-byte (locals-then-commit — a
+  // cancelled Synthesize commits neither datasets nor report state).
+  synth.set_seed(5);
+  auto rerun = synth.Synthesize();
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(DatasetDigest(*rerun), ref_digest);
+
+  // An un-tripped token costs nothing and changes nothing.
+  CancelToken idle;
+  synth.set_seed(5);
+  auto with_token = synth.Synthesize(&idle);
+  ASSERT_TRUE(with_token.ok());
+  EXPECT_EQ(DatasetDigest(*with_token), ref_digest);
+}
+
 // --------------------------------------- end-to-end determinism via pool
 
 /// Runs the same 3-job set through a scheduler+pool at the given worker
@@ -724,6 +1064,179 @@ TEST(ServeDeterminismTest, JobOutputsIndependentOfArrivalOrderAndWorkers) {
   // And distinct jobs genuinely differ (the per-job seed reaches the
   // synthesis loop).
   EXPECT_NE(serial["job-0"], serial["job-1"]);
+}
+
+/// Like RunJobSet, but jobs arrive from several tenants (each with its
+/// own pool entry — tenant is part of the PoolKey) so the DRR scheduler
+/// actually interleaves tenants.
+std::map<std::string, std::string> RunTenantJobSet(
+    const std::string& artifact_dir, int workers,
+    const std::vector<std::pair<std::string, int>>& arrivals) {
+  ModelPool pool({.capacity = 4});
+  JobScheduler sched({.workers = workers,
+                      .max_queued = 128,
+                      .max_inflight_per_tenant = 32,
+                      .seed = 9});
+
+  auto loader = [&artifact_dir]() -> Result<std::unique_ptr<PoolEntry>> {
+    auto entry = std::make_unique<PoolEntry>();
+    entry->real = datagen::Generate(DatasetKind::kDblpAcm,
+                                    {.seed = 3, .scale = 0.02});
+    SerdOptions opts = FastOptions();
+    opts.model_dir = artifact_dir;
+    opts.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+    entry->synth = std::make_unique<SerdSynthesizer>(entry->real, opts);
+    Status fit = entry->synth->Fit({}, Table());
+    if (!fit.ok()) return fit;
+    return entry;
+  };
+
+  std::mutex mu;
+  std::map<std::string, std::string> digests;
+  for (const auto& [tenant, i] : arrivals) {
+    PoolKey key{tenant, artifact_dir, 1, "dblp-acm@0.02#3"};
+    std::string seed_key = tenant + "/job-" + std::to_string(i);
+    EXPECT_TRUE(
+        sched
+            .Submit({.tenant = tenant, .seed_key = seed_key},
+                    [&, key, seed_key](const JobContext& ctx) -> Status {
+                      auto lease = pool.Acquire(key, loader);
+                      if (!lease.ok()) return lease.status();
+                      std::lock_guard<std::mutex> run(lease->run_mutex());
+                      lease->synth()->set_seed(ctx.seed);
+                      auto result = lease->synth()->Synthesize();
+                      if (!result.ok()) return result.status();
+                      std::lock_guard<std::mutex> lock(mu);
+                      digests[seed_key] = DatasetDigest(result.value());
+                      return Status::OK();
+                    })
+            .ok());
+  }
+  sched.Shutdown();  // drain
+  return digests;
+}
+
+TEST(ServeDeterminismTest, OutputsIndependentOfTenantMixOrderAndWorkers) {
+  std::string dir = MakeTempDir("tenant_mix_artifact");
+  ASSERT_TRUE(TrainArtifact(dir).ok());
+
+  // A skewed mix ("a" floods, "c" trickles) submitted in two different
+  // orders at two worker counts: DRR reorders *when* each job runs, but
+  // content-keyed seeds mean it must never change *what* each job emits.
+  std::vector<std::pair<std::string, int>> skewed = {
+      {"a", 0}, {"a", 1}, {"b", 0}, {"c", 0}};
+  std::vector<std::pair<std::string, int>> reversed(skewed.rbegin(),
+                                                    skewed.rend());
+  auto serial = RunTenantJobSet(dir, /*workers=*/1, skewed);
+  auto parallel = RunTenantJobSet(dir, /*workers=*/8, reversed);
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ------------------------------------------------------ pool hot-reload
+
+TEST(ServeHotReloadTest, InFlightJobsFinishOnOldArtifactsDuringSwap) {
+  // Two genuinely different model versions (distinct training seeds).
+  std::string dir_v1 = MakeTempDir("reload_v1");
+  std::string dir_v2 = MakeTempDir("reload_v2");
+  ASSERT_TRUE(TrainArtifact(dir_v1, /*train_seed=*/77).ok());
+  ASSERT_TRUE(TrainArtifact(dir_v2, /*train_seed=*/78).ok());
+  const std::string file_v1 =
+      dir_v1 + "/" + SerdSynthesizer::kModelFileName;
+  const std::string file_v2 =
+      dir_v2 + "/" + SerdSynthesizer::kModelFileName;
+
+  // The fingerprint tracks artifact content, not its path or mtime.
+  auto fp_v1 = serve::ArtifactVersionFingerprint(file_v1);
+  auto fp_v2 = serve::ArtifactVersionFingerprint(file_v2);
+  ASSERT_TRUE(fp_v1.ok());
+  ASSERT_TRUE(fp_v2.ok());
+  EXPECT_NE(*fp_v1, *fp_v2);
+  EXPECT_FALSE(
+      serve::ArtifactVersionFingerprint(dir_v1 + "/nope.bin").ok());
+
+  // Reference digests straight from each version.
+  auto digest_for = [&](const std::string& model_dir) {
+    Fixture f = MakeFixture();
+    SerdOptions opts = FastOptions();
+    opts.model_dir = model_dir;
+    opts.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+    SerdSynthesizer synth(f.real, opts);
+    EXPECT_TRUE(synth.Fit({}, Table()).ok());
+    synth.set_seed(5);
+    auto result = synth.Synthesize();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return DatasetDigest(*result);
+  };
+  const std::string digest_v1 = digest_for(dir_v1);
+  const std::string digest_v2 = digest_for(dir_v2);
+  ASSERT_NE(digest_v1, digest_v2);
+
+  // A "live" artifact dir the operator republishes in place.
+  std::string dir_live = MakeTempDir("reload_live");
+  const std::string file_live =
+      dir_live + "/" + SerdSynthesizer::kModelFileName;
+  std::filesystem::copy_file(file_v1, file_live);
+
+  obs::MetricsRegistry metrics;
+  ModelPool pool({.capacity = 2, .metrics = &metrics});
+  auto loader = [&dir_live]() -> Result<std::unique_ptr<PoolEntry>> {
+    auto entry = std::make_unique<PoolEntry>();
+    entry->real = datagen::Generate(DatasetKind::kDblpAcm,
+                                    {.seed = 3, .scale = 0.02});
+    SerdOptions opts = FastOptions();
+    opts.model_dir = dir_live;
+    opts.artifact_mode = SerdOptions::ArtifactMode::kLoad;
+    entry->synth = std::make_unique<SerdSynthesizer>(entry->real, opts);
+    Status fit = entry->synth->Fit({}, Table());
+    if (!fit.ok()) return fit;
+    return entry;
+  };
+  PoolKey key{"t", dir_live, 1, "dblp-acm@0.02#3"};
+
+  auto live_fp = serve::ArtifactVersionFingerprint(file_live);
+  ASSERT_TRUE(live_fp.ok());
+  auto old_lease = pool.Acquire(key, loader, *live_fp);
+  ASSERT_TRUE(old_lease.ok());
+
+  // The in-flight job synthesizes on the old lease while the main thread
+  // republishes and swaps underneath it (tsan guards the interleaving).
+  std::string old_digest;
+  std::thread in_flight([&] {
+    std::lock_guard<std::mutex> run(old_lease->run_mutex());
+    old_lease->synth()->set_seed(5);
+    auto result = old_lease->synth()->Synthesize();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    old_digest = DatasetDigest(*result);
+  });
+
+  std::filesystem::copy_file(
+      file_v2, file_live, std::filesystem::copy_options::overwrite_existing);
+  auto new_fp = serve::ArtifactVersionFingerprint(file_live);
+  ASSERT_TRUE(new_fp.ok());
+  EXPECT_EQ(*new_fp, *fp_v2);
+  auto new_lease = pool.Acquire(key, loader, *new_fp);
+  ASSERT_TRUE(new_lease.ok());
+  {
+    std::lock_guard<std::mutex> run(new_lease->run_mutex());
+    new_lease->synth()->set_seed(5);
+    auto result = new_lease->synth()->Synthesize();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(DatasetDigest(*result), digest_v2);
+  }
+  in_flight.join();
+  // The overlapping job finished on the version it started with.
+  EXPECT_EQ(old_digest, digest_v1);
+
+  // Exactly one swap; re-probing the same version is a plain hit.
+  auto again = pool.Acquire(key, loader, *new_fp);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(metrics.TakeSnapshot().counters["pool.reloads"], 1u);
+
+  old_lease->Release();
+  new_lease->Release();
+  again->Release();
+  EXPECT_EQ(pool.pinned(), 0u);
 }
 
 // ------------------------------------------------------- server (socket)
@@ -848,12 +1361,176 @@ TEST(ServerTest, RejectsMalformedRequestsWithoutDying) {
   ASSERT_TRUE(reply.ok());
   EXPECT_FALSE(reply->at("ok").AsBool());
 
+  // A negative deadline is rejected at parse time.
+  obs::Json bad_deadline = obs::Json::Object();
+  bad_deadline.Set("verb", "synthesize");
+  bad_deadline.Set("dataset", "dblp-acm");
+  bad_deadline.Set("deadline_ms", -5);
+  reply = client.Call(bad_deadline);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->at("ok").AsBool());
+  EXPECT_EQ(reply->at("code").AsString(), "InvalidArgument");
+
+  // Reload without a model_dir cannot name an artifact to fingerprint.
+  obs::Json bad_reload = obs::Json::Object();
+  bad_reload.Set("verb", "reload");
+  bad_reload.Set("dataset", "dblp-acm");
+  reply = client.Call(bad_reload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->at("ok").AsBool());
+  EXPECT_EQ(reply->at("code").AsString(), "InvalidArgument");
+
   // The connection is still usable after rejected requests.
   obs::Json health = obs::Json::Object();
   health.Set("verb", "health");
   reply = client.Call(health);
   ASSERT_TRUE(reply.ok());
   EXPECT_TRUE(reply->at("ok").AsBool());
+
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, DeadlineCancelAndReloadVerbs) {
+  std::string model_dir = MakeTempDir("server_deadline_artifact");
+  ASSERT_TRUE(TrainArtifact(model_dir).ok());
+
+  serve::ServerOptions options;
+  options.workers = 1;  // one worker makes queue-expiry deterministic
+  options.job_options = FastOptions();
+  serve::SerdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  auto synth_request = [&] {
+    obs::Json req = obs::Json::Object();
+    req.Set("verb", "synthesize");
+    req.Set("dataset", "dblp-acm");
+    req.Set("scale", 0.02);
+    req.Set("data_seed", static_cast<uint64_t>(3));
+    req.Set("seed", static_cast<uint64_t>(5));
+    req.Set("model_dir", model_dir);
+    req.Set("artifact_mode", "load");
+    return req;
+  };
+
+  // Occupy the single worker, then submit a 1 ms-deadline job behind it:
+  // model load + synthesis dwarf 1 ms, so the job must expire in queue.
+  obs::Json blocker = synth_request();
+  blocker.Set("wait", false);
+  auto blocker_reply = client.Call(blocker);
+  ASSERT_TRUE(blocker_reply.ok());
+  ASSERT_TRUE(blocker_reply->at("ok").AsBool()) << blocker_reply->Dump();
+  JobId blocker_id =
+      static_cast<JobId>(blocker_reply->at("job").AsNumber());
+
+  std::string dead_out = testing::TempDir() + "/serd_serve_dead_out";
+  std::filesystem::remove_all(dead_out);
+  obs::Json doomed = synth_request();
+  doomed.Set("deadline_ms", 1);
+  doomed.Set("out", dead_out);
+  auto doomed_reply = client.Call(doomed);
+  ASSERT_TRUE(doomed_reply.ok());
+  EXPECT_FALSE(doomed_reply->at("ok").AsBool()) << doomed_reply->Dump();
+  EXPECT_EQ(doomed_reply->at("state").AsString(), "deadline_exceeded");
+  EXPECT_EQ(doomed_reply->at("code").AsString(), "DeadlineExceeded");
+  EXPECT_EQ(doomed_reply->at("cause").AsString(),
+            "deadline_expired_in_queue");
+  // No partial dataset reached the disk.
+  EXPECT_FALSE(std::filesystem::exists(dead_out));
+
+  // Cancel: park one job behind another, cancel the queued one. However
+  // the race resolves (cancelled in queue or just after pickup, where
+  // the token check before synthesis stops it), the outcome is the same:
+  // state cancelled, cause client_cancel, nothing written.
+  obs::Json runner = synth_request();
+  runner.Set("wait", false);
+  auto runner_reply = client.Call(runner);
+  ASSERT_TRUE(runner_reply.ok());
+  ASSERT_TRUE(runner_reply->at("ok").AsBool());
+  JobId runner_id = static_cast<JobId>(runner_reply->at("job").AsNumber());
+
+  std::string cancel_out = testing::TempDir() + "/serd_serve_cancel_out";
+  std::filesystem::remove_all(cancel_out);
+  obs::Json victim = synth_request();
+  victim.Set("wait", false);
+  victim.Set("out", cancel_out);
+  auto victim_reply = client.Call(victim);
+  ASSERT_TRUE(victim_reply.ok());
+  ASSERT_TRUE(victim_reply->at("ok").AsBool());
+  JobId victim_id = static_cast<JobId>(victim_reply->at("job").AsNumber());
+
+  obs::Json cancel = obs::Json::Object();
+  cancel.Set("verb", "cancel");
+  cancel.Set("id", victim_id);
+  auto cancel_reply = client.Call(cancel);
+  ASSERT_TRUE(cancel_reply.ok());
+  EXPECT_TRUE(cancel_reply->at("ok").AsBool()) << cancel_reply->Dump();
+
+  obs::Json wait_victim = obs::Json::Object();
+  wait_victim.Set("verb", "job");
+  wait_victim.Set("id", victim_id);
+  wait_victim.Set("wait", true);
+  auto victim_final = client.Call(wait_victim);
+  ASSERT_TRUE(victim_final.ok());
+  EXPECT_FALSE(victim_final->at("ok").AsBool());
+  EXPECT_EQ(victim_final->at("state").AsString(), "cancelled");
+  EXPECT_EQ(victim_final->at("code").AsString(), "Cancelled");
+  EXPECT_EQ(victim_final->at("cause").AsString(), "client_cancel");
+  EXPECT_FALSE(std::filesystem::exists(cancel_out));
+
+  // Cancelling an unknown job is NotFound, not a crash.
+  obs::Json cancel_unknown = obs::Json::Object();
+  cancel_unknown.Set("verb", "cancel");
+  cancel_unknown.Set("id", static_cast<uint64_t>(424242));
+  auto unknown_reply = client.Call(cancel_unknown);
+  ASSERT_TRUE(unknown_reply.ok());
+  EXPECT_EQ(unknown_reply->at("code").AsString(), "NotFound");
+
+  // Let the real jobs settle so the reload below sees a resident entry.
+  for (JobId id : {blocker_id, runner_id}) {
+    obs::Json wait_req = obs::Json::Object();
+    wait_req.Set("verb", "job");
+    wait_req.Set("id", id);
+    wait_req.Set("wait", true);
+    auto done = client.Call(wait_req);
+    ASSERT_TRUE(done.ok());
+    EXPECT_TRUE(done->at("ok").AsBool()) << done->Dump();
+  }
+
+  // Reload: the resident entry was loaded unversioned (version 0), so
+  // the first reload always swaps; the second is a fingerprint-matched
+  // no-op.
+  obs::Json reload = obs::Json::Object();
+  reload.Set("verb", "reload");
+  reload.Set("dataset", "dblp-acm");
+  reload.Set("scale", 0.02);
+  reload.Set("data_seed", static_cast<uint64_t>(3));
+  reload.Set("model_dir", model_dir);
+  auto reload_reply = client.Call(reload);
+  ASSERT_TRUE(reload_reply.ok());
+  EXPECT_TRUE(reload_reply->at("ok").AsBool()) << reload_reply->Dump();
+  EXPECT_NE(reload_reply->at("version").AsNumber(), 0.0);
+  EXPECT_TRUE(reload_reply->at("reloaded").AsBool());
+
+  auto reload_again = client.Call(reload);
+  ASSERT_TRUE(reload_again.ok());
+  EXPECT_TRUE(reload_again->at("ok").AsBool());
+  EXPECT_FALSE(reload_again->at("reloaded").AsBool());
+
+  obs::Json stats = obs::Json::Object();
+  stats.Set("verb", "stats");
+  auto stats_reply = client.Call(stats);
+  ASSERT_TRUE(stats_reply.ok());
+  const obs::Json& counters = stats_reply->at("metrics").at("counters");
+  EXPECT_EQ(counters.at("pool.reloads").AsNumber(), 1.0);
+  EXPECT_EQ(counters.at("scheduler.cancelled").AsNumber(), 1.0);
+  EXPECT_EQ(counters.at("scheduler.deadline_exceeded").AsNumber(), 1.0);
+  // Every lease was returned: cancelled and expired jobs don't leak pins.
+  const obs::Json& gauges = stats_reply->at("metrics").at("gauges");
+  EXPECT_EQ(gauges.at("pool.pinned").AsNumber(), 0.0);
 
   client.Close();
   server.Stop();
