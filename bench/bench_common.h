@@ -2,6 +2,7 @@
 #define SERD_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,45 @@
 namespace serd::bench {
 
 using datagen::DatasetKind;
+
+/// "release" when asserts are compiled out, "debug" otherwise — the value
+/// bench reports should stamp next to their numbers (google-benchmark
+/// emits the same fact as "library_build_type" in its JSON context).
+inline const char* BenchBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Provenance guard for every bench entry point: numbers from an
+/// assert-enabled (non-NDEBUG) build measure the asserts, not the
+/// library, and must never end up in a BENCH_*.json that tooling
+/// compares against release rows. Debug builds refuse to run unless
+/// SERD_BENCH_ALLOW_DEBUG is set in the environment, and even then the
+/// run is loudly tagged on stderr. Use scripts/bench.sh to configure and
+/// run a Release bench build.
+inline void RequireReleaseBuild(const char* bench_name) {
+#ifndef NDEBUG
+  const char* allow = std::getenv("SERD_BENCH_ALLOW_DEBUG");
+  if (allow == nullptr || std::string(allow).empty()) {
+    std::fprintf(stderr,
+                 "%s: refusing to benchmark a debug (assert-enabled) build; "
+                 "numbers would not be comparable to release rows.\n"
+                 "Use scripts/bench.sh, or set SERD_BENCH_ALLOW_DEBUG=1 to "
+                 "override for a smoke run.\n",
+                 bench_name);
+    std::exit(2);
+  }
+  std::fprintf(stderr,
+               "%s: WARNING: benchmarking a DEBUG build "
+               "(SERD_BENCH_ALLOW_DEBUG set); do not record these numbers.\n",
+               bench_name);
+#else
+  (void)bench_name;
+#endif
+}
 
 inline const DatasetKind kAllKinds[] = {
     DatasetKind::kDblpAcm, DatasetKind::kRestaurant,
@@ -85,6 +125,11 @@ struct Pipeline {
 /// models — their offline phase is identical by construction.
 inline Pipeline RunPipeline(DatasetKind kind, uint64_t seed = 42,
                             double scale_override = 0.0) {
+  // Every experiment harness funnels through here, so the provenance
+  // guard fires even in a bench main that forgot to call it (once per
+  // process, not once per dataset).
+  static const bool build_checked = (RequireReleaseBuild("serd_bench"), true);
+  (void)build_checked;
   Pipeline p;
   double scale = scale_override > 0.0 ? scale_override : BenchScale(kind);
   p.real = datagen::Generate(kind, {.seed = seed, .scale = scale});

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/timer.h"
 #include "core/serd.h"
 #include "datagen/generators.h"
@@ -311,4 +312,7 @@ int Run() {
 }  // namespace
 }  // namespace serd::bench
 
-int main() { return serd::bench::Run(); }
+int main() {
+  serd::bench::RequireReleaseBuild("bench_serve");
+  return serd::bench::Run();
+}

@@ -28,6 +28,12 @@
 //                                 at a time: the bit-exactness oracle for
 //                                 --batched-decode — identical output,
 //                                 no matrix batching)
+//            [--decode-precision fp32|bf16|int8]  (numeric format for the
+//                                 KV-cached candidate decode: int8/bf16
+//                                 quantize the decoder projections and run
+//                                 the fused dequant GEMM kernels. Released
+//                                 bytes can differ from fp32; quality is
+//                                 gated e2e — DESIGN.md §5m)
 //            [--blocking off|qgram|auto]  (S3 pair enumeration: exact
 //                                   O(|A|*|B|) scan, q-gram inverted-index
 //                                   candidates only, or auto-switch by
@@ -60,6 +66,7 @@ int Usage(const char* argv0) {
       "          [--threads N] [--manifest FILE.json]\n"
       "          [--save-models DIR] [--load-models DIR]\n"
       "          [--reference-decode] [--batched-decode] [--batched-oracle]\n"
+      "          [--decode-precision fp32|bf16|int8]\n"
       "          [--blocking off|qgram|auto]\n"
       "          [--label-cap N]\n",
       argv0);
@@ -129,6 +136,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--batched-oracle") {
       options.string_bank.batched_decode = true;
       options.string_bank.batched_lockstep = false;
+    } else if (arg == "--decode-precision") {
+      if (!ParseDecodePrecision(next("--decode-precision"),
+                                &options.string_bank.decode_precision)) {
+        std::fprintf(stderr, "--decode-precision takes fp32|bf16|int8\n");
+        return 2;
+      }
     } else if (arg == "--blocking") {
       if (!ParseBlockingMode(next("--blocking"), &options.blocking)) {
         std::fprintf(stderr, "--blocking takes off|qgram|auto\n");

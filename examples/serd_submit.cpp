@@ -25,6 +25,7 @@
 //               [--artifact-mode auto|load|save] [--out DIR]
 //               [--priority P] [--seed-key K] [--no-rejection]
 //               [--blocking off|qgram|auto] [--batched-decode]
+//               [--decode-precision fp32|bf16|int8]
 //               [--deadline-ms N] [--no-wait] [--id N]
 //               [--retries N] [--backoff-ms N]
 #include <cstdio>
@@ -50,6 +51,7 @@ int Usage(const char* argv0) {
       "          [--artifact-mode auto|load|save] [--out DIR]\n"
       "          [--priority P] [--seed-key K] [--no-rejection]\n"
       "          [--blocking off|qgram|auto] [--batched-decode]\n"
+      "          [--decode-precision fp32|bf16|int8]\n"
       "          [--deadline-ms N] [--no-wait] [--id N]\n"
       "          [--retries N] [--backoff-ms N]\n"
       "exit codes: 0 ok, 2 usage, 3 InvalidArgument, 4 ResourceExhausted,\n"
@@ -108,6 +110,8 @@ int main(int argc, char** argv) {
       request.Set("blocking", next("--blocking"));
     } else if (arg == "--batched-decode") {
       request.Set("batched_decode", true);
+    } else if (arg == "--decode-precision") {
+      request.Set("decode_precision", next("--decode-precision"));
     } else if (arg == "--no-rejection") {
       request.Set("no_rejection", true);
     } else if (arg == "--deadline-ms") {

@@ -48,6 +48,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # label change can't silently drop them.
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'KvCacheFuzzSweep|KvCacheTest|BatchedDecodeTest|BatchedBankTest'
+
+  echo "==> ctest (quantized decode quality gate under ASan)"
+  # The int8/bf16 kernel tolerance sweeps, the quantized-artifact codec
+  # fuzz, and the end-to-end fp32-vs-int8 matcher-F1/JSD gate
+  # (QuantPipelineTest); run by name for the same reason as above.
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'QuantKernelTest|QuantModelTest|QuantCodecTest|QuantPipelineTest'
 fi
 
 if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
@@ -134,6 +141,27 @@ assert blk["s3_block_recall_estimated"] == (blk["s3_pruned_pairs"] > 0), \
     "estimated-recall flag disagrees with pruning"
 assert off["s3_block_recall_estimated"] is False, \
     "exact scan claims an estimated recall"
+EOF
+
+  echo "==> smoke: int8 quantized decode runs end to end and says so"
+  # A full restaurant synthesis with --decode-precision int8: the
+  # manifest must record the precision and show that the decode actually
+  # ran through the quantized kernels (every cached step, since the whole
+  # S2 loop decodes through the KV cache).
+  "$CLI" --dataset restaurant --scale 0.2 --seed 7 --threads 2 \
+    --decode-precision int8 \
+    --out "$SMOKE_DIR/quant" --manifest "$SMOKE_DIR/quant.json"
+  grep -q '"decode_precision": "int8"' "$SMOKE_DIR/quant.json"
+  python3 - "$SMOKE_DIR/quant.json" <<'EOF'
+import json, sys
+man = json.load(open(sys.argv[1]))
+rep = man["report"]
+assert rep["decode_quantized_steps"] > 0, "int8 run took no quantized steps"
+assert rep["decode_quantized_steps"] == rep["decode_cached_steps"], \
+    "some cached steps bypassed the quantized kernels"
+counters = json.dumps(man)
+assert '"s2.decode_quantized_steps"' in counters, \
+    "manifest lost the s2.decode_quantized_steps counter"
 EOF
 
   echo "==> smoke: lane-batched decode matches its lane-sequential oracle"

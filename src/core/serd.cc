@@ -39,6 +39,32 @@ bool ParseBlockingMode(const std::string& name,
   return true;
 }
 
+const char* DecodePrecisionName(nn::DecodePrecision precision) {
+  switch (precision) {
+    case nn::DecodePrecision::kFp32:
+      return "fp32";
+    case nn::DecodePrecision::kBf16:
+      return "bf16";
+    case nn::DecodePrecision::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+bool ParseDecodePrecision(const std::string& name,
+                          nn::DecodePrecision* precision) {
+  if (name == "fp32") {
+    *precision = nn::DecodePrecision::kFp32;
+  } else if (name == "bf16") {
+    *precision = nn::DecodePrecision::kBf16;
+  } else if (name == "int8") {
+    *precision = nn::DecodePrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 SerdSynthesizer::SerdSynthesizer(const ERDataset& real, SerdOptions options)
     : real_(&real), options_(std::move(options)) {
   spec_ = SimilaritySpec::FromTables(real.schema(), {&real.a, &real.b});
@@ -346,7 +372,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize(const CancelToken* cancel) {
   // Bank decode stats accumulate across runs; snapshot them so the report
   // carries this run's delta.
   struct BankDecodeTotals {
-    long steps = 0, cached = 0, hits = 0, misses = 0;
+    long steps = 0, cached = 0, quantized = 0, hits = 0, misses = 0;
   };
   auto bank_decode_totals = [this] {
     BankDecodeTotals t;
@@ -355,6 +381,7 @@ Result<ERDataset> SerdSynthesizer::Synthesize(const CancelToken* cancel) {
       const StringBankStats& s = bank->stats();
       t.steps += s.decode_steps;
       t.cached += s.decode_cached_steps;
+      t.quantized += s.decode_quantized_steps;
       t.hits += s.encoder_cache_hits;
       t.misses += s.encoder_cache_misses;
     }
@@ -837,6 +864,8 @@ Result<ERDataset> SerdSynthesizer::Synthesize(const CancelToken* cancel) {
   const BankDecodeTotals decode_after = bank_decode_totals();
   report.decode_steps = decode_after.steps - decode_before.steps;
   report.decode_cached_steps = decode_after.cached - decode_before.cached;
+  report.decode_quantized_steps =
+      decode_after.quantized - decode_before.quantized;
   report.encoder_cache_hits = decode_after.hits - decode_before.hits;
   report.encoder_cache_misses = decode_after.misses - decode_before.misses;
   report.online_seconds = timer.Seconds();
@@ -895,6 +924,8 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   opts.Set("incremental_decode", options_.string_bank.incremental_decode);
   opts.Set("batched_decode", options_.string_bank.batched_decode);
   opts.Set("batched_lockstep", options_.string_bank.batched_lockstep);
+  opts.Set("decode_precision",
+           DecodePrecisionName(options_.string_bank.decode_precision));
   opts.Set("model_dir", options_.model_dir);
   opts.Set("artifact_mode", static_cast<int>(options_.artifact_mode));
   root.Set("options", std::move(opts));
@@ -916,6 +947,8 @@ obs::Json SerdSynthesizer::RunManifestJson() const {
   rep.Set("decode_steps", static_cast<int64_t>(report_.decode_steps));
   rep.Set("decode_cached_steps",
           static_cast<int64_t>(report_.decode_cached_steps));
+  rep.Set("decode_quantized_steps",
+          static_cast<int64_t>(report_.decode_quantized_steps));
   rep.Set("encoder_cache_hits",
           static_cast<int64_t>(report_.encoder_cache_hits));
   rep.Set("encoder_cache_misses",

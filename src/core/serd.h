@@ -152,6 +152,9 @@ struct SerdReport {
   /// (--reference-decode).
   long decode_steps = 0;
   long decode_cached_steps = 0;
+  /// Cached steps whose projections ran through the int8/bf16 kernels
+  /// (0 under fp32 decode; == decode_cached_steps under int8/bf16).
+  long decode_quantized_steps = 0;
   long encoder_cache_hits = 0;
   long encoder_cache_misses = 0;
   /// --- S3 labeling accounting. ---
@@ -223,6 +226,7 @@ struct SerdReport {
     jsd_evaluations = 0;
     decode_steps = 0;
     decode_cached_steps = 0;
+    decode_quantized_steps = 0;
     encoder_cache_hits = 0;
     encoder_cache_misses = 0;
     s3_blocked = false;
@@ -365,6 +369,23 @@ class SerdSynthesizer {
     report_.ResetOnlineStats();
   }
 
+  /// Switches the decode precision of every trained string bank for the
+  /// next Synthesize() (serve jobs request it per job on a warm entry; the
+  /// ModelPool keys entries by precision so fp32 and int8 tenants never
+  /// share one). Quantizing is cheap and idempotent — models restored from
+  /// a pre-quantized artifact at the same precision keep their attached
+  /// weights. int8/bf16 logits differ from fp32, so released bytes change;
+  /// quality is gated e2e (F1/JSD delta bounds, DESIGN.md §5m). Resets the
+  /// run statistics.
+  void set_decode_precision(nn::DecodePrecision precision) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    options_.string_bank.decode_precision = precision;
+    for (auto& bank : banks_) {
+      if (bank != nullptr) bank->set_decode_precision(precision);
+    }
+    report_.ResetOnlineStats();
+  }
+
   /// Re-seeds the *online* phase for the next Synthesize() and resets the
   /// run statistics, leaving the fitted offline models untouched. This is
   /// what lets the serving model pool reuse one warm synthesizer across
@@ -467,6 +488,13 @@ const char* BlockingModeName(SerdOptions::BlockingMode mode);
 /// Parses a BlockingModeName back; false on an unknown name.
 bool ParseBlockingMode(const std::string& name,
                        SerdOptions::BlockingMode* mode);
+
+/// Stable wire/CLI names of the decode precisions: "fp32", "bf16", "int8".
+const char* DecodePrecisionName(nn::DecodePrecision precision);
+
+/// Parses a DecodePrecisionName back; false on an unknown name.
+bool ParseDecodePrecision(const std::string& name,
+                          nn::DecodePrecision* precision);
 
 /// Buckets an artifact load failure (a LoadModels() Status) into a short
 /// stable cause tag: "io" (missing/unreadable file), "crc", "format",

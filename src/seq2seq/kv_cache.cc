@@ -69,6 +69,20 @@ void LinearRowsInto(const nn::Linear& lin, std::size_t rows, const float* x,
   }
 }
 
+/// Routes one per-step projection of `rows` rows: the quantized kernel
+/// when a reduced-precision copy is attached (QuantizedGemm's per-element
+/// chains are m-independent like the fp32 driver, so lane batching stays
+/// bit-exact per lane within a precision), the exact fp32 path otherwise.
+void ProjectRows(const nn::QuantizedLinear* q, const nn::Linear& lin,
+                 std::size_t rows, const float* x, float* y) {
+  if (q != nullptr) {
+    k::QuantizedGemm(q->w, q->bias.empty() ? nullptr : q->bias.data(), rows,
+                     x, y);
+    return;
+  }
+  LinearRowsInto(lin, rows, x, y);
+}
+
 /// y[rows, d] = LN(x[rows, d]) row-wise — LayerNormRows normalizes each
 /// row independently, so this equals `rows` LayerNormRow calls.
 void LayerNormRowsInto(const nn::LayerNormLayer& ln, std::size_t rows,
@@ -168,6 +182,11 @@ const float* IncrementalDecoder::Step(int token) {
   const int len = pos + 1;
   for (std::size_t l = 0; l < model_->decoder_.size(); ++l) {
     const DecoderLayer& layer = *model_->decoder_[l];
+    // Quantized projection weights for this layer, when attached. The KV
+    // cache itself and everything outside the projections (LN, attention,
+    // embeddings, logits) stays fp32 (DESIGN.md §5m).
+    const QuantizedDecoderLayer* ql =
+        model_->quant_ != nullptr ? &model_->quant_->layers[l] : nullptr;
 
     // Causal self-attention: project the new row, append its K/V to the
     // cache, attend over positions [0, pos]. The full path's causal mask
@@ -176,32 +195,38 @@ const float* IncrementalDecoder::Step(int token) {
     // `len` is bit-exact, not an approximation.
     const MultiHeadAttention& self = *layer.self_attn_;
     LayerNormRow(*layer.ln1_, d, x_.data(), normed_.data());
-    LinearRowInto(*self.wq_, normed_.data(), q_.data());
-    LinearRowInto(*self.wk_, normed_.data(),
-                  cache_.k(l) + static_cast<std::size_t>(pos) * d);
-    LinearRowInto(*self.wv_, normed_.data(),
-                  cache_.v(l) + static_cast<std::size_t>(pos) * d);
+    ProjectRows(ql ? &ql->self_wq : nullptr, *self.wq_, 1, normed_.data(),
+                q_.data());
+    ProjectRows(ql ? &ql->self_wk : nullptr, *self.wk_, 1, normed_.data(),
+                cache_.k(l) + static_cast<std::size_t>(pos) * d);
+    ProjectRows(ql ? &ql->self_wv : nullptr, *self.wv_, 1, normed_.data(),
+                cache_.v(l) + static_cast<std::size_t>(pos) * d);
     AttentionRow(self.num_heads_, self.head_dim_, d, len, q_.data(),
                  cache_.k(l), cache_.v(l), scores_.data(), concat_.data());
-    LinearRowInto(*self.wo_, concat_.data(), attn_.data());
+    ProjectRows(ql ? &ql->self_wo : nullptr, *self.wo_, 1, concat_.data(),
+                attn_.data());
     k::Add(d, x_.data(), attn_.data(), h_.data());
 
     // Cross-attention over the precomputed encoder K/V.
     const MultiHeadAttention& cross = *layer.cross_attn_;
     const EncoderMemory::CrossKv& ckv = memory_->cross[l];
     LayerNormRow(*layer.ln2_, d, h_.data(), normed_.data());
-    LinearRowInto(*cross.wq_, normed_.data(), q_.data());
+    ProjectRows(ql ? &ql->cross_wq : nullptr, *cross.wq_, 1, normed_.data(),
+                q_.data());
     AttentionRow(cross.num_heads_, cross.head_dim_, d, memory_->mem_len,
                  q_.data(), ckv.k.data(), ckv.v.data(), scores_.data(),
                  concat_.data());
-    LinearRowInto(*cross.wo_, concat_.data(), attn_.data());
+    ProjectRows(ql ? &ql->cross_wo : nullptr, *cross.wo_, 1, concat_.data(),
+                attn_.data());
     k::Add(d, h_.data(), attn_.data(), h_.data());
 
     // FFN.
     LayerNormRow(*layer.ln3_, d, h_.data(), normed_.data());
-    LinearRowInto(*layer.ffn1_, normed_.data(), ff_.data());
+    ProjectRows(ql ? &ql->ffn1 : nullptr, *layer.ffn1_, 1, normed_.data(),
+                ff_.data());
     k::Gelu(ff_.size(), ff_.data(), ff_.data());
-    LinearRowInto(*layer.ffn2_, ff_.data(), attn_.data());
+    ProjectRows(ql ? &ql->ffn2 : nullptr, *layer.ffn2_, 1, ff_.data(),
+                attn_.data());
     k::Add(d, h_.data(), attn_.data(), x_.data());
   }
   cache_.Advance();
@@ -286,6 +311,11 @@ const float* BatchedDecoder::Step(const std::vector<int>& lanes,
   const int len = pos + 1;
   for (std::size_t l = 0; l < model_->decoder_.size(); ++l) {
     const DecoderLayer& layer = *model_->decoder_[l];
+    // Per-layer quantized projections when attached (see the single-lane
+    // Step above) — m-row quantized calls stay bit-identical per row, so
+    // the lockstep/oracle equivalence holds at every precision.
+    const QuantizedDecoderLayer* ql =
+        model_->quant_ != nullptr ? &model_->quant_->layers[l] : nullptr;
 
     // Causal self-attention: project all live rows in one GEMM per weight,
     // land each lane's fresh K/V row in that lane's cache slice, then
@@ -293,9 +323,12 @@ const float* BatchedDecoder::Step(const std::vector<int>& lanes,
     // lanes, but the score/mix GEMMs are single-query anyway).
     const MultiHeadAttention& self = *layer.self_attn_;
     LayerNormRowsInto(*layer.ln1_, m, d, x_.data(), normed_.data());
-    LinearRowsInto(*self.wq_, m, normed_.data(), q_.data());
-    LinearRowsInto(*self.wk_, m, normed_.data(), knew_.data());
-    LinearRowsInto(*self.wv_, m, normed_.data(), vnew_.data());
+    ProjectRows(ql ? &ql->self_wq : nullptr, *self.wq_, m, normed_.data(),
+                q_.data());
+    ProjectRows(ql ? &ql->self_wk : nullptr, *self.wk_, m, normed_.data(),
+                knew_.data());
+    ProjectRows(ql ? &ql->self_wv : nullptr, *self.wv_, m, normed_.data(),
+                vnew_.data());
     for (std::size_t i = 0; i < m; ++i) {
       const int lane = lanes[i];
       float* krow = cache_.k(l, lane) + static_cast<std::size_t>(pos) * d;
@@ -306,7 +339,8 @@ const float* BatchedDecoder::Step(const std::vector<int>& lanes,
                    q_.data() + i * d, cache_.k(l, lane), cache_.v(l, lane),
                    scores_.data(), concat_.data() + i * d);
     }
-    LinearRowsInto(*self.wo_, m, concat_.data(), attn_.data());
+    ProjectRows(ql ? &ql->self_wo : nullptr, *self.wo_, m, concat_.data(),
+                attn_.data());
     k::Add(m * d, x_.data(), attn_.data(), h_.data());
 
     // Cross-attention over the precomputed encoder K/V: one batched
@@ -314,7 +348,8 @@ const float* BatchedDecoder::Step(const std::vector<int>& lanes,
     // single-query passes otherwise.
     const MultiHeadAttention& cross = *layer.cross_attn_;
     LayerNormRowsInto(*layer.ln2_, m, d, h_.data(), normed_.data());
-    LinearRowsInto(*cross.wq_, m, normed_.data(), q_.data());
+    ProjectRows(ql ? &ql->cross_wq : nullptr, *cross.wq_, m, normed_.data(),
+                q_.data());
     if (shared_memory_ != nullptr) {
       const EncoderMemory::CrossKv& ckv = shared_memory_->cross[l];
       AttentionRows(cross.num_heads_, cross.head_dim_, static_cast<int>(d),
@@ -330,14 +365,17 @@ const float* BatchedDecoder::Step(const std::vector<int>& lanes,
                      ckv.v.data(), scores_.data(), concat_.data() + i * d);
       }
     }
-    LinearRowsInto(*cross.wo_, m, concat_.data(), attn_.data());
+    ProjectRows(ql ? &ql->cross_wo : nullptr, *cross.wo_, m, concat_.data(),
+                attn_.data());
     k::Add(m * d, h_.data(), attn_.data(), h_.data());
 
     // FFN.
     LayerNormRowsInto(*layer.ln3_, m, d, h_.data(), normed_.data());
-    LinearRowsInto(*layer.ffn1_, m, normed_.data(), ff_.data());
+    ProjectRows(ql ? &ql->ffn1 : nullptr, *layer.ffn1_, m, normed_.data(),
+                ff_.data());
     k::Gelu(m * static_cast<std::size_t>(cfg.ffn_dim), ff_.data(), ff_.data());
-    LinearRowsInto(*layer.ffn2_, m, ff_.data(), attn_.data());
+    ProjectRows(ql ? &ql->ffn2 : nullptr, *layer.ffn2_, m, ff_.data(),
+                attn_.data());
     k::Add(m * d, h_.data(), attn_.data(), x_.data());
   }
   cache_.Advance();

@@ -35,10 +35,12 @@ struct EncoderMemory {
 using EncoderMemoryPtr = std::shared_ptr<const EncoderMemory>;
 
 /// Decode-step accounting for the obs counters (s2.decode_steps /
-/// s2.decode_cached_steps). One "step" = one next-token logits row.
+/// s2.decode_cached_steps / s2.decode_quantized_steps). One "step" = one
+/// next-token logits row.
 struct GenerateStats {
-  long steps = 0;         ///< total decode steps taken
-  long cached_steps = 0;  ///< steps served by the KV-cached path
+  long steps = 0;            ///< total decode steps taken
+  long cached_steps = 0;     ///< steps served by the KV-cached path
+  long quantized_steps = 0;  ///< cached steps whose projections ran int8/bf16
 };
 
 /// Per-layer self-attention K/V rows for in-flight decodes. Row t of

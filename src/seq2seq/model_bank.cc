@@ -132,7 +132,15 @@ Status StringSynthesisBank::TrainFromPairs(
   stats_.mean_epsilon = trained_models > 0 ? total_eps / trained_models : 0.0;
   stats_.train_seconds = timer.Seconds();
   trained_ = true;
+  set_decode_precision(options_.decode_precision);
   return Status::OK();
+}
+
+void StringSynthesisBank::set_decode_precision(nn::DecodePrecision precision) {
+  options_.decode_precision = precision;
+  for (auto& model : models_) {
+    if (model != nullptr) model->QuantizeWeights(precision);
+  }
 }
 
 Status StringSynthesisBank::RestoreTrained(
@@ -167,6 +175,10 @@ Status StringSynthesisBank::RestoreTrained(
   models_ = std::move(models);
   stats_ = std::move(stats);
   trained_ = true;
+  // Models restored with a pre-quantized weight set attached (the artifact
+  // load path) already match the requested precision, so QuantizeWeights
+  // no-ops on them; any others quantize here.
+  set_decode_precision(options_.decode_precision);
   return Status::OK();
 }
 
@@ -325,10 +337,13 @@ std::string StringSynthesisBank::SynthesizeWithModel(int bucket,
   }
   stats_.decode_steps += gstats.steps;
   stats_.decode_cached_steps += gstats.cached_steps;
+  stats_.decode_quantized_steps += gstats.quantized_steps;
   obs::Inc(obs::GetCounter(options_.metrics, "s2.decode_steps"),
            static_cast<uint64_t>(gstats.steps));
   obs::Inc(obs::GetCounter(options_.metrics, "s2.decode_cached_steps"),
            static_cast<uint64_t>(gstats.cached_steps));
+  obs::Inc(obs::GetCounter(options_.metrics, "s2.decode_quantized_steps"),
+           static_cast<uint64_t>(gstats.quantized_steps));
   if (best.empty()) return FallbackSynthesize(s, target_sim, rng);
   if (best_err > options_.refine_threshold) {
     // The decoder missed the target: refine the candidate and also try a

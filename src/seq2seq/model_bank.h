@@ -1,6 +1,7 @@
 #ifndef SERD_SEQ2SEQ_MODEL_BANK_H_
 #define SERD_SEQ2SEQ_MODEL_BANK_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -68,9 +69,20 @@ struct StringBankOptions {
   /// oracle exists for equivalence tests and the ci.sh diff stage.
   bool batched_lockstep = true;
 
+  /// Numeric format for the KV-cached decode projections (DESIGN.md §5m):
+  /// kFp32 is the exact path, kBf16/kInt8 quantize each trained model's
+  /// decoder projection weights once after training/restore and route the
+  /// per-step GEMMs through the reduced-precision kernels. Released bytes
+  /// can change vs fp32 (perturbed logits), which is why the quality gate
+  /// is an e2e F1/JSD delta bound, not bitwise equality. Only consulted
+  /// when incremental_decode is on — the full re-decode reference
+  /// (--reference-decode) always runs fp32.
+  nn::DecodePrecision decode_precision = nn::DecodePrecision::kFp32;
+
   /// Observability sink (not owned; nullptr = off): counters
   /// s2.bank_synth_calls / s2.bank_fallback_calls / s2.bank_refined_calls
   /// / s2.decode_steps / s2.decode_cached_steps /
+  /// s2.decode_quantized_steps /
   /// s2.encoder_cache_hits / s2.encoder_cache_misses,
   /// histogram s2.bank_bucket (index of the model actually used).
   obs::MetricsRegistry* metrics = nullptr;
@@ -93,6 +105,7 @@ struct StringBankStats {
   // artifacts loadable and save→load→save byte-identical).
   long decode_steps = 0;         ///< next-token logits rows computed
   long decode_cached_steps = 0;  ///< of those, served by the KV cache
+  long decode_quantized_steps = 0;  ///< of those, int8/bf16 projections
   long encoder_cache_hits = 0;   ///< encoder memory reused from the cache
   long encoder_cache_misses = 0; ///< encoder memory computed fresh
 };
@@ -135,6 +148,17 @@ class StringSynthesisBank {
   void set_batched_decode(bool enabled) { options_.batched_decode = enabled; }
   bool batched_decode() const { return options_.batched_decode; }
 
+  /// Switches the decode precision on a trained/restored bank (serve jobs
+  /// toggle it per request on a warm bank). Quantizes every trained
+  /// model's decoder projections to `precision` (a no-op for models
+  /// already carrying that precision, including pre-quantized artifact
+  /// loads) or clears them back to the exact fp32 path. The trained fp32
+  /// weights are never modified.
+  void set_decode_precision(nn::DecodePrecision precision);
+  nn::DecodePrecision decode_precision() const {
+    return options_.decode_precision;
+  }
+
   /// Cooperative cancellation for candidate decode (not owned; nullptr =
   /// never cancelled). A tripped token is folded into the decoder's
   /// early-stop callbacks, so a Synthesize call abandons remaining
@@ -152,6 +176,13 @@ class StringSynthesisBank {
   /// Per-bucket models (index = bucket; null = untrained bucket).
   const std::vector<std::unique_ptr<TransformerSeq2Seq>>& models() const {
     return models_;
+  }
+
+  /// Mutable access to a bucket's model (null = untrained bucket). Used by
+  /// the artifact store to attach pre-quantized decode weights after
+  /// RestoreTrained; never replaces the model itself.
+  TransformerSeq2Seq* mutable_model(std::size_t bucket) {
+    return bucket < models_.size() ? models_[bucket].get() : nullptr;
   }
   const std::vector<std::string>& corpus() const { return corpus_; }
   const std::vector<std::string>& word_pool() const { return word_pool_; }

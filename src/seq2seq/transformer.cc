@@ -367,6 +367,7 @@ int TransformerSeq2Seq::GenerateBatch(const EncoderMemoryPtr& memory,
         if (stats != nullptr) {
           ++stats->steps;
           ++stats->cached_steps;
+          if (quant_ != nullptr) ++stats->quantized_steps;
         }
         const int next =
             SampleToken(logits, config_.vocab_size, temperature, &probs,
@@ -445,6 +446,7 @@ int TransformerSeq2Seq::GenerateBatchLanes(const EncoderMemoryPtr& memory,
         if (stats != nullptr) {
           ++stats->steps;
           ++stats->cached_steps;
+          if (quant_ != nullptr) ++stats->quantized_steps;
         }
         const int next = SampleToken(logits, config_.vocab_size, temperature,
                                      &probs, &weights, &lane_rng);
@@ -500,6 +502,9 @@ int TransformerSeq2Seq::GenerateBatchLanes(const EncoderMemoryPtr& memory,
     if (stats != nullptr) {
       stats->steps += static_cast<long>(live.size());
       stats->cached_steps += static_cast<long>(live.size());
+      if (quant_ != nullptr) {
+        stats->quantized_steps += static_cast<long>(live.size());
+      }
     }
     still.clear();
     for (std::size_t i = 0; i < live.size(); ++i) {
@@ -524,6 +529,58 @@ int TransformerSeq2Seq::GenerateBatchLanes(const EncoderMemoryPtr& memory,
   }
   deliver_ready();
   return produced;
+}
+
+namespace {
+
+/// Packs one nn::Linear into a QuantizedLinear: the [in, out] fp32 weight
+/// transposes into the contiguous-per-channel quantized layout, and the
+/// bias (if any) is copied so the kernels can fuse it into the dequant
+/// epilogue.
+nn::QuantizedLinear QuantizeLinear(const nn::Linear& lin,
+                                   nn::DecodePrecision precision) {
+  const nn::TensorPtr& w = lin.weight();
+  nn::QuantizedLinear out;
+  out.w = nn::QuantizeWeightMatrix(w->rows(), w->cols(),
+                                   w->value().data(), precision);
+  if (lin.bias() != nullptr) out.bias = lin.bias()->value();
+  return out;
+}
+
+}  // namespace
+
+void TransformerSeq2Seq::QuantizeWeights(nn::DecodePrecision precision) {
+  if (precision == nn::DecodePrecision::kFp32) {
+    quant_.reset();
+    return;
+  }
+  if (quant_ != nullptr && quant_->precision == precision) return;
+  auto qw = std::make_unique<QuantizedDecodeWeights>();
+  qw->precision = precision;
+  qw->layers.reserve(decoder_.size());
+  for (const auto& layer : decoder_) {
+    QuantizedDecoderLayer ql;
+    ql.self_wq = QuantizeLinear(*layer->self_attn_->wq_, precision);
+    ql.self_wk = QuantizeLinear(*layer->self_attn_->wk_, precision);
+    ql.self_wv = QuantizeLinear(*layer->self_attn_->wv_, precision);
+    ql.self_wo = QuantizeLinear(*layer->self_attn_->wo_, precision);
+    ql.cross_wq = QuantizeLinear(*layer->cross_attn_->wq_, precision);
+    ql.cross_wo = QuantizeLinear(*layer->cross_attn_->wo_, precision);
+    ql.ffn1 = QuantizeLinear(*layer->ffn1_, precision);
+    ql.ffn2 = QuantizeLinear(*layer->ffn2_, precision);
+    qw->layers.push_back(std::move(ql));
+  }
+  quant_ = std::move(qw);
+}
+
+void TransformerSeq2Seq::SetQuantizedWeights(
+    std::unique_ptr<QuantizedDecodeWeights> weights) {
+  if (weights != nullptr) {
+    SERD_CHECK_EQ(weights->layers.size(), decoder_.size())
+        << "quantized weight set does not match the decoder depth";
+    SERD_CHECK(weights->precision != nn::DecodePrecision::kFp32);
+  }
+  quant_ = std::move(weights);
 }
 
 std::vector<float> TransformerSeq2Seq::NextLogitsFull(

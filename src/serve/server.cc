@@ -98,6 +98,12 @@ struct SerdServer::JobParams {
   /// defaults to the server's job options and is re-applied to the warm
   /// entry on every job, like `blocking`.
   bool batched_decode = DefaultJobOptions().string_bank.batched_decode;
+  /// Per-job decode precision. Unlike `blocking`/`batched_decode` this is
+  /// part of the pool key (fp32 and int8 jobs never share a warm entry),
+  /// so the loader bakes it in and the per-job set_decode_precision is a
+  /// no-op reaffirmation.
+  nn::DecodePrecision decode_precision =
+      DefaultJobOptions().string_bank.decode_precision;
   /// Wall-clock budget in milliseconds from admission (0 = none); maps to
   /// JobSpec::deadline_ms.
   int64_t deadline_ms = 0;
@@ -242,6 +248,13 @@ Status SerdServer::ParseJobParams(const obs::Json& request,
   params->batched_decode = GetBool(request, "batched_decode",
                                    options_.job_options.string_bank
                                        .batched_decode);
+  params->decode_precision = options_.job_options.string_bank.decode_precision;
+  const std::string precision = GetString(request, "decode_precision", "");
+  if (!precision.empty() &&
+      !ParseDecodePrecision(precision, &params->decode_precision)) {
+    return Status::InvalidArgument("unknown decode_precision '" + precision +
+                                   "' (fp32|bf16|int8)");
+  }
   params->deadline_ms =
       static_cast<int64_t>(GetNumber(request, "deadline_ms", 0));
   if (params->deadline_ms < 0) {
@@ -257,6 +270,7 @@ PoolKey SerdServer::KeyFor(const JobParams& params) const {
   key.model_dir = params.model_dir;
   key.schema_fingerprint = SchemaFingerprintFor(params.kind);
   key.dataset_id = params.DatasetId();
+  key.decode_precision = DecodePrecisionName(params.decode_precision);
   return key;
 }
 
@@ -274,6 +288,9 @@ ModelPool::EntryLoader SerdServer::LoaderFor(const JobParams& params) const {
     options.seed = p.data_seed;
     options.model_dir = p.model_dir;
     options.artifact_mode = p.artifact_mode;
+    // Baked in before Fit() so an artifact load at int8/bf16 attaches the
+    // pre-quantized weights instead of quantizing on load.
+    options.string_bank.decode_precision = p.decode_precision;
     entry->synth = std::make_unique<SerdSynthesizer>(entry->real, options);
 
     std::vector<std::vector<std::string>> corpora;
@@ -326,6 +343,7 @@ obs::Json SerdServer::HandleSynthesize(const obs::Json& request) {
     synth->set_enable_rejection(params.enable_rejection);
     synth->set_blocking(params.blocking);
     synth->set_batched_decode(params.batched_decode);
+    synth->set_decode_precision(params.decode_precision);
     synth->set_seed(job_seed);
     Result<ERDataset> result = synth->Synthesize(ctx.cancel);
     if (!result.ok()) return result.status();

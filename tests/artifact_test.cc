@@ -559,6 +559,139 @@ TEST(WarmStartTest, SaveLoadSaveIsByteIdentical) {
   EXPECT_EQ(first, second);
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::string bytes;
+  FILE* f = fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  fclose(f);
+  return bytes;
+}
+
+TEST(WarmStartTest, QuantizedSaveLoadSaveIsByteIdentical) {
+  // With int8 decode precision the artifact carries a payload-bearing
+  // "quant" section; save -> load (which attaches, not re-quantizes) ->
+  // save must still be byte-identical, and a bit flip inside that payload
+  // must be caught by the section CRC on the next reduced-precision load.
+  const std::string dir1 = MakeTempDir("qsls1");
+  const std::string dir2 = MakeTempDir("qsls2");
+  PipelineInputs in = MakeInputs(DatasetKind::kDblpAcm);
+
+  SerdOptions opts = SmallPipelineOptions(1);
+  opts.string_bank.decode_precision = nn::DecodePrecision::kInt8;
+  SerdSynthesizer synth(in.real, opts);
+  ASSERT_TRUE(synth.Fit(in.corpora, in.background).ok());
+  ASSERT_TRUE(synth.SaveModels(dir1).ok());
+
+  SerdSynthesizer reloaded(in.real, opts);
+  ASSERT_TRUE(reloaded.LoadModels(dir1).ok());
+  ASSERT_TRUE(reloaded.SaveModels(dir2).ok());
+
+  std::string first = ReadFileBytes(dir1 + "/" +
+                                    SerdSynthesizer::kModelFileName);
+  std::string second = ReadFileBytes(dir2 + "/" +
+                                     SerdSynthesizer::kModelFileName);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // The quant section is present and actually carries weights (not just
+  // the empty has-flags an fp32 save writes).
+  auto reader = ArtifactReader::FromBytes(first);
+  ASSERT_TRUE(reader.ok());
+  const ArtifactReader::SectionInfo* quant = nullptr;
+  for (const auto& info : reader->sections()) {
+    if (info.name == "quant") quant = &info;
+  }
+  ASSERT_NE(quant, nullptr);
+  EXPECT_GT(quant->size, 256u);
+
+  // Payload bit flip -> CRC failure at the next int8 load.
+  std::string corrupted = first;
+  size_t target = reader->payload_start() + quant->offset + quant->size / 2;
+  corrupted[target] = static_cast<char>(corrupted[target] ^ 0x01);
+  const std::string dir3 = MakeTempDir("qsls3");
+  {
+    FILE* f = fopen(
+        (dir3 + "/" + SerdSynthesizer::kModelFileName).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(corrupted.data(), 1, corrupted.size(), f);
+    fclose(f);
+  }
+  SerdSynthesizer sick(in.real, opts);
+  Status s = sick.LoadModels(dir3);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("CRC"), std::string::npos) << s.ToString();
+}
+
+TEST(WarmStartTest, QuantizedArtifactLoadsInFp32Run) {
+  // Forward version skew: a run that wants fp32 never opens the quant
+  // section, so an int8-saved artifact loads cleanly and synthesizes
+  // bit-identically to a pipeline that never heard of quantization.
+  const std::string dir = MakeTempDir("qskew");
+  PipelineInputs in = MakeInputs(DatasetKind::kDblpAcm);
+
+  SerdOptions int8_opts = SmallPipelineOptions(1);
+  int8_opts.string_bank.decode_precision = nn::DecodePrecision::kInt8;
+  SerdSynthesizer trained(in.real, int8_opts);
+  ASSERT_TRUE(trained.Fit(in.corpora, in.background).ok());
+  ASSERT_TRUE(trained.SaveModels(dir).ok());
+
+  // Decode precision never touches training, so an fp32 cold run over the
+  // same inputs is the ground truth for the warm fp32 load.
+  SerdOptions fp32_opts = SmallPipelineOptions(1);
+  SerdSynthesizer cold(in.real, fp32_opts);
+  ASSERT_TRUE(cold.Fit(in.corpora, in.background).ok());
+  auto cold_syn = cold.Synthesize();
+  ASSERT_TRUE(cold_syn.ok()) << cold_syn.status().ToString();
+
+  SerdSynthesizer warm(in.real, fp32_opts);
+  ASSERT_TRUE(warm.LoadModels(dir).ok());
+  auto warm_syn = warm.Synthesize();
+  ASSERT_TRUE(warm_syn.ok()) << warm_syn.status().ToString();
+  ExpectSameDataset(cold_syn.value(), warm_syn.value());
+  EXPECT_EQ(warm.report().decode_quantized_steps, 0);
+}
+
+TEST(WarmStartTest, Fp32ArtifactQuantizesOnLoadAtInt8) {
+  // Backward version skew: an fp32-era artifact (quant has-flags all
+  // false) loads at int8 through the quantize-on-load fallback, and —
+  // because quantization is deterministic — synthesizes bit-identically
+  // to a load that attached pre-quantized payloads.
+  const std::string fp32_dir = MakeTempDir("f32skew");
+  const std::string int8_dir = MakeTempDir("i8skew");
+  PipelineInputs in = MakeInputs(DatasetKind::kDblpAcm);
+
+  {
+    SerdSynthesizer synth(in.real, SmallPipelineOptions(1));
+    ASSERT_TRUE(synth.Fit(in.corpora, in.background).ok());
+    ASSERT_TRUE(synth.SaveModels(fp32_dir).ok());
+  }
+  SerdOptions int8_opts = SmallPipelineOptions(1);
+  int8_opts.string_bank.decode_precision = nn::DecodePrecision::kInt8;
+  {
+    SerdSynthesizer synth(in.real, int8_opts);
+    ASSERT_TRUE(synth.Fit(in.corpora, in.background).ok());
+    ASSERT_TRUE(synth.SaveModels(int8_dir).ok());
+  }
+
+  SerdSynthesizer from_fp32(in.real, int8_opts);
+  ASSERT_TRUE(from_fp32.LoadModels(fp32_dir).ok());
+  auto a = from_fp32.Synthesize();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  SerdSynthesizer from_int8(in.real, int8_opts);
+  ASSERT_TRUE(from_int8.LoadModels(int8_dir).ok());
+  auto b = from_int8.Synthesize();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ExpectSameDataset(a.value(), b.value());
+  EXPECT_GT(from_fp32.report().decode_quantized_steps, 0);
+  EXPECT_GT(from_int8.report().decode_quantized_steps, 0);
+}
+
 TEST(WarmStartTest, SaveBeforeFitIsFailedPrecondition) {
   PipelineInputs in = MakeInputs(DatasetKind::kDblpAcm);
   SerdSynthesizer synth(in.real, SmallPipelineOptions(1));
@@ -621,15 +754,21 @@ class WarmStartFaultInjection : public ::testing::Test {
     image_ = nullptr;
   }
 
-  // Writes `bytes` as the artifact of a scratch dir and attempts a load.
-  static Status TryLoad(const std::string& bytes, const char* tag) {
+  // Writes `bytes` as the artifact of a scratch dir and attempts a load
+  // at the given decode precision (int8 loads open — and so CRC-check —
+  // the "quant" section; fp32 loads never touch it).
+  static Status TryLoad(const std::string& bytes, const char* tag,
+                        nn::DecodePrecision precision =
+                            nn::DecodePrecision::kFp32) {
     std::string dir = MakeTempDir(tag);
     std::string path = dir + "/" + SerdSynthesizer::kModelFileName;
     FILE* f = fopen(path.c_str(), "wb");
     EXPECT_NE(f, nullptr);
     fwrite(bytes.data(), 1, bytes.size(), f);
     fclose(f);
-    SerdSynthesizer synth(inputs_->real, SmallPipelineOptions(1));
+    SerdOptions opts = SmallPipelineOptions(1);
+    opts.string_bank.decode_precision = precision;
+    SerdSynthesizer synth(inputs_->real, opts);
     return synth.LoadModels(dir);
   }
 
@@ -667,7 +806,13 @@ TEST_F(WarmStartFaultInjection, PayloadByteFlipInEverySectionIsCaught) {
     std::string corrupted = *image_;
     size_t target = reader->payload_start() + info.offset + info.size / 2;
     corrupted[target] = static_cast<char>(corrupted[target] ^ 0x01);
-    Status s = TryLoad(corrupted, "flip");
+    // Section CRCs are verified when a section is opened: "quant" is only
+    // opened by reduced-precision loads, so flips there are exercised at
+    // int8 (an fp32 load legitimately never reads those bytes).
+    const nn::DecodePrecision precision = info.name == "quant"
+                                              ? nn::DecodePrecision::kInt8
+                                              : nn::DecodePrecision::kFp32;
+    Status s = TryLoad(corrupted, "flip", precision);
     ASSERT_FALSE(s.ok()) << "section " << info.name;
     EXPECT_NE(s.message().find("CRC"), std::string::npos)
         << "section " << info.name << ": " << s.ToString();

@@ -1371,6 +1371,21 @@ TEST(ServerTest, RejectsMalformedRequestsWithoutDying) {
   EXPECT_FALSE(reply->at("ok").AsBool());
   EXPECT_EQ(reply->at("code").AsString(), "InvalidArgument");
 
+  // An unknown decode_precision string is rejected at parse time with the
+  // accepted spellings in the message.
+  obs::Json bad_precision = obs::Json::Object();
+  bad_precision.Set("verb", "synthesize");
+  bad_precision.Set("dataset", "dblp-acm");
+  bad_precision.Set("decode_precision", "fp16");
+  reply = client.Call(bad_precision);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->at("ok").AsBool());
+  EXPECT_EQ(reply->at("code").AsString(), "InvalidArgument");
+  EXPECT_NE(reply->at("error").AsString().find("decode_precision"),
+            std::string::npos);
+  EXPECT_NE(reply->at("error").AsString().find("fp32|bf16|int8"),
+            std::string::npos);
+
   // Reload without a model_dir cannot name an artifact to fingerprint.
   obs::Json bad_reload = obs::Json::Object();
   bad_reload.Set("verb", "reload");
